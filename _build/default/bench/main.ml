@@ -1,0 +1,151 @@
+(* Benchmark harness.
+
+   Two layers, mirroring EXPERIMENTS.md:
+
+   1. The macro tables (F1, T*, E1–E7): every figure/claim of the paper is
+      regenerated as a measured table by the experiment suite.  The oracle
+      certifies each run, so a printed table implies a correct execution.
+   2. Micro-benchmarks (B1–B6, Bechamel): cost of the protocol's hot data
+      structures and of one protocol step, which is what the paper's
+      "failure-free overhead" is made of.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- micro   # micro-benchmarks only
+     dune exec bench/main.exe -- macro   # experiment tables only
+*)
+
+open Depend
+module Config = Recovery.Config
+module Node = Recovery.Node
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks                                                    *)
+
+let e = Entry.make
+
+let vector_pair n =
+  let a = Dep_vector.create ~n and b = Dep_vector.create ~n in
+  for j = 0 to n - 1 do
+    if j mod 2 = 0 then Dep_vector.set a j (Some (e ~inc:(j mod 3) ~sii:j));
+    if j mod 3 = 0 then Dep_vector.set b j (Some (e ~inc:(j mod 2) ~sii:(j + 1)))
+  done;
+  (a, b)
+
+let bench_merge n =
+  let a, b = vector_pair n in
+  Bechamel.Test.make
+    ~name:(Fmt.str "B1 dep_vector.merge_max n=%d" n)
+    (Bechamel.Staged.stage (fun () ->
+         let into = Dep_vector.copy a in
+         Dep_vector.merge_max ~into b))
+
+let bench_elide n =
+  let a, _ = vector_pair n in
+  let stable j (x : Entry.t) = (j + x.sii) mod 2 = 0 in
+  Bechamel.Test.make
+    ~name:(Fmt.str "B2 dep_vector.elide_stable n=%d" n)
+    (Bechamel.Staged.stage (fun () ->
+         let v = Dep_vector.copy a in
+         ignore (Dep_vector.elide_stable v ~stable : int)))
+
+let bench_entry_set () =
+  let set =
+    Entry_set.of_entries (List.init 6 (fun i -> e ~inc:i ~sii:(10 * (i + 1))))
+  in
+  Bechamel.Test.make ~name:"B3 entry_set insert+covers+orphans"
+    (Bechamel.Staged.stage (fun () ->
+         let set = Entry_set.insert set (e ~inc:3 ~sii:37) in
+         ignore (Entry_set.covers set (e ~inc:3 ~sii:35) : bool);
+         ignore (Entry_set.orphans set (e ~inc:2 ~sii:25) : bool)))
+
+let bench_node_step () =
+  (* Cost of one full protocol step: receive -> deliver -> send release. *)
+  let config = Config.k_optimistic ~n:8 ~k:4 () in
+  Bechamel.Test.make ~name:"B4 node: deliver+release step (x16)"
+    (Bechamel.Staged.stage (fun () ->
+         let trace = Recovery.Trace.create () in
+         let node = Node.create ~config ~pid:0 ~app:App_model.Counter_app.app ~trace in
+         for seq = 1 to 16 do
+           ignore
+             (Node.inject node ~now:(float_of_int seq) ~seq
+                (App_model.Counter_app.Forward { dst = 1; amount = seq }))
+         done))
+
+let bench_crash_recovery () =
+  let config = Config.k_optimistic ~n:8 ~k:4 () in
+  Bechamel.Test.make ~name:"B5 node: crash + replay of 32 deliveries"
+    (Bechamel.Staged.stage (fun () ->
+         let trace = Recovery.Trace.create () in
+         let node = Node.create ~config ~pid:0 ~app:App_model.Counter_app.app ~trace in
+         for seq = 1 to 32 do
+           ignore
+             (Node.inject node ~now:(float_of_int seq) ~seq (App_model.Counter_app.Add seq))
+         done;
+         ignore (Node.flush node ~now:40.);
+         Node.crash node ~now:41.;
+         ignore (Node.restart node ~now:42.)))
+
+let oracle_trace =
+  lazy
+    (let config = Config.k_optimistic ~n:6 ~k:2 () in
+     let cluster =
+       Harness.Cluster.create ~config ~app:App_model.Telecom_app.app ~seed:3
+         ~horizon:2000. ()
+     in
+     let rng = Sim.Rng.create 5 in
+     Harness.Workload.telecom cluster ~rng ~calls:40 ~hops:3 ~start:10. ~rate:2.;
+     Harness.Cluster.crash_at cluster ~time:30. ~pid:2;
+     Harness.Cluster.run cluster;
+     Harness.Cluster.trace cluster)
+
+let bench_oracle () =
+  let trace = Lazy.force oracle_trace in
+  Bechamel.Test.make ~name:"B6 oracle: full causality check of a run"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Harness.Oracle.check ~k:2 ~n:6 trace : Harness.Oracle.report)))
+
+let micro_tests () =
+  [
+    bench_merge 8;
+    bench_merge 32;
+    bench_elide 32;
+    bench_entry_set ();
+    bench_node_step ();
+    bench_crash_recovery ();
+    bench_oracle ();
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  Fmt.pr "== Micro-benchmarks (Bechamel, ns/run) ==@.";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Fmt.str "%12.1f ns/run" est
+            | Some _ | None -> "n/a"
+          in
+          Fmt.pr "%-45s %s@." name estimate)
+        results)
+    (micro_tests ());
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+
+let run_macro () = List.iter Harness.Report.print (Harness.Experiments.all ())
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match mode with
+  | "micro" -> run_micro ()
+  | "macro" -> run_macro ()
+  | _ ->
+    run_macro ();
+    run_micro ()

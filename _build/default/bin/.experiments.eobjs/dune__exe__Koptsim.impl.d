@@ -1,0 +1,1 @@
+bin/koptsim.ml: App_model Arg Cmd Cmdliner Fmt Harness Recovery Sim Stdlib Term

@@ -1,0 +1,52 @@
+(* Experiment runner: regenerates each table of EXPERIMENTS.md.
+
+     dune exec bin/experiments.exe -- list
+     dune exec bin/experiments.exe -- run overhead_vs_k
+     dune exec bin/experiments.exe -- run --all
+*)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List available experiments." in
+  let run () =
+    List.iter print_endline Harness.Experiments.names;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run one experiment (or --all) and print its table." in
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Run every experiment in order.")
+  in
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment names.")
+  in
+  let run all names =
+    if all then begin
+      List.iter Harness.Report.print (Harness.Experiments.all ());
+      0
+    end
+    else if names = [] then begin
+      prerr_endline "no experiment given; try `list` or `run --all`";
+      2
+    end
+    else
+      List.fold_left
+        (fun code name ->
+          match Harness.Experiments.by_name name with
+          | Some f ->
+            Harness.Report.print (f ());
+            code
+          | None ->
+            Fmt.epr "unknown experiment %S (see `list`)@." name;
+            2)
+        0 names
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ all $ names)
+
+let () =
+  let doc = "K-optimistic logging experiment suite (ICDCS '97 reproduction)" in
+  let info = Cmd.info "experiments" ~version:"1.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd ]))

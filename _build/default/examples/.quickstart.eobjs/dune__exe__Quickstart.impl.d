@@ -1,0 +1,1 @@
+examples/quickstart.ml: App_model Array Depend Fmt Harness List Recovery

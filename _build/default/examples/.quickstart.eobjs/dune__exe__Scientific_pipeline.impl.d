@@ -1,0 +1,1 @@
+examples/scientific_pipeline.ml: App_model Array Float Fmt Harness List Recovery

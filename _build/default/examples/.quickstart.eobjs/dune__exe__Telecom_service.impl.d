@@ -1,0 +1,1 @@
+examples/telecom_service.ml: App_model Fmt Harness Recovery Sim

@@ -1,0 +1,1 @@
+examples/threaded_service.ml: App_model Fmt Fun Harness List Recovery Runtime

@@ -1,0 +1,1 @@
+examples/tuning_k.ml: App_model Fmt Harness List Recovery Sim

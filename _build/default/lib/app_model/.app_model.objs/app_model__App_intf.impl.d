@@ -1,0 +1,1 @@
+lib/app_model/app_intf.ml: Fmt

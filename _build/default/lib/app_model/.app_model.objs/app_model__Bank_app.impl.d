@@ -1,0 +1,1 @@
+lib/app_model/bank_app.ml: App_intf Fmt Hashing Int Map Option

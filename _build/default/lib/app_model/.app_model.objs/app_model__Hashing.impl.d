@@ -1,0 +1,1 @@
+lib/app_model/hashing.ml: Char String

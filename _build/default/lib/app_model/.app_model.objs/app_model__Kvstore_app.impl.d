@@ -1,0 +1,1 @@
+lib/app_model/kvstore_app.ml: App_intf Fmt Hashing Map String

@@ -1,0 +1,1 @@
+lib/app_model/pipeline_app.ml: App_intf Fmt Hashing

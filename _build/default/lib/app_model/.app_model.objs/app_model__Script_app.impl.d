@@ -1,0 +1,1 @@
+lib/app_model/script_app.ml: App_intf Fmt Hashing Hashtbl List

@@ -1,0 +1,1 @@
+lib/app_model/telecom_app.ml: App_intf Fmt Hashing Int List Set Stdlib

@@ -1,0 +1,39 @@
+(** The piecewise-deterministic (PWD) application contract.
+
+    The paper's execution model: "process execution is divided into a
+    sequence of state intervals each of which is started by a
+    nondeterministic event such as message receipt.  The execution within an
+    interval is completely deterministic."  An application is therefore a
+    pure transition function: delivering a message to a state yields the
+    next state plus a list of effects (message sends and outputs to the
+    outside world).  Recovery replays exactly this function, so determinism
+    is a correctness requirement — the test suite checks it by comparing
+    state digests across replays. *)
+
+type 'msg effect =
+  | Send of { dst : int; msg : 'msg; k : int option }
+      (** Send [msg] to process [dst].  [k], when given, overrides the
+          system-wide degree of optimism for this message ("different values
+          of K can in fact be applied to different messages in the same
+          system", Section 4.2). *)
+  | Output of string
+      (** Output to the outside world; committed only when every interval it
+          depends on is stable (the output-commit problem, Section 2). *)
+
+type ('state, 'msg) t = {
+  name : string;
+  init : pid:int -> n:int -> 'state;
+      (** Initial state of process [pid] in an [n]-process system. *)
+  handle : pid:int -> n:int -> 'state -> src:int -> 'msg -> 'state * 'msg effect list;
+      (** Deterministic transition on message delivery.  [src] is the sending
+          process, or {!outside_world} for client/injected messages. *)
+  digest : 'state -> int;
+      (** Deterministic fingerprint of a state, used to verify replay. *)
+  pp_msg : 'msg Fmt.t;
+}
+
+let outside_world = -1
+
+let send ?k dst msg = Send { dst; msg; k }
+
+let output s = Output s

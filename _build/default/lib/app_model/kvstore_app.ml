@@ -1,0 +1,78 @@
+(** A replicated key-value store.
+
+    Keys are owned by [hash key mod n]; a [Put] arriving anywhere is routed
+    to the owner, which applies it and replicates to the next process.  Reads
+    are answered with an output.  This exercises multi-hop causal chains —
+    the structure under which optimistic logging's rollback propagation is
+    interesting. *)
+
+module Str_map = Map.Make (String)
+
+type msg =
+  | Put of { key : string; value : int }
+  | Replica of { key : string; value : int; version : int }
+  | Get of string
+
+type state = {
+  pid : int;
+  store : (int * int) Str_map.t; (* key -> (value, version) *)
+  puts : int;
+}
+
+let owner ~n key = Hashing.string key mod n
+
+let pp_msg ppf = function
+  | Put { key; value } -> Fmt.pf ppf "Put %s=%d" key value
+  | Replica { key; value; version } -> Fmt.pf ppf "Replica %s=%d v%d" key value version
+  | Get key -> Fmt.pf ppf "Get %s" key
+
+let lookup state key = Str_map.find_opt key state.store
+
+let apply state key value version =
+  { state with store = Str_map.add key (value, version) state.store }
+
+let app : (state, msg) App_intf.t =
+  {
+    name = "kvstore";
+    init = (fun ~pid ~n:_ -> { pid; store = Str_map.empty; puts = 0 });
+    handle =
+      (fun ~pid ~n state ~src:_ msg ->
+        match msg with
+        | Put { key; value } ->
+          let o = owner ~n key in
+          if o <> pid then (state, [ App_intf.send o (Put { key; value }) ])
+          else begin
+            let version =
+              match lookup state key with None -> 1 | Some (_, v) -> v + 1
+            in
+            let state = apply { state with puts = state.puts + 1 } key value version in
+            let replica_holder = (pid + 1) mod n in
+            let effects =
+              if replica_holder = pid then []
+              else [ App_intf.send replica_holder (Replica { key; value; version }) ]
+            in
+            (state, effects)
+          end
+        | Replica { key; value; version } ->
+          let newer =
+            match lookup state key with
+            | None -> true
+            | Some (_, v) -> version > v
+          in
+          ((if newer then apply state key value version else state), [])
+        | Get key ->
+          let answer =
+            match lookup state key with
+            | None -> Fmt.str "get %s -> none" key
+            | Some (value, version) -> Fmt.str "get %s -> %d (v%d)" key value version
+          in
+          (state, [ App_intf.output answer ]));
+    digest =
+      (fun s ->
+        Str_map.fold
+          (fun key (value, version) h ->
+            Hashing.mix (Hashing.mix (Hashing.mix h (Hashing.string key)) value) version)
+          s.store
+          (Hashing.pair s.pid s.puts));
+    pp_msg;
+  }

@@ -1,0 +1,1 @@
+lib/depend/dep_vector.ml: Array Entry Fmt List

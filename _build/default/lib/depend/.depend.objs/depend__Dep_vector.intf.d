@@ -1,0 +1,1 @@
+lib/depend/dep_vector.mli: Entry Fmt

@@ -1,0 +1,1 @@
+lib/depend/entry.ml: Fmt Int

@@ -1,0 +1,1 @@
+lib/depend/entry.mli: Fmt

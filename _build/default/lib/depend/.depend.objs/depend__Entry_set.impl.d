@@ -1,0 +1,1 @@
+lib/depend/entry_set.ml: Entry Fmt Int List Map Stdlib

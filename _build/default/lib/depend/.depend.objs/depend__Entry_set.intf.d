@@ -1,0 +1,1 @@
+lib/depend/entry_set.mli: Entry Fmt

@@ -1,0 +1,1 @@
+lib/depend/multi_dep.ml: Array Entry Entry_set Fmt List

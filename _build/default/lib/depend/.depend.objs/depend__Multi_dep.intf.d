@@ -1,0 +1,1 @@
+lib/depend/multi_dep.mli: Entry Entry_set Fmt

@@ -1,0 +1,1 @@
+lib/harness/cluster.ml: App_model Array List Netmodel Recovery Sim Stdlib

@@ -1,0 +1,1 @@
+lib/harness/cluster.mli: App_model Netmodel Recovery Sim

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: App_model Array Cluster Figure1 Fmt List Oracle Recovery Report Sim Stdlib Workload

@@ -1,0 +1,1 @@
+lib/harness/figure1.ml: App_model Cluster Dep_vector Depend Entry Fmt List Oracle Recovery

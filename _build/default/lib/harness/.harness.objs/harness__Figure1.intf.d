@@ -1,0 +1,1 @@
+lib/harness/figure1.mli: Format Oracle Recovery

@@ -1,0 +1,1 @@
+lib/harness/netmodel.ml: Array Hashtbl List Option Recovery Sim Stdlib String

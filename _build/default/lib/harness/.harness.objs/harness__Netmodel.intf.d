@@ -1,0 +1,1 @@
+lib/harness/netmodel.mli: Recovery Sim

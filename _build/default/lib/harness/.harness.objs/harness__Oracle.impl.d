@@ -1,0 +1,1 @@
+lib/harness/oracle.ml: Array Depend Entry Fmt Hashtbl List Multi_dep Option Recovery

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Float Fmt List Sim Stdlib String

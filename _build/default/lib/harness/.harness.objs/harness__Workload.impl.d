@@ -1,0 +1,1 @@
+lib/harness/workload.ml: App_model Cluster Fmt Sim Stdlib

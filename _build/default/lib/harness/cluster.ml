@@ -1,0 +1,340 @@
+module Node = Recovery.Node
+module Wire = Recovery.Wire
+module Config = Recovery.Config
+
+type timer_kind = Flush_timer | Checkpoint_timer | Notice_timer
+
+type 'msg event =
+  | Packet of { src : int; dst : int; packet : 'msg Wire.packet }
+  | Timer of { pid : int; kind : timer_kind; periodic : bool }
+  | Inject of { dst : int; payload : 'msg; seq : int; retry : bool }
+  | Perform of { pid : int; effects : 'msg App_model.App_intf.effect list }
+  | Crash of int
+  | Restart of int
+
+type ('state, 'msg) t = {
+  cfg : Config.t;
+  nodes : ('state, 'msg) Node.t array;
+  queue : 'msg event Sim.Event_queue.t;
+  net : Netmodel.t;
+  trace_ : Recovery.Trace.t;
+  horizon : float;
+  mutable now : float;
+  next_free : float array;
+  down : bool array;
+  mutable held : (int * int * 'msg Wire.packet) list;
+      (* packets addressed to down nodes: (src, dst, packet), oldest last *)
+  mutable inject_seq : int;
+  mutable client_log : (int * int * 'msg) list; (* seq, dst, payload *)
+  mutable busy_time : float;
+}
+
+let n t = Array.length t.nodes
+
+let now t = t.now
+
+let node t pid = t.nodes.(pid)
+
+let nodes t = t.nodes
+
+let trace t = t.trace_
+
+let config t = t.cfg
+
+let period t = function
+  | Flush_timer -> t.cfg.Config.timing.flush_interval
+  | Checkpoint_timer -> t.cfg.Config.timing.checkpoint_interval
+  | Notice_timer -> t.cfg.Config.timing.notice_interval
+
+let schedule t ~time ev = Sim.Event_queue.schedule t.queue ~time ev
+
+let entries_of_packet = function
+  | Wire.App m -> List.length m.Wire.dep
+  | Wire.Notice notice -> Wire.notice_entry_count notice
+  | Wire.Dep_query { intervals; _ } -> List.length intervals
+  | Wire.Dep_reply { infos; _ } -> List.length infos
+  | Wire.Ann _ | Wire.Ack _ | Wire.Flush_request _ -> 0
+
+let send_packet t ~src ~dst packet =
+  let arrival =
+    Netmodel.transit t.net ~now:t.now ~src ~dst ~kind:(Wire.packet_kind packet)
+      ~entries:(entries_of_packet packet)
+  in
+  schedule t ~time:arrival (Packet { src; dst; packet })
+
+let dispatch_actions t ~src actions =
+  List.iter
+    (function
+      | Node.Unicast { dst; packet } -> send_packet t ~src ~dst packet
+      | Node.Broadcast packet ->
+        for dst = 0 to Array.length t.nodes - 1 do
+          if dst <> src then send_packet t ~src ~dst packet
+        done)
+    actions
+
+let cost_time t (c : Node.cost) =
+  let tm = t.cfg.Config.timing in
+  (float_of_int c.deliveries *. tm.t_proc)
+  +. (float_of_int c.replays *. tm.t_replay)
+  +. (float_of_int c.sync_writes *. tm.t_sync_write)
+  +. (float_of_int c.checkpoints *. tm.t_checkpoint)
+
+let consume t ~pid (actions, cost) =
+  let busy = cost_time t cost in
+  t.busy_time <- t.busy_time +. busy;
+  t.next_free.(pid) <- Stdlib.max t.next_free.(pid) t.now +. busy;
+  dispatch_actions t ~src:pid actions
+
+(* The outside world reacts to failure announcements like any good client
+   library: it retries the requests it sent to the failed process.  The
+   node's duplicate suppression keeps retries idempotent; requests whose
+   delivery was lost with the volatile log are thereby recovered (footnote 3
+   of the paper leaves in-transit/lost messages to the senders, and the
+   outside world is a sender too). *)
+let client_retransmit t ~pid =
+  List.iter
+    (fun (seq, dst, payload) ->
+      if dst = pid then
+        schedule t
+          ~time:(t.now +. t.cfg.Config.timing.net_latency)
+          (Inject { dst; payload; seq; retry = true }))
+    (List.rev t.client_log)
+
+let rearm t ~pid kind =
+  match period t kind with
+  | Some p -> schedule t ~time:(t.now +. p) (Timer { pid; kind; periodic = true })
+  | None -> ()
+
+let fire_timer t ~pid kind =
+  let node = t.nodes.(pid) in
+  if Node.is_up node then begin
+    match kind with
+    | Flush_timer -> consume t ~pid (Node.flush node ~now:t.now)
+    | Checkpoint_timer -> consume t ~pid (Node.checkpoint node ~now:t.now)
+    | Notice_timer -> consume t ~pid (Node.broadcast_notice node ~now:t.now)
+  end
+
+let release_held t ~pid =
+  let mine, others = List.partition (fun (_, dst, _) -> dst = pid) t.held in
+  t.held <- others;
+  List.iteri
+    (fun i (src, dst, packet) ->
+      schedule t ~time:(t.now +. (0.001 *. float_of_int (i + 1))) (Packet { src; dst; packet }))
+    (List.rev mine)
+
+let handle_event t = function
+  | Packet { src; dst; packet } ->
+    if t.down.(dst) then t.held <- (src, dst, packet) :: t.held
+    else begin
+      let ann_from =
+        match packet with
+        | Wire.Ann ann when ann.Wire.failure -> Some ann.Wire.from_
+        | Wire.Ann _ | Wire.App _ | Wire.Notice _ | Wire.Ack _ | Wire.Flush_request _
+        | Wire.Dep_query _ | Wire.Dep_reply _ ->
+          None
+      in
+      consume t ~pid:dst (Node.handle_packet t.nodes.(dst) ~now:t.now packet);
+      (* The outside world hears failure announcements too (dst-local
+         observation is enough: every node receives the broadcast, and the
+         retransmission is idempotent, so trigger it once — when the lowest
+         live pid processes it). *)
+      match ann_from with
+      | Some failed when dst = (if failed = 0 then 1 else 0) -> client_retransmit t ~pid:failed
+      | Some _ | None -> ()
+    end
+  | Timer { pid; kind; periodic } ->
+    fire_timer t ~pid kind;
+    if periodic then rearm t ~pid kind
+  | Inject { dst; payload; seq; retry } ->
+    if t.down.(dst) then
+      (* client retries later, like a TCP connect to a rebooting host *)
+      schedule t
+        ~time:(t.now +. t.cfg.Config.timing.restart_delay)
+        (Inject { dst; payload; seq; retry })
+    else begin
+      if not retry then t.client_log <- (seq, dst, payload) :: t.client_log;
+      consume t ~pid:dst (Node.inject t.nodes.(dst) ~now:t.now ~seq payload)
+    end
+  | Perform { pid; effects } ->
+    if not t.down.(pid) then
+      consume t ~pid (Node.perform t.nodes.(pid) ~now:t.now effects)
+  | Crash pid ->
+    if not t.down.(pid) then begin
+      t.down.(pid) <- true;
+      Node.crash t.nodes.(pid) ~now:t.now;
+      t.next_free.(pid) <- t.now;
+      schedule t ~time:(t.now +. t.cfg.Config.timing.restart_delay) (Restart pid)
+    end
+  | Restart pid ->
+    t.down.(pid) <- false;
+    consume t ~pid (Node.restart t.nodes.(pid) ~now:t.now);
+    release_held t ~pid
+
+let busy_gate t ev_time pid =
+  (* A node processes one event at a time; arrivals during busy periods are
+     deferred to the moment it frees up. *)
+  if t.next_free.(pid) > ev_time +. 1e-12 then Some t.next_free.(pid) else None
+
+let event_pid = function
+  | Packet { dst; _ } -> Some dst
+  | Timer { pid; _ } -> Some pid
+  | Inject { dst; _ } -> Some dst
+  | Perform { pid; _ } -> Some pid
+  | Crash _ | Restart _ -> None (* crashes preempt; restarts are external *)
+
+let step t =
+  match Sim.Event_queue.next t.queue with
+  | None -> false
+  | Some (time, ev) ->
+    if time > t.horizon then false
+    else begin
+      t.now <- Stdlib.max t.now time;
+      (match event_pid ev with
+      | Some pid when not (t.down.(pid)) -> (
+        match busy_gate t time pid with
+        | Some free_at -> schedule t ~time:free_at ev
+        | None -> handle_event t ev)
+      | Some _ | None -> handle_event t ev);
+      true
+    end
+
+let run t = while step t do () done
+
+let run_until t deadline =
+  let continue = ref true in
+  while
+    !continue
+    &&
+    match Sim.Event_queue.peek_time t.queue with
+    | Some tm when tm < deadline -> true
+    | Some _ | None -> false
+  do
+    continue := step t
+  done;
+  t.now <- Stdlib.max t.now deadline
+
+let create ~config ~app ?(seed = 42) ?(horizon = 10_000.) ?net_override
+    ?(auto_timers = true) () =
+  let config = Config.validate_exn config in
+  let n = config.Config.n in
+  let rng = Sim.Rng.create seed in
+  let trace_ = Recovery.Trace.create () in
+  let nodes =
+    Array.init n (fun pid -> Node.create ~config ~pid ~app ~trace:trace_)
+  in
+  let t =
+    {
+      cfg = config;
+      nodes;
+      queue = Sim.Event_queue.create ();
+      net = Netmodel.create ~n ~timing:config.Config.timing ~rng:(Sim.Rng.split rng) ?override:net_override ();
+      trace_;
+      horizon;
+      now = 0.;
+      next_free = Array.make n 0.;
+      down = Array.make n false;
+      held = [];
+      inject_seq = 0;
+      client_log = [];
+      busy_time = 0.;
+    }
+  in
+  if auto_timers then
+    Array.iteri
+      (fun pid _ ->
+        let stagger kind idx =
+          match period t kind with
+          | None -> ()
+          | Some p ->
+            (* Spread first firings so the cluster does not flush in
+               lockstep. *)
+            let phase = p *. (float_of_int (pid + 1) /. float_of_int (n + 1)) in
+            ignore idx;
+            schedule t ~time:phase (Timer { pid; kind; periodic = true })
+        in
+        stagger Flush_timer 0;
+        stagger Checkpoint_timer 1;
+        stagger Notice_timer 2)
+      nodes;
+  t
+
+let inject_at t ~time ~dst payload =
+  let seq = t.inject_seq + 1 in
+  t.inject_seq <- seq;
+  schedule t ~time (Inject { dst; payload; seq; retry = false })
+
+let crash_at t ~time ~pid = schedule t ~time (Crash pid)
+
+let perform_at t ~time ~pid effects = schedule t ~time (Perform { pid; effects })
+
+let flush_at t ~time ~pid =
+  schedule t ~time (Timer { pid; kind = Flush_timer; periodic = false })
+
+let checkpoint_at t ~time ~pid =
+  schedule t ~time (Timer { pid; kind = Checkpoint_timer; periodic = false })
+
+let notice_at t ~time ~pid =
+  schedule t ~time (Timer { pid; kind = Notice_timer; periodic = false })
+
+type stats = {
+  makespan : float;
+  deliveries : int;
+  releases : int;
+  sends : int;
+  sync_writes : int;
+  flushes : int;
+  blocked_time : Sim.Summary.t;
+  wire_vector_size : Sim.Summary.t;
+  release_dep_entries : Sim.Summary.t;
+  delivery_delay : Sim.Summary.t;
+  output_latency : Sim.Summary.t;
+  outputs_committed : int;
+  orphans_discarded : int;
+  duplicates_dropped : int;
+  induced_rollbacks : int;
+  restarts : int;
+  undone_intervals : int;
+  lost_intervals : int;
+  replayed : int;
+  retransmissions : int;
+  announcements : int;
+  notices : int;
+  packets : (string * int) list;
+  piggyback_entries : int;
+  busy_time : float;
+}
+
+let stats t =
+  let ms = Array.to_list (Array.map Node.metrics t.nodes) in
+  let sum f = List.fold_left (fun acc m -> acc + f m) 0 ms in
+  let merge f =
+    List.fold_left (fun acc m -> Sim.Summary.merge acc (f m)) (Sim.Summary.create ()) ms
+  in
+  {
+    makespan = t.now;
+    deliveries = sum (fun m -> m.Recovery.Metrics.deliveries);
+    releases = sum (fun m -> m.Recovery.Metrics.releases);
+    sends = sum (fun m -> m.Recovery.Metrics.sends);
+    sync_writes =
+      Array.fold_left (fun acc nd -> acc + Node.sync_writes nd) 0 t.nodes;
+    flushes = Array.fold_left (fun acc nd -> acc + Node.flushes nd) 0 t.nodes;
+    blocked_time = merge (fun m -> m.Recovery.Metrics.blocked_time);
+    wire_vector_size = merge (fun m -> m.Recovery.Metrics.wire_vector_size);
+    release_dep_entries = merge (fun m -> m.Recovery.Metrics.release_dep_entries);
+    delivery_delay = merge (fun m -> m.Recovery.Metrics.delivery_delay);
+    output_latency = merge (fun m -> m.Recovery.Metrics.output_latency);
+    outputs_committed = sum (fun m -> m.Recovery.Metrics.outputs_committed);
+    orphans_discarded = sum (fun m -> m.Recovery.Metrics.orphans_discarded);
+    duplicates_dropped = sum (fun m -> m.Recovery.Metrics.duplicates_dropped);
+    induced_rollbacks = sum (fun m -> m.Recovery.Metrics.induced_rollbacks);
+    restarts = sum (fun m -> m.Recovery.Metrics.restarts);
+    undone_intervals = sum (fun m -> m.Recovery.Metrics.undone_intervals);
+    lost_intervals = sum (fun m -> m.Recovery.Metrics.lost_intervals);
+    replayed = sum (fun m -> m.Recovery.Metrics.replayed);
+    retransmissions = sum (fun m -> m.Recovery.Metrics.retransmissions);
+    announcements = sum (fun m -> m.Recovery.Metrics.announcements_sent);
+    notices = sum (fun m -> m.Recovery.Metrics.notices);
+    packets = Netmodel.packets_sent t.net;
+    piggyback_entries = Netmodel.entries_carried t.net;
+    busy_time = t.busy_time;
+  }

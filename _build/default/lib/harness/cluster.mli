@@ -1,0 +1,103 @@
+(** Discrete-event simulation of an N-process recovery cluster.
+
+    Owns the nodes, the event queue, the network model, the periodic timers
+    (flush, checkpoint, logging-progress notices), failure injection and the
+    outside world (client injections plus their retransmission on failure
+    announcements).  Time advances only through the cost model: application
+    processing, synchronous stable writes, replay and checkpoint work all
+    consume simulated time on the node that performs them, so makespan and
+    latency measurements reflect protocol overhead. *)
+
+type ('state, 'msg) t
+
+val create :
+  config:Recovery.Config.t ->
+  app:('state, 'msg) App_model.App_intf.t ->
+  ?seed:int ->
+  ?horizon:float ->
+  ?net_override:Netmodel.override ->
+  ?auto_timers:bool ->
+  unit ->
+  ('state, 'msg) t
+(** [auto_timers] (default [true]) arms the periodic flush / checkpoint /
+    notice timers from the configured intervals; scripted scenarios turn it
+    off and drive those actions explicitly.  [horizon] (default 10000 time
+    units) bounds the run — periodic timers re-arm forever, so a finite
+    horizon is what terminates [run]. *)
+
+(** {1 Scheduling inputs} *)
+
+val inject_at : ('state, 'msg) t -> time:float -> dst:int -> 'msg -> unit
+(** Client message from the outside world. *)
+
+val crash_at : ('state, 'msg) t -> time:float -> pid:int -> unit
+(** Fail-stop crash; the node restarts [restart_delay] later. *)
+
+val perform_at :
+  ('state, 'msg) t ->
+  time:float ->
+  pid:int ->
+  'msg App_model.App_intf.effect list ->
+  unit
+(** Execute application effects within the node's current interval (see
+    {!Recovery.Node.perform}); used by scripted scenarios. *)
+
+val flush_at : ('state, 'msg) t -> time:float -> pid:int -> unit
+
+val checkpoint_at : ('state, 'msg) t -> time:float -> pid:int -> unit
+
+val notice_at : ('state, 'msg) t -> time:float -> pid:int -> unit
+
+(** {1 Running} *)
+
+val run : ('state, 'msg) t -> unit
+(** Process events until the queue is empty or the horizon is reached. *)
+
+val run_until : ('state, 'msg) t -> float -> unit
+(** Process every event scheduled strictly before the given time. *)
+
+(** {1 Inspection} *)
+
+val n : ('state, 'msg) t -> int
+
+val now : ('state, 'msg) t -> float
+
+val node : ('state, 'msg) t -> int -> ('state, 'msg) Recovery.Node.t
+
+val nodes : ('state, 'msg) t -> ('state, 'msg) Recovery.Node.t array
+
+val trace : ('state, 'msg) t -> Recovery.Trace.t
+
+val config : ('state, 'msg) t -> Recovery.Config.t
+
+(** Aggregate run statistics (sums / merges over all nodes plus network
+    accounting). *)
+type stats = {
+  makespan : float;  (** time of the last processed event *)
+  deliveries : int;
+  releases : int;
+  sends : int;
+  sync_writes : int;
+  flushes : int;
+  blocked_time : Sim.Summary.t;
+  wire_vector_size : Sim.Summary.t;
+  release_dep_entries : Sim.Summary.t;
+  delivery_delay : Sim.Summary.t;
+  output_latency : Sim.Summary.t;
+  outputs_committed : int;
+  orphans_discarded : int;
+  duplicates_dropped : int;
+  induced_rollbacks : int;
+  restarts : int;
+  undone_intervals : int;
+  lost_intervals : int;
+  replayed : int;
+  retransmissions : int;
+  announcements : int;
+  notices : int;
+  packets : (string * int) list;
+  piggyback_entries : int;
+  busy_time : float;  (** total node busy time (work-weighted overhead) *)
+}
+
+val stats : ('state, 'msg) t -> stats

@@ -1,0 +1,65 @@
+(** The experiment suite.
+
+    One generator per table in EXPERIMENTS.md.  The paper's evaluation
+    artifacts are its worked example (Figure 1), its protocol (Figures 2–3,
+    exercised by the test suite) and its qualitative claims about the
+    overhead/recovery tradeoff; each generator regenerates one of those as
+    a measured table.  All experiments are deterministic given their seeds.
+
+    Every generator also runs the causality oracle on its runs and raises
+    [Failure] if a protocol-correctness violation is detected, so the
+    numbers in a printed table are guaranteed to come from a correct
+    execution. *)
+
+val figure1 : unit -> Report.t
+(** F1: prose facts of the Figure 1 example, for both delivery rules. *)
+
+val theorems : ?seeds:int list -> unit -> Report.t
+(** T1/T2/T4: for each K, run a failure-heavy workload and report the
+    oracle's verdicts — zero violations and max observed risk [<= K]. *)
+
+val overhead_vs_k : ?n:int -> ?seeds:int list -> unit -> Report.t
+(** E1: failure-free overhead as a function of K — send-buffer blocking,
+    piggyback size, synchronous writes, output latency, makespan. *)
+
+val recovery_vs_k : ?n:int -> ?seeds:int list -> unit -> Report.t
+(** E2: recovery efficiency as a function of K under crash injection —
+    induced rollbacks, undone intervals, orphans, replay and
+    retransmission work. *)
+
+val vector_scalability : ?seeds:int list -> unit -> Report.t
+(** E3: piggybacked vector size versus system size N, commit dependency
+    tracking against the fixed size-N vector. *)
+
+val preset_comparison : ?n:int -> ?seeds:int list -> unit -> Report.t
+(** E4: pessimistic / K-optimistic / optimistic / Strom–Yemini /
+    Damani–Garg side by side on the same workload with failures. *)
+
+val output_commit : ?n:int -> ?seeds:int list -> unit -> Report.t
+(** E5: output-commit latency versus K, logging-progress notification
+    period, and output-driven logging. *)
+
+val ablation : ?n:int -> ?seeds:int list -> unit -> Report.t
+(** E6: the paper's three improvements toggled one at a time — Theorem 1
+    (announcements), Theorem 2 (vector entries), Corollary 1 (delivery
+    delays). *)
+
+val sensitivity : ?n:int -> ?seeds:int list -> unit -> Report.t
+(** E7: flush and checkpoint interval sensitivity at fixed K. *)
+
+val gc_footprint : ?n:int -> ?seeds:int list -> unit -> Report.t
+(** E8: storage footprint with and without log garbage collection (an
+    extension: the paper attributes GC to accumulated logging progress but
+    gives no procedure; see DESIGN.md §5a). *)
+
+val tracking_comparison : ?n:int -> ?seeds:int list -> unit -> Report.t
+(** E9: transitive vectors vs direct dependency tracking (Section 5's
+    related-work tradeoff): wire overhead against commit-time assembly
+    traffic.  Failure-free (see DESIGN.md on direct-tracking recovery). *)
+
+val all : unit -> Report.t list
+(** Every table, in EXPERIMENTS.md order. *)
+
+val by_name : string -> (unit -> Report.t) option
+
+val names : string list

@@ -1,0 +1,53 @@
+type override = src:int -> dst:int -> packet_kind:string -> float option
+
+type t = {
+  timing : Recovery.Config.timing;
+  rng : Sim.Rng.t;
+  override : override option;
+  channel_last : float array array; (* last scheduled arrival per (src,dst) *)
+  counts : (string, int) Hashtbl.t;
+  mutable entries : int;
+}
+
+let create ~n ~timing ~rng ?override () =
+  {
+    timing;
+    rng;
+    override;
+    channel_last = Array.make_matrix (n + 1) (n + 1) 0.;
+    counts = Hashtbl.create 8;
+    entries = 0;
+  }
+
+let transit t ~now ~src ~dst ~kind ~entries =
+  Hashtbl.replace t.counts kind (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts kind));
+  t.entries <- t.entries + entries;
+  let tm = t.timing in
+  let delay =
+    match t.override with
+    | Some f -> (
+      match f ~src ~dst ~packet_kind:kind with
+      | Some d -> d
+      | None ->
+        tm.net_latency
+        +. Sim.Rng.float t.rng (Stdlib.max 1e-9 tm.net_jitter)
+        +. (float_of_int entries *. tm.per_entry_overhead))
+    | None ->
+      tm.net_latency
+      +. Sim.Rng.float t.rng (Stdlib.max 1e-9 tm.net_jitter)
+      +. (float_of_int entries *. tm.per_entry_overhead)
+  in
+  let arrival = now +. Stdlib.max 0. delay in
+  if tm.fifo && src >= 0 && dst >= 0 then begin
+    let last = t.channel_last.(src).(dst) in
+    let arrival = Stdlib.max arrival (last +. 1e-9) in
+    t.channel_last.(src).(dst) <- arrival;
+    arrival
+  end
+  else arrival
+
+let packets_sent t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let entries_carried t = t.entries

@@ -1,0 +1,33 @@
+(** Network timing model.
+
+    Computes per-packet transit times: a base latency, uniform jitter, a
+    per-piggyback-entry serialization cost (this is how dependency-vector
+    size turns into failure-free overhead), and optional FIFO enforcement
+    per channel (Strom & Yemini assume FIFO; the K-optimistic protocol does
+    not need it).  An override hook lets scripted scenarios (Figure 1) pin
+    exact arrival orders. *)
+
+type override = src:int -> dst:int -> packet_kind:string -> float option
+(** Returns the full transit time for a packet, or [None] to use the model. *)
+
+type t
+
+val create :
+  n:int ->
+  timing:Recovery.Config.timing ->
+  rng:Sim.Rng.t ->
+  ?override:override ->
+  unit ->
+  t
+
+val transit :
+  t -> now:float -> src:int -> dst:int -> kind:string -> entries:int -> float
+(** Absolute arrival time for a packet handed to the network at [now].
+    Guaranteed [>= now]; with FIFO enabled, also no earlier than the last
+    arrival scheduled on the same (src, dst) channel. *)
+
+val packets_sent : t -> (string * int) list
+(** Packet counts by kind, for traffic accounting. *)
+
+val entries_carried : t -> int
+(** Total piggybacked dependency entries carried by all packets. *)

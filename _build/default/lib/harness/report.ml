@@ -1,0 +1,48 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* newest first *)
+  mutable notes : string list; (* newest first *)
+}
+
+let create ~title ~columns = { title; columns; rows = []; notes = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Fmt.str "Report.add_row: %d cells for %d columns in %S" (List.length row)
+         (List.length t.columns) t.title);
+  t.rows <- row :: t.rows
+
+let note t s = t.notes <- s :: t.notes
+
+let widths t =
+  let all = t.columns :: List.rev t.rows in
+  List.fold_left
+    (fun acc row -> List.map2 (fun w cell -> Stdlib.max w (String.length cell)) acc row)
+    (List.map String.length t.columns)
+    (List.tl all)
+
+let pad width s = s ^ String.make (width - String.length s) ' '
+
+let pp ppf t =
+  let widths = widths t in
+  let line row = String.concat "  " (List.map2 pad widths row) in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  Fmt.pf ppf "== %s ==@\n%s@\n%s" t.title (line t.columns) rule;
+  List.iter (fun row -> Fmt.pf ppf "@\n%s" (line row)) (List.rev t.rows);
+  List.iter (fun n -> Fmt.pf ppf "@\n  note: %s" n) (List.rev t.notes)
+
+let print t = Fmt.pr "%a@\n@\n" pp t
+
+let cell_f v = if Float.is_nan v then "-" else Fmt.str "%.2f" v
+
+let cell_i = string_of_int
+
+let cell_pct v = if Float.is_nan v then "-" else Fmt.str "%.1f%%" v
+
+let cell_summary s =
+  if Sim.Summary.count s = 0 then "-"
+  else Fmt.str "%.2f/%.2f" (Sim.Summary.mean s) (Sim.Summary.percentile s 99.)

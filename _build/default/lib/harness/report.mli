@@ -1,0 +1,32 @@
+(** Plain-text experiment tables.
+
+    Every experiment renders through this module so that
+    [bench/main.exe] and [bin/experiments.exe] produce uniform,
+    diff-friendly output recorded in EXPERIMENTS.md. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on column-count mismatch. *)
+
+val note : t -> string -> unit
+(** Free-form footnote printed under the table. *)
+
+val pp : t Fmt.t
+
+val print : t -> unit
+(** [pp] to stdout, followed by a blank line. *)
+
+(** {1 Cell formatting helpers} *)
+
+val cell_f : float -> string
+(** Two-decimal float, [-] for NaN. *)
+
+val cell_i : int -> string
+
+val cell_pct : float -> string
+
+val cell_summary : Sim.Summary.t -> string
+(** [mean/p99] rendering. *)

@@ -1,0 +1,51 @@
+let arrivals ~rng ~count ~start ~rate k =
+  let time = ref start in
+  for i = 0 to count - 1 do
+    time := !time +. Sim.Rng.exponential rng ~mean:(1. /. rate);
+    k i !time
+  done
+
+let chatter cluster ~rng ~tokens ~hops ~start ~rate =
+  let n = Cluster.n cluster in
+  arrivals ~rng ~count:tokens ~start ~rate (fun i time ->
+      Cluster.inject_at cluster ~time ~dst:(i mod n)
+        (App_model.Chatter_app.Token { hops_left = hops; salt = i }))
+
+let pipeline cluster ~jobs ~start ~rate =
+  (* Deterministic arrival spacing: the pipeline is the fixed-work baseline
+     workload, so keep even its injection times configuration-independent. *)
+  let period = 1. /. rate in
+  for i = 0 to jobs - 1 do
+    Cluster.inject_at cluster
+      ~time:(start +. (period *. float_of_int i))
+      ~dst:0
+      (App_model.Pipeline_app.Job { id = i; stage = 0; payload = i })
+  done
+
+let telecom cluster ~rng ~calls ~hops ~start ~rate =
+  let n = Cluster.n cluster in
+  arrivals ~rng ~count:calls ~start ~rate (fun i time ->
+      let ingress = Sim.Rng.int rng n in
+      let route = App_model.Telecom_app.route ~n ~ingress ~call_id:i ~hops in
+      Cluster.inject_at cluster ~time ~dst:ingress
+        (App_model.Telecom_app.Setup { call_id = i; route }))
+
+let kvstore cluster ~rng ~ops ~keys ~start ~rate =
+  let n = Cluster.n cluster in
+  arrivals ~rng ~count:ops ~start ~rate (fun i time ->
+      let key = Fmt.str "key-%d" (Sim.Rng.int rng keys) in
+      let dst = Sim.Rng.int rng n in
+      let msg =
+        if Sim.Rng.int rng 4 < 3 then App_model.Kvstore_app.Put { key; value = i }
+        else App_model.Kvstore_app.Get key
+      in
+      Cluster.inject_at cluster ~time ~dst msg)
+
+let random_failures cluster ~rng ~count ~window:(lo, hi) =
+  let n = Cluster.n cluster in
+  let slice = (hi -. lo) /. float_of_int (Stdlib.max 1 count) in
+  for i = 0 to count - 1 do
+    let time = lo +. (slice *. float_of_int i) +. Sim.Rng.float rng slice in
+    let pid = Sim.Rng.int rng n in
+    Cluster.crash_at cluster ~time ~pid
+  done

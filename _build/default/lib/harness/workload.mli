@@ -1,0 +1,59 @@
+(** Workload and failure-schedule generators.
+
+    Each generator schedules outside-world injections on a cluster.  The
+    fixed-work generators (pipeline, telecom, kvstore) perform the same
+    total application work regardless of protocol or K, which makes
+    overhead comparisons across configurations meaningful; the chatter
+    generator produces order-dependent branching and is used for stress and
+    oracle testing rather than like-for-like overhead numbers. *)
+
+val chatter :
+  (App_model.Chatter_app.state, App_model.Chatter_app.msg) Cluster.t ->
+  rng:Sim.Rng.t ->
+  tokens:int ->
+  hops:int ->
+  start:float ->
+  rate:float ->
+  unit
+(** Inject [tokens] tokens at exponential inter-arrival times with the
+    given mean [rate] (arrivals per time unit), round-robin destinations. *)
+
+val pipeline :
+  (App_model.Pipeline_app.state, App_model.Pipeline_app.msg) Cluster.t ->
+  jobs:int ->
+  start:float ->
+  rate:float ->
+  unit
+(** [jobs] jobs entering stage 0; each traverses all N processes. *)
+
+val telecom :
+  (App_model.Telecom_app.state, App_model.Telecom_app.msg) Cluster.t ->
+  rng:Sim.Rng.t ->
+  calls:int ->
+  hops:int ->
+  start:float ->
+  rate:float ->
+  unit
+(** Call setups at random ingress switches; each call routes through
+    [hops] switches and commits a "connected" output at the egress. *)
+
+val kvstore :
+  (App_model.Kvstore_app.state, App_model.Kvstore_app.msg) Cluster.t ->
+  rng:Sim.Rng.t ->
+  ops:int ->
+  keys:int ->
+  start:float ->
+  rate:float ->
+  unit
+(** Mixed puts (75%) and gets (25%) over [keys] distinct keys, sent to
+    random coordinator processes. *)
+
+val random_failures :
+  ('state, 'msg) Cluster.t ->
+  rng:Sim.Rng.t ->
+  count:int ->
+  window:float * float ->
+  unit
+(** Schedule [count] crashes of uniformly random processes at uniformly
+    random times within the window.  At most one crash is scheduled per
+    process per window slice to keep episodes distinguishable. *)

@@ -1,0 +1,1 @@
+lib/recovery/config.ml: Fmt

@@ -1,0 +1,1 @@
+lib/recovery/metrics.mli: Sim

@@ -1,0 +1,1 @@
+lib/recovery/node.ml: App_model Array Config Dep_vector Depend Entry Entry_set Fmt Fun Hashtbl List Metrics Sim Stdlib Storage Trace Wire

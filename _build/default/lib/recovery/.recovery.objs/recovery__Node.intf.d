@@ -1,0 +1,1 @@
+lib/recovery/node.mli: App_model Config Dep_vector Depend Entry Entry_set Fmt Metrics Trace Wire

@@ -1,0 +1,1 @@
+lib/recovery/trace.ml: Depend Entry Fmt List Wire

@@ -1,0 +1,1 @@
+lib/recovery/trace.mli: Depend Entry Fmt Wire

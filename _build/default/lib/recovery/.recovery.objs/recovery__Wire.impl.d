@@ -1,0 +1,1 @@
+lib/recovery/wire.ml: Depend Entry Fmt List

@@ -1,0 +1,1425 @@
+open Depend
+module App_intf = App_model.App_intf
+
+type 'msg action =
+  | Unicast of { dst : int; packet : 'msg Wire.packet }
+  | Broadcast of 'msg Wire.packet
+
+type cost = {
+  deliveries : int;
+  replays : int;
+  sync_writes : int;
+  checkpoints : int;
+}
+
+let zero_cost = { deliveries = 0; replays = 0; sync_writes = 0; checkpoints = 0 }
+
+let add_cost a b =
+  {
+    deliveries = a.deliveries + b.deliveries;
+    replays = a.replays + b.replays;
+    sync_writes = a.sync_writes + b.sync_writes;
+    checkpoints = a.checkpoints + b.checkpoints;
+  }
+
+(* A buffered, not-yet-released send (Figure 2's Send_buffer entry).  Its
+   vector snapshot is mutated in place as stability news arrives. *)
+type 'msg pending_send = {
+  ps_id : Wire.identity;
+  ps_dst : int;
+  ps_interval : Entry.t;
+  ps_tdv : Dep_vector.t;
+  ps_payload : 'msg;
+  ps_enqueued : float;
+  ps_k : int;
+}
+
+type pending_output = {
+  po_id : Wire.output_id;
+  po_text : string;
+  po_tdv : Dep_vector.t;
+  po_buffered : float;
+}
+
+(* Stable-log records.  A [Delivery] is an incoming message together with
+   the state interval its delivery started: replay re-executes the
+   application on it and must land on exactly that interval.  A [Requeued]
+   record persists a non-orphan message that a rollback truncated out of
+   the delivery log and put back into the receive buffer ("add non-orphans
+   to Receive buffer", Figure 3): without it, a crash between the rollback
+   and the re-delivery would lose the message with no retransmission
+   source left (the sender may have garbage-collected it after the
+   original delivery became stable). *)
+type 'msg logged =
+  | Delivery of { lg_msg : 'msg Wire.app_message; lg_interval : Entry.t }
+  | Requeued of 'msg Wire.app_message
+
+(* Immutable snapshots of buffered-but-unreleased sends and outputs.  They
+   are part of the process state a checkpoint must capture: a send still
+   held back by the K rule when the checkpoint is taken belongs to an
+   interval the post-crash replay will never re-execute (replay starts at
+   the checkpoint), so without these snapshots a crash would silently drop
+   it. *)
+type 'msg saved_send = {
+  sv_id : Wire.identity;
+  sv_dst : int;
+  sv_interval : Entry.t;
+  sv_dep : (int * Entry.t) list;
+  sv_payload : 'msg;
+  sv_enqueued : float;
+  sv_k : int;
+}
+
+type saved_output = {
+  so_id : Wire.output_id;
+  so_text : string;
+  so_dep : (int * Entry.t) list;
+  so_buffered : float;
+}
+
+(* Direct-tracking commit assembly: the transitive closure of one pending
+   output, grown by querying each member interval's owner for its direct
+   parents, and committed once every member is known stable. *)
+type member_state = {
+  mutable m_stable : bool;
+  mutable m_expanded : bool;
+  mutable m_queried : bool;
+      (* a query about this member is in flight; cleared once per
+         notice period so reply traffic stays bounded *)
+}
+
+type assembly = { members : (int * Entry.t, member_state) Hashtbl.t }
+
+type ('state, 'msg) ckpt = {
+  ck_current : Entry.t;
+  ck_tdv : (int * Entry.t) list;
+  ck_state : 'state;
+  ck_log_pos : int;
+  ck_sends : 'msg saved_send list;
+  ck_outs : saved_output list;
+  ck_archive : 'msg Wire.app_message list;
+      (* released-message archive at checkpoint time.  Replay only
+         regenerates sends from intervals at or after the checkpoint; for
+         anything released earlier the archive is the only copy a
+         restarted sender can retransmit (footnote 3's "senders' volatile
+         logs" must survive the sender's own crash once the send interval
+         is absorbed into a checkpoint). *)
+}
+
+type ('state, 'msg) t = {
+  cfg : Config.t;
+  pid : int;
+  n : int;
+  app : ('state, 'msg) App_intf.t;
+  trace : Trace.t;
+  metrics : Metrics.t;
+  store : (('state, 'msg) ckpt, 'msg logged, Wire.sync_record) Storage.Stable_store.t;
+  (* --- volatile protocol state (lost at crash) --- *)
+  mutable up : bool;
+  mutable current : Entry.t;
+  mutable tdv : Dep_vector.t;
+  mutable state : 'state;
+  mutable log_tab : Entry_set.t array; (* log[j]: stability knowledge *)
+  mutable iet : Entry_set.t array; (* incarnation end tables *)
+  mutable max_ann_inc : int array; (* highest announced incarnation, or -1 *)
+  mutable recv_buf : (float * 'msg Wire.app_message) list;
+      (* (arrival time, message), oldest first *)
+  mutable send_buf : 'msg pending_send list; (* oldest first *)
+  mutable out_buf : pending_output list; (* oldest first *)
+  delivered : (Wire.identity, Entry.t) Hashtbl.t;
+  stubs : (Wire.identity, unit) Hashtbl.t;
+      (* deliveries whose records were GC'd; see Wire.Gc_stubs *)
+  direct_parents : (Entry.t, (int * Entry.t) list) Hashtbl.t;
+      (* direct tracking: each local interval's chain predecessor and, for
+         delivery-started intervals, the sending interval.  Rebuilt by
+         replay; pruned with the chain on rollback. *)
+  assemblies : (Wire.output_id, assembly) Hashtbl.t;
+      (* direct tracking: one transitive-closure assembly per pending
+         output *)
+  released_ids : (Wire.identity, unit) Hashtbl.t;
+  buffered_send_ids : (Wire.identity, unit) Hashtbl.t;
+  buffered_out_ids : (Wire.output_id, unit) Hashtbl.t;
+  committed_ids : (Wire.output_id, unit) Hashtbl.t; (* cache of stable records *)
+  mutable archive : 'msg Wire.app_message list; (* released msgs, newest first *)
+  mutable unacked : (int * Wire.identity) list; (* deliveries awaiting ack *)
+  mutable send_idx : int; (* sends performed in the current interval *)
+  mutable out_idx : int; (* outputs performed in the current interval *)
+  mutable frontier : Entry.t; (* own chain's known-stable frontier *)
+  mutable outputs_log : (string * float) list; (* outside world's ledger *)
+  mutable ckpt_ops : int;
+  mutable actions : 'msg action list; (* reversed accumulator *)
+}
+
+module Store = Storage.Stable_store
+
+let push t a = t.actions <- a :: t.actions
+
+let trace t ~now ev = Trace.add t.trace ~time:now ev
+
+let proto t = t.cfg.Config.protocol
+
+(* ------------------------------------------------------------------ *)
+(* Dependency bookkeeping                                              *)
+
+let stable_in_log t j e = Entry_set.covers t.log_tab.(j) e
+
+(* Theorem 2: dependencies on stable intervals are redundant. *)
+let elide_tdv t =
+  if (proto t).commit_tracking then
+    ignore (Dep_vector.elide_stable t.tdv ~stable:(stable_in_log t) : int)
+
+let orphan_entry (ann : Wire.announcement) (e : Entry.t) =
+  e.inc <= ann.ending.inc && e.sii > ann.ending.sii
+
+(* Check_orphan of Figure 2, applied to a wire message. *)
+let orphan_wire t (m : 'msg Wire.app_message) =
+  List.exists (fun (j, e) -> Entry_set.orphans t.iet.(j) e) m.dep
+
+(* A copy of this message is already waiting in the receive buffer.
+   Retransmissions (sender archives, outside-world retries) can race with
+   the original while it is still undeliverable, so duplicate suppression
+   must look at the buffer as well as the delivered table. *)
+let buffered_in_recv t id =
+  List.exists (fun (_, (m : 'msg Wire.app_message)) -> m.id = id) t.recv_buf
+
+let orphan_vector t v =
+  let found = ref false in
+  Dep_vector.iteri v ~f:(fun j e ->
+      match e with
+      | None -> ()
+      | Some e -> if Entry_set.orphans t.iet.(j) e then found := true);
+  !found
+
+(* Mark the whole current chain stable (everything delivered is now in the
+   stable log, and marker intervals are reconstructable from sync records). *)
+let advance_stability t ~now =
+  t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) t.current;
+  if Entry.lt t.frontier t.current then begin
+    t.frontier <- t.current;
+    trace t ~now (Stability_advanced { pid = t.pid; upto = t.current })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Check_deliverability (Figure 2)                                     *)
+
+let deliverable t (m : 'msg Wire.app_message) =
+  match (proto t).delivery_rule with
+  | Config.Corollary1 ->
+    (* Delivering must not leave us depending on two incarnations of the
+       same process unless the smaller one is known stable.  No local entry
+       at all means no conflict and no delay (the Corollary 1 special
+       case illustrated by m7/P5 in Figure 1). *)
+    List.for_all
+      (fun (j, e) ->
+        match Dep_vector.get t.tdv j with
+        | None -> true
+        | Some mine ->
+          mine.Entry.inc = e.Entry.inc
+          || stable_in_log t j (Entry.min mine e))
+      m.dep
+  | Config.Wait_announcement ->
+    (* Strom & Yemini: a dependency on incarnation t of P_j may only be
+       acquired after the rollback announcement ending incarnation t-1 has
+       arrived.  A process does not receive its own broadcasts but trivially
+       knows its own incarnations up to the current one. *)
+    List.for_all
+      (fun (j, e) ->
+        e.Entry.inc = 0
+        || (if j = t.pid then e.Entry.inc <= t.current.inc
+            else t.max_ann_inc.(j) >= e.Entry.inc - 1))
+      m.dep
+
+(* ------------------------------------------------------------------ *)
+(* Send path: Send_message / Check_send_buffer (Figure 2)              *)
+
+let release_send t ~now (ps : 'msg pending_send) =
+  Hashtbl.remove t.buffered_send_ids ps.ps_id;
+  Hashtbl.replace t.released_ids ps.ps_id ();
+  let dep =
+    match (proto t).tracking with
+    | Config.Transitive -> Dep_vector.non_null ps.ps_tdv
+    | Config.Direct ->
+      (* Only the sender's current interval travels (Section 5).  It is
+         never elided: it is the receiver's sole handle for arrival-time
+         orphan checks. *)
+      [ (t.pid, ps.ps_interval) ]
+  in
+  let wire =
+    {
+      Wire.id = ps.ps_id;
+      src = t.pid;
+      dst = ps.ps_dst;
+      send_interval = ps.ps_interval;
+      dep;
+      payload = ps.ps_payload;
+    }
+  in
+  let m = t.metrics in
+  m.releases <- m.releases + 1;
+  Sim.Summary.add m.blocked_time (now -. ps.ps_enqueued);
+  Sim.Summary.add_int m.release_dep_entries (List.length dep);
+  Sim.Summary.add_int m.wire_vector_size
+    (if (proto t).commit_tracking then List.length dep else t.n);
+  if (proto t).retransmit_on_failure then t.archive <- wire :: t.archive;
+  trace t ~now
+    (Message_released
+       { id = ps.ps_id; dep_size = List.length dep; blocked = now -. ps.ps_enqueued });
+  push t (Unicast { dst = ps.ps_dst; packet = Wire.App wire })
+
+let check_send_buffer t ~now =
+  if (proto t).commit_tracking then
+    List.iter
+      (fun ps -> ignore (Dep_vector.elide_stable ps.ps_tdv ~stable:(stable_in_log t) : int))
+      t.send_buf;
+  let ready, blocked =
+    List.partition
+      (fun ps -> Dep_vector.non_null_count ps.ps_tdv <= ps.ps_k)
+      t.send_buf
+  in
+  t.send_buf <- blocked;
+  List.iter (release_send t ~now) ready
+
+let send_message t ~now ~dst ~k payload =
+  let id =
+    { Wire.origin = t.pid; origin_interval = t.current; idx = t.send_idx }
+  in
+  t.send_idx <- t.send_idx + 1;
+  (* A replayed execution regenerates the sends of reconstructed intervals
+     with identical identities; suppress the ones still accounted for.
+     After a crash both tables are empty, so replayed sends are re-released
+     — receivers drop the duplicates by identity. *)
+  if Hashtbl.mem t.released_ids id || Hashtbl.mem t.buffered_send_ids id then ()
+  else begin
+    t.metrics.sends <- t.metrics.sends + 1;
+    trace t ~now
+      (Message_sent { id; src = t.pid; dst; send_interval = t.current });
+    let k =
+      match k with
+      | Some k when (proto t).commit_tracking -> Stdlib.max 0 (Stdlib.min t.n k)
+      | Some _ | None -> (proto t).k
+    in
+    Hashtbl.replace t.buffered_send_ids id ();
+    let ps =
+      {
+        ps_id = id;
+        ps_dst = dst;
+        ps_interval = t.current;
+        ps_tdv = Dep_vector.copy t.tdv;
+        ps_payload = payload;
+        ps_enqueued = now;
+        ps_k = k;
+      }
+    in
+    t.send_buf <- t.send_buf @ [ ps ]
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Output commit                                                       *)
+
+(* "An output can be viewed as a 0-optimistic message": it is released when
+   every interval it depends on is known stable.  For the commit-tracking
+   protocol that is the all-entries-NULL condition of Section 4.2; checking
+   coverage directly gives the same answer and also serves the fixed-vector
+   baselines, whose entries are never elided. *)
+let output_ready t po =
+  List.for_all (fun (j, e) -> stable_in_log t j e) (Dep_vector.non_null po.po_tdv)
+
+let commit_output t ~now po =
+  Hashtbl.remove t.buffered_out_ids po.po_id;
+  Hashtbl.remove t.assemblies po.po_id;
+  Hashtbl.replace t.committed_ids po.po_id ();
+  Store.log_announcement t.store (Wire.Committed po.po_id);
+  t.outputs_log <- (po.po_text, now) :: t.outputs_log;
+  let m = t.metrics in
+  m.outputs_committed <- m.outputs_committed + 1;
+  Sim.Summary.add m.output_latency (now -. po.po_buffered);
+  trace t ~now
+    (Output_committed
+       { pid = t.pid; id = po.po_id; text = po.po_text; latency = now -. po.po_buffered })
+
+(* --- Direct-tracking commit assembly (Section 5's tradeoff) --------- *)
+
+(* What this process can answer about one of its own intervals. *)
+let local_dep_info t (interval : Entry.t) =
+  match Hashtbl.find_opt t.direct_parents interval with
+  | Some parents ->
+    Wire.Info { stable = stable_in_log t t.pid interval; parents }
+  | None ->
+    if Entry.equal interval Entry.initial then
+      Wire.Info { stable = true; parents = [] }
+    else Wire.Gone
+
+let assembly_member asm key =
+  match Hashtbl.find_opt asm.members key with
+  | Some st -> st
+  | None ->
+    let st = { m_stable = false; m_expanded = false; m_queried = false } in
+    Hashtbl.add asm.members key st;
+    st
+
+let assembly_absorb t asm (pid, interval) (info : Wire.dep_info) =
+  let st = assembly_member asm (pid, interval) in
+  match info with
+  | Wire.Gone ->
+    (* The interval was rolled back: this output is orphan and will be
+       pruned when the corresponding announcement rolls us back too. *)
+    ()
+  | Wire.Info { stable; parents } ->
+    if stable then st.m_stable <- true;
+    if not st.m_expanded then begin
+      st.m_expanded <- true;
+      List.iter
+        (fun (p, e) -> ignore (assembly_member asm (p, e) : member_state))
+        parents
+    end;
+    ignore t
+
+let assembly_complete asm =
+  Hashtbl.fold
+    (fun _ st acc -> acc && st.m_stable && st.m_expanded)
+    asm.members true
+
+(* Advance one assembly: resolve local members, query remote owners about
+   unresolved ones.  Queries are re-sent on every poll; they are idempotent
+   and their volume is precisely the assembly cost Section 5 talks about. *)
+let assembly_step t ~now asm =
+  ignore now;
+  let pending_remote = Hashtbl.create 4 in
+  let local = ref [] in
+  Hashtbl.iter
+    (fun (pid, interval) st ->
+      if not (st.m_stable && st.m_expanded) then
+        if pid = t.pid then local := interval :: !local
+        else if not st.m_queried then begin
+          st.m_queried <- true;
+          Hashtbl.replace pending_remote pid
+            (interval :: (try Hashtbl.find pending_remote pid with Not_found -> []))
+        end)
+    asm.members;
+  List.iter
+    (fun interval -> assembly_absorb t asm (t.pid, interval) (local_dep_info t interval))
+    !local;
+  Hashtbl.iter
+    (fun owner intervals ->
+      t.metrics.dep_queries <- t.metrics.dep_queries + 1;
+      push t
+        (Unicast { dst = owner; packet = Wire.Dep_query { from_ = t.pid; intervals } }))
+    pending_remote
+
+let check_output_buffer t ~now =
+  match (proto t).tracking with
+  | Config.Transitive ->
+    let ready, waiting = List.partition (output_ready t) t.out_buf in
+    t.out_buf <- waiting;
+    List.iter (commit_output t ~now) ready
+  | Config.Direct ->
+    let ready, waiting =
+      List.partition
+        (fun po ->
+          match Hashtbl.find_opt t.assemblies po.po_id with
+          | Some asm ->
+            (* keep resolving local members until a fixpoint, then decide *)
+            let rec settle () =
+              let before = Hashtbl.length asm.members in
+              let unstable_local =
+                Hashtbl.fold
+                  (fun (pid, interval) st acc ->
+                    if pid = t.pid && not (st.m_stable && st.m_expanded) then
+                      (pid, interval) :: acc
+                    else acc)
+                  asm.members []
+              in
+              List.iter
+                (fun (_, interval) ->
+                  assembly_absorb t asm (t.pid, interval) (local_dep_info t interval))
+                unstable_local;
+              if Hashtbl.length asm.members > before then settle ()
+            in
+            settle ();
+            assembly_complete asm
+          | None -> false)
+        t.out_buf
+    in
+    t.out_buf <- waiting;
+    List.iter (commit_output t ~now) ready;
+    List.iter
+      (fun po ->
+        match Hashtbl.find_opt t.assemblies po.po_id with
+        | Some asm -> assembly_step t ~now asm
+        | None -> ())
+      waiting
+
+let rec buffer_output t ~now text =
+  let oid = { Wire.out_interval = t.current; out_idx = t.out_idx } in
+  t.out_idx <- t.out_idx + 1;
+  if Hashtbl.mem t.committed_ids oid || Hashtbl.mem t.buffered_out_ids oid then ()
+  else begin
+    Hashtbl.replace t.buffered_out_ids oid ();
+    let po =
+      { po_id = oid; po_text = text; po_tdv = Dep_vector.copy t.tdv; po_buffered = now }
+    in
+    t.out_buf <- t.out_buf @ [ po ];
+    (match (proto t).tracking with
+    | Config.Direct ->
+      let asm = { members = Hashtbl.create 8 } in
+      ignore (assembly_member asm (t.pid, t.current) : member_state);
+      Hashtbl.replace t.assemblies oid asm
+    | Config.Transitive -> ());
+    trace t ~now (Output_buffered { pid = t.pid; id = oid; text });
+    if (proto t).output_driven_logging then begin
+      (* Force logging progress at the processes the output depends on
+         instead of waiting for their periodic notifications (Section 2's
+         output-driven logging alternative, reference [6]). *)
+      Dep_vector.iteri po.po_tdv ~f:(fun j e ->
+          match e with
+          | Some _ when j <> t.pid ->
+            push t (Unicast { dst = j; packet = Wire.Flush_request { from_ = t.pid } })
+          | Some _ | None -> ());
+      do_flush t ~now ~ack:true
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Flush: asynchronous logging progress                                *)
+
+and do_flush t ~now ~ack =
+  ignore (Store.flush t.store : int);
+  advance_stability t ~now;
+  elide_tdv t;
+  if ack && t.unacked <> [] then begin
+    (* Everything delivered so far is now stable: tell the senders so they
+       can garbage-collect their retransmission archives. *)
+    let by_src = Hashtbl.create 8 in
+    List.iter
+      (fun (src, id) ->
+        let ids = try Hashtbl.find by_src src with Not_found -> [] in
+        Hashtbl.replace by_src src (id :: ids))
+      t.unacked;
+    Hashtbl.iter
+      (fun src ids ->
+        t.metrics.acks_sent <- t.metrics.acks_sent + 1;
+        push t (Unicast { dst = src; packet = Wire.Ack { from_ = t.pid; to_ = src; ids } }))
+      by_src;
+    t.unacked <- []
+  end;
+  check_send_buffer t ~now;
+  check_output_buffer t ~now
+
+(* ------------------------------------------------------------------ *)
+(* Deliver_message (Figure 2) and the delivery loop                    *)
+
+let deliver t ~now ~replay (m : 'msg Wire.app_message) =
+  let pred = t.current in
+  (match (proto t).tracking with
+  | Config.Transitive ->
+    let wire_vec = Dep_vector.of_non_null ~n:t.n m.dep in
+    Dep_vector.merge_max ~into:t.tdv wire_vec
+  | Config.Direct ->
+    (* No vector merging: the piggybacked entry only records the direct
+       parent. *)
+    ());
+  t.current <- Entry.next_interval t.current;
+  Dep_vector.set t.tdv t.pid (Some t.current);
+  elide_tdv t;
+  t.send_idx <- 0;
+  t.out_idx <- 0;
+  Hashtbl.replace t.direct_parents t.current
+    ((t.pid, pred) :: (if m.src >= 0 then [ (m.src, m.send_interval) ] else []));
+  Hashtbl.replace t.delivered m.id t.current;
+  if replay then t.metrics.replayed <- t.metrics.replayed + 1
+  else begin
+    Store.append_volatile t.store (Delivery { lg_msg = m; lg_interval = t.current });
+    if m.src >= 0 then t.unacked <- (m.src, m.id) :: t.unacked;
+    t.metrics.deliveries <- t.metrics.deliveries + 1;
+    trace t ~now (Message_delivered { id = m.id; dst = t.pid; interval = t.current })
+  end;
+  let state', effects = t.app.handle ~pid:t.pid ~n:t.n t.state ~src:m.src m.payload in
+  t.state <- state';
+  trace t ~now
+    (Interval_started
+       {
+         pid = t.pid;
+         interval = t.current;
+         pred = Some pred;
+         by = Some m.id;
+         sender_interval = (if m.src >= 0 then Some m.send_interval else None);
+         digest = t.app.digest state';
+         replay;
+       });
+  List.iter
+    (function
+      | App_intf.Send { dst; msg; k } -> send_message t ~now ~dst ~k msg
+      | App_intf.Output text -> buffer_output t ~now text)
+    effects;
+  (* Pessimistic logging: the volatile buffer is written synchronously on
+     every delivery, before any message leaves the send buffer. *)
+  if (proto t).sync_logging && not replay then do_flush t ~now ~ack:true
+  else begin
+    (* Low-risk sends leave immediately; only riskier-than-K ones wait. *)
+    check_send_buffer t ~now;
+    check_output_buffer t ~now
+  end
+
+let rec drain t ~now =
+  let rec find = function
+    | [] -> None
+    | ((_, m) as cell) :: _ when deliverable t m -> Some cell
+    | _ :: rest -> find rest
+  in
+  match find t.recv_buf with
+  | None -> ()
+  | Some ((arrived, m) as cell) ->
+    t.recv_buf <- List.filter (fun x -> x != cell) t.recv_buf;
+    Sim.Summary.add t.metrics.delivery_delay (now -. arrived);
+    deliver t ~now ~replay:false m;
+    drain t ~now
+
+let recheck t ~now =
+  drain t ~now;
+  check_send_buffer t ~now;
+  check_output_buffer t ~now
+
+(* ------------------------------------------------------------------ *)
+(* Rebuild: common replay engine for Restart and Rollback (Figure 3)   *)
+
+(* Incarnation markers persisted in the sync area, latest-writer-wins per
+   log position: a marker supersedes every earlier marker at the same or a
+   later position, mirroring how a rollback truncates the future it was
+   part of. *)
+let effective_markers t ~from_pos =
+  let all =
+    List.fold_left
+      (fun acc r ->
+        match r with
+        | Wire.Marker { entry; log_pos } ->
+          List.filter (fun (_, p) -> p < log_pos) acc @ [ (entry, log_pos) ]
+        | Wire.Ann_logged _ | Wire.Committed _ | Wire.Gc_stubs _ -> acc)
+      []
+      (Store.announcements t.store)
+  in
+  List.filter (fun (_, p) -> p >= from_pos) all
+
+(* Restore the checkpoint [ck] and replay the stable log through the
+   application, applying incarnation markers at their recorded positions.
+   Stops before the first record satisfying [halt] and returns the log
+   position reached. *)
+let rebuild t ~now ~ck ~halt =
+  t.state <- ck.ck_state;
+  t.current <- ck.ck_current;
+  t.tdv <- Dep_vector.of_non_null ~n:t.n ck.ck_tdv;
+  t.send_idx <- 0;
+  t.out_idx <- 0;
+  (* Re-instate checkpointed pending sends and outputs that are not already
+     accounted for (released since the checkpoint, still buffered live, or
+     committed). *)
+  List.iter
+    (fun sv ->
+      if
+        (not (Hashtbl.mem t.released_ids sv.sv_id))
+        && not (Hashtbl.mem t.buffered_send_ids sv.sv_id)
+      then begin
+        Hashtbl.replace t.buffered_send_ids sv.sv_id ();
+        t.send_buf <-
+          t.send_buf
+          @ [
+              {
+                ps_id = sv.sv_id;
+                ps_dst = sv.sv_dst;
+                ps_interval = sv.sv_interval;
+                ps_tdv = Dep_vector.of_non_null ~n:t.n sv.sv_dep;
+                ps_payload = sv.sv_payload;
+                ps_enqueued = sv.sv_enqueued;
+                ps_k = sv.sv_k;
+              };
+            ]
+      end)
+    ck.ck_sends;
+  List.iter
+    (fun so ->
+      if
+        (not (Hashtbl.mem t.committed_ids so.so_id))
+        && not (Hashtbl.mem t.buffered_out_ids so.so_id)
+      then begin
+        Hashtbl.replace t.buffered_out_ids so.so_id ();
+        t.out_buf <-
+          t.out_buf
+          @ [
+              {
+                po_id = so.so_id;
+                po_text = so.so_text;
+                po_tdv = Dep_vector.of_non_null ~n:t.n so.so_dep;
+                po_buffered = so.so_buffered;
+              };
+            ]
+      end)
+    ck.ck_outs;
+  let markers = effective_markers t ~from_pos:ck.ck_log_pos in
+  let records = Store.stable_log_from t.store ~pos:ck.ck_log_pos in
+  let pos = ref ck.ck_log_pos in
+  let apply_marker (entry, _) =
+    (* End of an incarnation's stable prefix: remember its frontier, then
+       continue as the marker interval. *)
+    t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) t.current;
+    Hashtbl.replace t.direct_parents entry [ (t.pid, t.current) ];
+    t.current <- entry;
+    Dep_vector.set t.tdv t.pid (Some entry);
+    t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) entry;
+    t.send_idx <- 0;
+    t.out_idx <- 0
+  in
+  let requeued = ref [] in
+  let rec walk markers records =
+    match markers, records with
+    | ((_, p) as m) :: ms, _ when p <= !pos ->
+      apply_marker m;
+      walk ms records
+    | _, [] -> ()
+    | _, Requeued m :: rs ->
+      (* Not a state transition: remember it for the caller (Restart puts
+         undelivered ones back into the receive buffer). *)
+      requeued := m :: !requeued;
+      incr pos;
+      walk markers rs
+    | _, (Delivery d as r) :: rs ->
+      if halt r then ()
+      else begin
+        deliver t ~now ~replay:true d.lg_msg;
+        assert (Entry.equal t.current d.lg_interval);
+        incr pos;
+        walk markers rs
+      end
+  in
+  walk markers records;
+  (!pos, List.rev !requeued)
+
+(* ------------------------------------------------------------------ *)
+(* Rollback (Figure 3)                                                 *)
+
+let cancel_send t ~now (ps : 'msg pending_send) =
+  Hashtbl.remove t.buffered_send_ids ps.ps_id;
+  t.metrics.cancelled_sends <- t.metrics.cancelled_sends + 1;
+  trace t ~now (Send_cancelled { id = ps.ps_id; src = t.pid })
+
+let rollback t ~now ~(because : Wire.announcement) =
+  let ann = because in
+  t.metrics.induced_rollbacks <- t.metrics.induced_rollbacks + 1;
+  let old_current = t.current in
+  (* "Log all the unlogged messages to the stable storage": the surviving
+     prefix must be replayable.  No stability is claimed here — part of
+     what we just wrote is about to be truncated. *)
+  ignore (Store.flush t.store : int);
+  let j = ann.from_ in
+  let ck_ok =
+    match (proto t).tracking with
+    | Config.Transitive ->
+      fun ck ->
+        (match List.assoc_opt j ck.ck_tdv with
+        | Some e -> not (orphan_entry ann e)
+        | None -> true)
+    | Config.Direct ->
+      (* The checkpoint's vector records no remote dependencies, so locate
+         the first directly-orphan record and restore behind it.  Direct
+         tracking forbids log GC, so the scan always reaches the record. *)
+      let base = Store.log_base t.store in
+      let halt_pos = ref (Store.stable_log_length t.store) in
+      List.iteri
+        (fun i record ->
+          match record with
+          | Delivery d
+            when base + i < !halt_pos
+                 && List.exists
+                      (fun (p, e) -> p = j && orphan_entry ann e)
+                      d.lg_msg.Wire.dep ->
+            halt_pos := base + i
+          | Delivery _ | Requeued _ -> ())
+        (Store.stable_log_from t.store ~pos:base);
+      fun ck -> ck.ck_log_pos <= !halt_pos
+  in
+  let ck =
+    match Store.restore_checkpoint t.store ~satisfying:ck_ok with
+    | Some ck -> ck
+    | None ->
+      (* The initial checkpoint has an empty vector at position 0 and
+         satisfies either predicate, and it is never discarded. *)
+      assert false
+  in
+  t.ckpt_ops <- t.ckpt_ops + 1;
+  (* Replay "till condition (I) is not satisfied": stop before the first
+     logged delivery whose piggyback would make us depend on a rolled-back
+     interval of P_j. *)
+  let halt = function
+    | Requeued _ -> false
+    | Delivery d ->
+      List.exists (fun (i, e) -> i = j && orphan_entry ann e) d.lg_msg.Wire.dep
+  in
+  let stop_pos, _ = rebuild t ~now ~ck ~halt in
+  let stop = t.current in
+  let removed = Store.truncate_stable_log t.store ~keep:stop_pos in
+  let first_undone =
+    match
+      List.find_map (function Delivery d -> Some d.lg_interval | Requeued _ -> None) removed
+    with
+    | Some interval -> interval
+    | None -> old_current
+  in
+  (* "Among remaining logged messages, discard orphans and add non-orphans
+     to Receive buffer."  The survivors are also re-persisted as Requeued
+     records: once truncated out of the delivery log they would otherwise
+     exist only in the volatile receive buffer, and a crash before their
+     re-delivery would lose them for good (their senders may have
+     garbage-collected them after the original deliveries became stable). *)
+  List.iter
+    (fun lg ->
+      let m = match lg with Delivery d -> d.lg_msg | Requeued m -> m in
+      if orphan_wire t m then begin
+        t.metrics.orphans_discarded <- t.metrics.orphans_discarded + 1;
+        trace t ~now
+          (Message_discarded { id = m.Wire.id; dst = t.pid; reason = Trace.Orphan_message })
+      end
+      else begin
+        Store.append_volatile t.store (Requeued m);
+        if not (buffered_in_recv t m.Wire.id) then
+          t.recv_buf <- t.recv_buf @ [ (now, m) ]
+      end)
+    removed;
+  ignore (Store.flush t.store : int);
+  (* Prune volatile structures of the undone intervals.  State-interval
+     indices are monotone along a process history, so "undone" is exactly
+     "index greater than the replay stop point". *)
+  let undone (e : Entry.t) = e.sii > stop.sii in
+  Hashtbl.filter_map_inplace
+    (fun _ interval -> if undone interval then None else Some interval)
+    t.delivered;
+  Hashtbl.filter_map_inplace
+    (fun interval parents -> if undone interval then None else Some parents)
+    t.direct_parents;
+  t.unacked <- List.filter (fun (_, id) -> Hashtbl.mem t.delivered id) t.unacked;
+  let cancelled, kept_sends =
+    List.partition (fun ps -> undone ps.ps_interval) t.send_buf
+  in
+  t.send_buf <- kept_sends;
+  List.iter (cancel_send t ~now) cancelled;
+  let dropped_outs, kept_outs =
+    List.partition (fun po -> undone po.po_id.Wire.out_interval) t.out_buf
+  in
+  t.out_buf <- kept_outs;
+  List.iter
+    (fun po ->
+      Hashtbl.remove t.buffered_out_ids po.po_id;
+      Hashtbl.remove t.assemblies po.po_id)
+    dropped_outs;
+  t.metrics.undone_intervals <- t.metrics.undone_intervals + (old_current.sii - stop.sii);
+  (* Start a new incarnation, "as if it itself has failed".  The new number
+     must exceed every incarnation this process ever used; [old_current.inc]
+     is that maximum.  The bump is persisted so that a crash immediately
+     after this rollback cannot lead to number reuse. *)
+  let new_current = Entry.make ~inc:(old_current.inc + 1) ~sii:(stop.sii + 1) in
+  t.current <- new_current;
+  Hashtbl.replace t.direct_parents new_current [ (t.pid, stop) ];
+  Store.log_announcement t.store (Wire.Marker { entry = new_current; log_pos = stop_pos });
+  Dep_vector.set t.tdv t.pid (Some new_current);
+  t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) stop;
+  t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) new_current;
+  t.frontier <- new_current;
+  t.send_idx <- 0;
+  t.out_idx <- 0;
+  (* The pre-restore flush made the surviving prefix stable; record that
+     transition (the new marker interval is stable by construction). *)
+  trace t ~now (Stability_advanced { pid = t.pid; upto = stop });
+  trace t ~now
+    (Rolled_back
+       { pid = t.pid; restored = stop; first_undone; new_current; because = ann });
+  if (proto t).announce_all_rollbacks then begin
+    (* Pre-Theorem 1 behaviour (Strom & Yemini): every rollback is
+       announced, not just failures. *)
+    let fa =
+      {
+        Wire.from_ = t.pid;
+        ending = Entry.make ~inc:old_current.inc ~sii:stop.sii;
+        failure = false;
+      }
+    in
+    Store.log_announcement t.store (Wire.Ann_logged fa);
+    t.iet.(t.pid) <- Entry_set.insert t.iet.(t.pid) fa.ending;
+    t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) fa.ending;
+    t.metrics.announcements_sent <- t.metrics.announcements_sent + 1;
+    push t (Broadcast (Wire.Ann fa))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Receive_failure_ann (Figure 3)                                      *)
+
+let discard_orphan_receives t ~now =
+  let orphans, kept = List.partition (fun (_, m) -> orphan_wire t m) t.recv_buf in
+  t.recv_buf <- kept;
+  List.iter
+    (fun ((_, m) : float * 'msg Wire.app_message) ->
+      t.metrics.orphans_discarded <- t.metrics.orphans_discarded + 1;
+      trace t ~now
+        (Message_discarded { id = m.id; dst = t.pid; reason = Trace.Orphan_message }))
+    orphans
+
+let cancel_orphan_sends t ~now =
+  let orphans, kept = List.partition (fun ps -> orphan_vector t ps.ps_tdv) t.send_buf in
+  t.send_buf <- kept;
+  List.iter (cancel_send t ~now) orphans
+
+let retransmit t ~dst =
+  List.iter
+    (fun (m : 'msg Wire.app_message) ->
+      if m.dst = dst && not (orphan_wire t m) then begin
+        t.metrics.retransmissions <- t.metrics.retransmissions + 1;
+        push t (Unicast { dst; packet = Wire.App m })
+      end)
+    (List.rev t.archive)
+
+let receive_ann t ~now (ann : Wire.announcement) =
+  let j = ann.from_ in
+  if j = t.pid then ()
+  else begin
+    trace t ~now (Announcement_received { pid = t.pid; ann });
+    (* "Synchronously log the received announcement". *)
+    Store.log_announcement t.store (Wire.Ann_logged ann);
+    t.iet.(j) <- Entry_set.insert t.iet.(j) ann.ending;
+    (* Corollary 1: the announcement doubles as a logging-progress
+       notification that the ending interval is stable. *)
+    t.log_tab.(j) <- Entry_set.insert t.log_tab.(j) ann.ending;
+    if ann.ending.inc > t.max_ann_inc.(j) then t.max_ann_inc.(j) <- ann.ending.inc;
+    discard_orphan_receives t ~now;
+    cancel_orphan_sends t ~now;
+    t.archive <- List.filter (fun m -> not (orphan_wire t m)) t.archive;
+    (match (proto t).tracking with
+    | Config.Transitive -> (
+      match Dep_vector.get t.tdv j with
+      | Some e when orphan_entry ann e -> rollback t ~now ~because:ann
+      | Some _ | None -> ())
+    | Config.Direct ->
+      (* Only direct dependencies are visible; transitive orphans are caught
+         by the cascade of rollback announcements this rollback emits. *)
+      let hit =
+        Hashtbl.fold
+          (fun (id : Wire.identity) _interval acc ->
+            acc || (id.origin = j && orphan_entry ann id.origin_interval))
+          t.delivered false
+      in
+      if hit then rollback t ~now ~because:ann);
+    elide_tdv t;
+    recheck t ~now;
+    if ann.failure && (proto t).retransmit_on_failure then retransmit t ~dst:j
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Receive_log (Figure 3)                                              *)
+
+let receive_notice t ~now (notice : Wire.notice) =
+  List.iter
+    (fun (j, entries) ->
+      List.iter (fun e -> t.log_tab.(j) <- Entry_set.insert t.log_tab.(j) e) entries)
+    notice.Wire.rows;
+  elide_tdv t;
+  recheck t ~now
+
+let receive_ack t (ack : Wire.ack) =
+  t.archive <-
+    List.filter (fun (m : 'msg Wire.app_message) -> not (List.mem m.id ack.ids)) t.archive
+
+(* ------------------------------------------------------------------ *)
+(* Receive_message (Figure 2)                                          *)
+
+let receive_app t ~now (m : 'msg Wire.app_message) =
+  match
+    if buffered_in_recv t m.id then Some `Buffered
+    else if Hashtbl.mem t.delivered m.id || Hashtbl.mem t.stubs m.id then
+      Some `Delivered
+    else None
+  with
+  | Some kind ->
+    t.metrics.duplicates_dropped <- t.metrics.duplicates_dropped + 1;
+    trace t ~now (Message_discarded { id = m.id; dst = t.pid; reason = Trace.Duplicate });
+    (* The duplicate proves the sender still archives this message; if its
+       delivery is already stable here, ack it so the sender can GC.  A
+       buffered copy is not even delivered yet, let alone stable. *)
+    if
+      kind = `Delivered
+      && m.src >= 0
+      && not (List.exists (fun (_, id) -> id = m.id) t.unacked)
+    then
+      push t (Unicast { dst = m.src; packet = Wire.Ack { from_ = t.pid; to_ = m.src; ids = [ m.id ] } })
+  | None ->
+    if orphan_wire t m then begin
+      t.metrics.orphans_discarded <- t.metrics.orphans_discarded + 1;
+      trace t ~now (Message_discarded { id = m.id; dst = t.pid; reason = Trace.Orphan_message })
+    end
+    else begin
+      t.recv_buf <- t.recv_buf @ [ (now, m) ];
+      drain t ~now
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint (Figure 3)                                               *)
+
+(* Log/checkpoint garbage collection.  A checkpoint all of whose
+   dependency entries are currently known stable can never be orphaned: if
+   it were, it would transitively depend on a never-stable lost interval,
+   whose entry is never elided (Theorem 3) and can never be covered — so
+   the vector would contain a never-stable entry.  Rollback therefore
+   never restores past such a checkpoint and Restart never replays records
+   before it: older checkpoints and the log prefix are reclaimable.  Two
+   safeguards: the boundary never crosses a still-undelivered Requeued
+   record (the only persistent copy of its message), and the identities of
+   collected deliveries are persisted as Gc_stubs in the synchronous area
+   so duplicate suppression survives crashes. *)
+let gc_anchor t =
+  let all_stable entries = List.for_all (fun (j, e) -> stable_in_log t j e) entries in
+  if Dep_vector.non_null_count t.tdv = 0 then Some (Store.stable_log_length t.store, None)
+  else
+    List.find_map
+      (fun ck -> if all_stable ck.ck_tdv then Some (ck.ck_log_pos, Some ck) else None)
+      (Store.checkpoints t.store)
+
+let run_gc t =
+  match gc_anchor t with
+  | None -> ()
+  | Some (anchor_pos, anchor_ck) ->
+    let base = Store.log_base t.store in
+    if anchor_pos > base then begin
+      let prefix = Store.stable_log_from t.store ~pos:base in
+      let boundary = ref base in
+      let stub_ids = ref [] in
+      (try
+         List.iter
+           (fun record ->
+             if !boundary >= anchor_pos then raise Exit;
+             (match record with
+             | Requeued m when not (Hashtbl.mem t.delivered m.Wire.id) -> raise Exit
+             | Delivery d -> stub_ids := d.lg_msg.Wire.id :: !stub_ids
+             | Requeued m -> stub_ids := m.Wire.id :: !stub_ids);
+             incr boundary)
+           prefix
+       with Exit -> ());
+      if !boundary > base then begin
+        (* Persist the stub identities before dropping the records. *)
+        Store.log_announcement t.store (Wire.Gc_stubs (List.rev !stub_ids));
+        List.iter (fun id -> Hashtbl.replace t.stubs id ()) !stub_ids;
+        t.metrics.gc_records <-
+          t.metrics.gc_records + Store.discard_log_prefix t.store ~before:!boundary
+      end
+    end;
+    (* Checkpoints older than the anchor are never restored again. *)
+    (match anchor_ck with
+    | Some anchor ->
+      ignore (Store.prune_checkpoints_older_than t.store ~anchor:(fun c -> c == anchor) : int)
+    | None ->
+      (* anchor is the about-to-be-saved state: prune after it is saved *)
+      ())
+
+let do_checkpoint t ~now =
+  do_flush t ~now ~ack:true;
+  let ck =
+    {
+      ck_current = t.current;
+      ck_tdv = Dep_vector.non_null t.tdv;
+      ck_state = t.state;
+      ck_log_pos = Store.stable_log_length t.store;
+      ck_sends =
+        List.map
+          (fun ps ->
+            {
+              sv_id = ps.ps_id;
+              sv_dst = ps.ps_dst;
+              sv_interval = ps.ps_interval;
+              sv_dep = Dep_vector.non_null ps.ps_tdv;
+              sv_payload = ps.ps_payload;
+              sv_enqueued = ps.ps_enqueued;
+              sv_k = ps.ps_k;
+            })
+          t.send_buf;
+      ck_outs =
+        List.map
+          (fun po ->
+            {
+              so_id = po.po_id;
+              so_text = po.po_text;
+              so_dep = Dep_vector.non_null po.po_tdv;
+              so_buffered = po.po_buffered;
+            })
+          t.out_buf;
+      ck_archive = t.archive;
+    }
+  in
+  if (proto t).gc_logs then run_gc t;
+  Store.save_checkpoint t.store ck;
+  if (proto t).gc_logs && ck.ck_tdv = [] then
+    (* the state just checkpointed is itself a clean anchor *)
+    ignore (Store.prune_checkpoints t.store ~keep_latest:1 : int);
+  t.ckpt_ops <- t.ckpt_ops + 1;
+  (* Corollary 2: after a checkpoint the dependency on the process's own
+     current incarnation can be omitted. *)
+  Dep_vector.set t.tdv t.pid None;
+  trace t ~now (Checkpoint_taken { pid = t.pid; interval = t.current });
+  recheck t ~now
+
+(* ------------------------------------------------------------------ *)
+(* Crash / Restart (Figure 3)                                          *)
+
+let do_crash t ~now =
+  let first_lost =
+    match Store.volatile_peek t.store with
+    | Some (Delivery d) -> Some d.lg_interval
+    | Some (Requeued _) | None ->
+      (* Requeued records are flushed as soon as they are written, so the
+         volatile buffer starts with a delivery whenever it is non-empty. *)
+      None
+  in
+  t.metrics.lost_intervals <- t.metrics.lost_intervals + Store.volatile_length t.store;
+  ignore (Store.crash t.store : int);
+  t.up <- false;
+  trace t ~now (Crashed { pid = t.pid; first_lost })
+
+let do_restart t ~now =
+  t.metrics.restarts <- t.metrics.restarts + 1;
+  (* Volatile state is gone. *)
+  t.recv_buf <- [];
+  t.send_buf <- [];
+  t.out_buf <- [];
+  Hashtbl.reset t.delivered;
+  Hashtbl.reset t.stubs;
+  Hashtbl.reset t.direct_parents;
+  Hashtbl.reset t.assemblies;
+  Hashtbl.reset t.released_ids;
+  Hashtbl.reset t.buffered_send_ids;
+  Hashtbl.reset t.buffered_out_ids;
+  Hashtbl.reset t.committed_ids;
+  t.archive <- [];
+  t.unacked <- [];
+  t.log_tab <- Array.make t.n Entry_set.empty;
+  t.iet <- Array.make t.n Entry_set.empty;
+  t.max_ann_inc <- Array.make t.n (-1);
+  (* Rebuild durable knowledge from the synchronous area: announcements we
+     logged (ours and others'), committed outputs, incarnation markers. *)
+  List.iter
+    (function
+      | Wire.Ann_logged (ann : Wire.announcement) ->
+        t.iet.(ann.from_) <- Entry_set.insert t.iet.(ann.from_) ann.ending;
+        t.log_tab.(ann.from_) <- Entry_set.insert t.log_tab.(ann.from_) ann.ending;
+        if ann.ending.inc > t.max_ann_inc.(ann.from_) then
+          t.max_ann_inc.(ann.from_) <- ann.ending.inc
+      | Wire.Committed oid -> Hashtbl.replace t.committed_ids oid ()
+      | Wire.Gc_stubs ids -> List.iter (fun id -> Hashtbl.replace t.stubs id ()) ids
+      | Wire.Marker _ -> ())
+    (Store.announcements t.store);
+  let ck =
+    match Store.latest_checkpoint t.store with
+    | Some ck -> ck
+    | None -> assert false (* the initial checkpoint always exists *)
+  in
+  t.ckpt_ops <- t.ckpt_ops + 1;
+  (* Deliveries that predate the checkpoint are stable and still valid;
+     their identities must survive into the duplicate-suppression table. *)
+  List.iter
+    (function
+      | Delivery d -> Hashtbl.replace t.delivered d.lg_msg.Wire.id d.lg_interval
+      | Requeued _ -> ())
+    (Store.stable_log_from t.store ~pos:(Store.log_base t.store));
+  let _, requeued = rebuild t ~now ~ck ~halt:(fun _ -> false) in
+  (* Recover the retransmission archive: replay re-released the sends of
+     replayed intervals; anything older comes from the checkpoint copy. *)
+  List.iter
+    (fun (m : 'msg Wire.app_message) ->
+      if
+        (not (List.exists (fun (a : 'msg Wire.app_message) -> a.id = m.id) t.archive))
+        && not (Hashtbl.mem t.buffered_send_ids m.id)
+      then begin
+        t.archive <- m :: t.archive;
+        Hashtbl.replace t.released_ids m.id ()
+      end)
+    ck.ck_archive;
+  (* Requeued messages not re-delivered before the crash go back to the
+     receive buffer; known orphans and anything already delivered are
+     dropped. *)
+  List.iter
+    (fun (m : 'msg Wire.app_message) ->
+      if
+        (not (Hashtbl.mem t.delivered m.id))
+        && (not (buffered_in_recv t m.id))
+        && not (orphan_wire t m)
+      then t.recv_buf <- t.recv_buf @ [ (now, m) ])
+    requeued;
+  (* Everything reconstructed from the stable log is stable by definition. *)
+  trace t ~now (Stability_advanced { pid = t.pid; upto = t.current });
+  (* The failed incarnation is the highest number this process ever used,
+     which every bump persisted as a marker. *)
+  let max_inc =
+    List.fold_left
+      (fun acc r ->
+        match r with
+        | Wire.Marker { entry; _ } -> Stdlib.max acc entry.Entry.inc
+        | Wire.Ann_logged a when a.from_ = t.pid -> Stdlib.max acc a.ending.Entry.inc
+        | Wire.Ann_logged _ | Wire.Committed _ | Wire.Gc_stubs _ -> acc)
+      t.current.inc
+      (Store.announcements t.store)
+  in
+  let fa =
+    {
+      Wire.from_ = t.pid;
+      ending = Entry.make ~inc:max_inc ~sii:t.current.sii;
+      failure = true;
+    }
+  in
+  Store.log_announcement t.store (Wire.Ann_logged fa);
+  t.iet.(t.pid) <- Entry_set.insert t.iet.(t.pid) fa.ending;
+  t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) fa.ending;
+  t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) t.current;
+  let new_current = Entry.make ~inc:(max_inc + 1) ~sii:(t.current.sii + 1) in
+  Hashtbl.replace t.direct_parents new_current [ (t.pid, t.current) ];
+  t.current <- new_current;
+  Store.log_announcement t.store
+    (Wire.Marker { entry = new_current; log_pos = Store.stable_log_length t.store });
+  Dep_vector.set t.tdv t.pid (Some new_current);
+  t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) new_current;
+  t.frontier <- new_current;
+  t.send_idx <- 0;
+  t.out_idx <- 0;
+  elide_tdv t;
+  t.up <- true;
+  t.metrics.announcements_sent <- t.metrics.announcements_sent + 1;
+  trace t ~now (Restarted { pid = t.pid; announced = fa; new_current });
+  push t (Broadcast (Wire.Ann fa));
+  recheck t ~now
+
+(* ------------------------------------------------------------------ *)
+(* Public driver interface                                             *)
+
+let create ~config ~pid ~app ~trace:tr =
+  let config = Config.validate_exn config in
+  let n = config.Config.n in
+  if pid < 0 || pid >= n then invalid_arg "Node.create: pid out of range";
+  let state = app.App_intf.init ~pid ~n in
+  let t =
+    {
+      cfg = config;
+      pid;
+      n;
+      app;
+      trace = tr;
+      metrics = Metrics.create ();
+      store = Store.create ();
+      up = true;
+      current = Entry.initial;
+      tdv = Dep_vector.create ~n;
+      state;
+      log_tab = Array.make n Entry_set.empty;
+      iet = Array.make n Entry_set.empty;
+      max_ann_inc = Array.make n (-1);
+      recv_buf = [];
+      send_buf = [];
+      out_buf = [];
+      delivered = Hashtbl.create 64;
+      stubs = Hashtbl.create 16;
+      direct_parents = Hashtbl.create 64;
+      assemblies = Hashtbl.create 8;
+      released_ids = Hashtbl.create 64;
+      buffered_send_ids = Hashtbl.create 16;
+      buffered_out_ids = Hashtbl.create 16;
+      committed_ids = Hashtbl.create 16;
+      archive = [];
+      unacked = [];
+      send_idx = 0;
+      out_idx = 0;
+      frontier = Entry.initial;
+      outputs_log = [];
+      ckpt_ops = 0;
+      actions = [];
+    }
+  in
+  (* "Each process execution can be considered as starting with an initial
+     checkpoint" (Corollary 3): interval (0,1) is stable from the start. *)
+  Store.save_checkpoint t.store
+    {
+      ck_current = t.current;
+      ck_tdv = [];
+      ck_state = state;
+      ck_log_pos = 0;
+      ck_sends = [];
+      ck_outs = [];
+      ck_archive = [];
+    };
+  t.log_tab.(pid) <- Entry_set.insert t.log_tab.(pid) t.current;
+  Trace.add tr ~time:0.
+    (Interval_started
+       {
+         pid;
+         interval = t.current;
+         pred = None;
+         by = None;
+         sender_interval = None;
+         digest = app.App_intf.digest state;
+         replay = false;
+       });
+  t
+
+let with_cost t f =
+  let sync0 = Store.sync_writes t.store in
+  let del0 = t.metrics.deliveries in
+  let rep0 = t.metrics.replayed in
+  let ck0 = t.ckpt_ops in
+  t.actions <- [];
+  f ();
+  let actions = List.rev t.actions in
+  t.actions <- [];
+  ( actions,
+    {
+      deliveries = t.metrics.deliveries - del0;
+      replays = t.metrics.replayed - rep0;
+      sync_writes = Store.sync_writes t.store - sync0;
+      checkpoints = t.ckpt_ops - ck0;
+    } )
+
+let guard t f = if t.up then f () else ()
+
+let handle_packet t ~now packet =
+  with_cost t (fun () ->
+      guard t (fun () ->
+          match packet with
+          | Wire.App m -> receive_app t ~now m
+          | Wire.Ann ann -> receive_ann t ~now ann
+          | Wire.Notice notice -> receive_notice t ~now notice
+          | Wire.Ack ack -> receive_ack t ack
+          | Wire.Flush_request { from_ } ->
+            do_flush t ~now ~ack:true;
+            let rows = [ (t.pid, Entry_set.entries t.log_tab.(t.pid)) ] in
+            push t (Unicast { dst = from_; packet = Wire.Notice { from_ = t.pid; rows } })
+          | Wire.Dep_query { from_; intervals } ->
+            let infos =
+              List.map (fun interval -> (interval, local_dep_info t interval)) intervals
+            in
+            push t (Unicast { dst = from_; packet = Wire.Dep_reply { from_ = t.pid; infos } })
+          | Wire.Dep_reply { from_; infos } ->
+            Hashtbl.iter
+              (fun _ asm ->
+                List.iter
+                  (fun (interval, info) ->
+                    if Hashtbl.mem asm.members (from_, interval) then
+                      assembly_absorb t asm (from_, interval) info)
+                  infos)
+              t.assemblies;
+            check_output_buffer t ~now))
+
+let inject t ~now ~seq payload =
+  with_cost t (fun () ->
+      guard t (fun () ->
+          let m =
+            {
+              Wire.id =
+                {
+                  Wire.origin = App_intf.outside_world;
+                  origin_interval = Entry.make ~inc:0 ~sii:seq;
+                  idx = 0;
+                };
+              src = App_intf.outside_world;
+              dst = t.pid;
+              send_interval = Entry.initial;
+              dep = [];
+              payload;
+            }
+          in
+          receive_app t ~now m))
+
+let flush t ~now = with_cost t (fun () -> guard t (fun () -> do_flush t ~now ~ack:true))
+
+let perform t ~now effects =
+  with_cost t (fun () ->
+      guard t (fun () ->
+          List.iter
+            (function
+              | App_intf.Send { dst; msg; k } -> send_message t ~now ~dst ~k msg
+              | App_intf.Output text -> buffer_output t ~now text)
+            effects;
+          check_send_buffer t ~now;
+          check_output_buffer t ~now))
+
+let checkpoint t ~now = with_cost t (fun () -> guard t (fun () -> do_checkpoint t ~now))
+
+let broadcast_notice t ~now =
+  with_cost t (fun () ->
+      guard t (fun () ->
+          (* Direct tracking: allow one assembly query round per notice
+             period, and advance pending assemblies. *)
+          if (proto t).tracking = Config.Direct then begin
+            Hashtbl.iter
+              (fun _ asm ->
+                Hashtbl.iter (fun _ st -> st.m_queried <- false) asm.members)
+              t.assemblies;
+            check_output_buffer t ~now
+          end;
+          let rows =
+            if (proto t).gossip_notices then
+              List.filter_map
+                (fun j ->
+                  let es = Entry_set.entries t.log_tab.(j) in
+                  if es = [] then None else Some (j, es))
+                (List.init t.n Fun.id)
+            else [ (t.pid, Entry_set.entries t.log_tab.(t.pid)) ]
+          in
+          let entries = List.fold_left (fun acc (_, es) -> acc + List.length es) 0 rows in
+          t.metrics.notices <- t.metrics.notices + 1;
+          t.metrics.notice_entries <- t.metrics.notice_entries + entries;
+          trace t ~now (Notice_sent { pid = t.pid; entries });
+          push t (Broadcast (Wire.Notice { from_ = t.pid; rows }))))
+
+let crash t ~now = if t.up then do_crash t ~now
+
+let restart t ~now =
+  with_cost t (fun () -> if not t.up then do_restart t ~now)
+
+let is_up t = t.up
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+
+let pid t = t.pid
+
+let config t = t.cfg
+
+let current t = t.current
+
+let dep_vector t = Dep_vector.copy t.tdv
+
+let app_state t = t.state
+
+let log_row t j = t.log_tab.(j)
+
+let iet_row t j = t.iet.(j)
+
+let send_buffer_size t = List.length t.send_buf
+
+let receive_buffer_size t = List.length t.recv_buf
+
+let receive_buffer_messages t = List.map snd t.recv_buf
+
+let max_announced_inc t j = t.max_ann_inc.(j)
+
+let output_buffer_size t = List.length t.out_buf
+
+let committed_outputs t = List.rev t.outputs_log
+
+let stable_frontier t = t.frontier
+
+let metrics t = t.metrics
+
+let sync_writes t = Store.sync_writes t.store
+
+let flushes t = Store.flushes t.store
+
+let stable_log_length t = Store.stable_log_length t.store
+
+let live_log_records t = Store.live_log_records t.store
+
+let pp_state ppf t =
+  Fmt.pf ppf "P%d%s at %a tdv=%a recv=%d send=%d out=%d stable=%a" t.pid
+    (if t.up then "" else " (down)")
+    Entry.pp t.current Dep_vector.pp t.tdv
+    (List.length t.recv_buf)
+    (List.length t.send_buf)
+    (List.length t.out_buf)
+    Entry.pp t.frontier

@@ -1,0 +1,1 @@
+lib/runtime/actor_runtime.ml: Array Condition Fun List Mutex Queue Recovery Thread Unix

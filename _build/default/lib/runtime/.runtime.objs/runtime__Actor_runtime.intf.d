@@ -1,0 +1,1 @@
+lib/runtime/actor_runtime.mli: App_model Recovery

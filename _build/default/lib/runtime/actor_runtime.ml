@@ -1,0 +1,228 @@
+module Node = Recovery.Node
+module Wire = Recovery.Wire
+module Config = Recovery.Config
+
+type 'msg work =
+  | Packet of { src : int; packet : 'msg Wire.packet }
+  | Client of { seq : int; payload : 'msg }
+  | Tick of [ `Flush | `Checkpoint | `Notice ]
+  | Crash
+  | Stop
+
+type 'msg mailbox = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'msg work Queue.t;
+}
+
+let mailbox () =
+  { mutex = Mutex.create (); nonempty = Condition.create (); queue = Queue.create () }
+
+let post box work =
+  Mutex.lock box.mutex;
+  Queue.add work box.queue;
+  Condition.signal box.nonempty;
+  Mutex.unlock box.mutex
+
+let take box =
+  Mutex.lock box.mutex;
+  while Queue.is_empty box.queue do
+    Condition.wait box.nonempty box.mutex
+  done;
+  let work = Queue.pop box.queue in
+  Mutex.unlock box.mutex;
+  work
+
+let pending box =
+  Mutex.lock box.mutex;
+  let n = Queue.length box.queue in
+  Mutex.unlock box.mutex;
+  n
+
+type ('state, 'msg) t = {
+  config : Config.t;
+  time_scale : float;
+  start : float;
+  nodes : ('state, 'msg) Node.t array;
+  boxes : 'msg mailbox array;
+  trace_ : Recovery.Trace.t;
+  (* One big lock around every node handler call: nodes share the trace,
+     and actor realism lives in the queues and timers, not in parallel
+     handler execution. *)
+  big_lock : Mutex.t;
+  busy : bool array; (* actor currently inside a handler *)
+  recovering : bool array; (* actor between fail-stop and completed restart *)
+  mutable threads : Thread.t list;
+  mutable stopping : bool;
+  mutable inject_seq : int;
+  mutable client_log : (int * int * 'msg) list; (* seq, dst, payload *)
+  seq_lock : Mutex.t;
+}
+
+let now t = (Unix.gettimeofday () -. t.start) /. t.time_scale
+
+let dispatch t ~src actions =
+  List.iter
+    (function
+      | Node.Unicast { dst; packet } -> post t.boxes.(dst) (Packet { src; packet })
+      | Node.Broadcast packet ->
+        Array.iteri
+          (fun dst box -> if dst <> src then post box (Packet { src; packet }))
+          t.boxes;
+        (* The outside world hears failure announcements too and retries its
+           requests to the failed process; the node's duplicate suppression
+           keeps the retries idempotent (cf. Harness.Cluster). *)
+        (match packet with
+        | Wire.Ann a when a.Wire.failure ->
+          Mutex.lock t.seq_lock;
+          let retries = List.filter (fun (_, dst, _) -> dst = src) t.client_log in
+          Mutex.unlock t.seq_lock;
+          List.iter
+            (fun (seq, dst, payload) -> post t.boxes.(dst) (Client { seq; payload }))
+            (List.rev retries)
+        | _ -> ()))
+    actions
+
+let locked t pid f =
+  Mutex.lock t.big_lock;
+  t.busy.(pid) <- true;
+  let result = try Ok (f ()) with exn -> Error exn in
+  t.busy.(pid) <- false;
+  Mutex.unlock t.big_lock;
+  match result with Ok v -> v | Error exn -> raise exn
+
+let actor_loop t pid =
+  let node = t.nodes.(pid) in
+  let continue = ref true in
+  while !continue do
+    match take t.boxes.(pid) with
+    | Stop -> continue := false
+    | Packet { packet; _ } ->
+      let actions, _cost =
+        locked t pid (fun () -> Node.handle_packet node ~now:(now t) packet)
+      in
+      dispatch t ~src:pid actions
+    | Client { seq; payload } ->
+      let actions, _cost =
+        locked t pid (fun () -> Node.inject node ~now:(now t) ~seq payload)
+      in
+      dispatch t ~src:pid actions
+    | Tick kind ->
+      let actions, _cost =
+        locked t pid (fun () ->
+            match kind with
+            | `Flush -> Node.flush node ~now:(now t)
+            | `Checkpoint -> Node.checkpoint node ~now:(now t)
+            | `Notice -> Node.broadcast_notice node ~now:(now t))
+      in
+      dispatch t ~src:pid actions
+    | Crash ->
+      (* Fail-stop: volatile state is dropped immediately; the mailbox keeps
+         accumulating like a listen backlog while the process reboots.  The
+         recovering flag keeps [idle] (and hence [await]-based settlement
+         checks) honest for the whole outage. *)
+      t.recovering.(pid) <- true;
+      locked t pid (fun () -> Node.crash node ~now:(now t));
+      Thread.delay (t.config.Config.timing.restart_delay *. t.time_scale);
+      let actions, _cost = locked t pid (fun () -> Node.restart node ~now:(now t)) in
+      dispatch t ~src:pid actions;
+      t.recovering.(pid) <- false
+  done
+
+let timer_loop t =
+  let tick interval kind =
+    match interval with
+    | None -> None
+    | Some period -> Some (ref (period *. t.time_scale), period *. t.time_scale, kind)
+  in
+  let timers =
+    List.filter_map Fun.id
+      [
+        tick t.config.Config.timing.flush_interval `Flush;
+        tick t.config.Config.timing.checkpoint_interval `Checkpoint;
+        tick t.config.Config.timing.notice_interval `Notice;
+      ]
+  in
+  let resolution = 0.002 in
+  let elapsed = ref 0. in
+  while not t.stopping do
+    Thread.delay resolution;
+    elapsed := !elapsed +. resolution;
+    List.iter
+      (fun (next, period, kind) ->
+        if !elapsed >= !next then begin
+          next := !next +. period;
+          Array.iter (fun box -> post box (Tick kind)) t.boxes
+        end)
+      timers
+  done
+
+let create ~config ~app ?(time_scale = 0.001) () =
+  let config = Config.validate_exn config in
+  let n = config.Config.n in
+  let trace_ = Recovery.Trace.create () in
+  let t =
+    {
+      config;
+      time_scale;
+      start = Unix.gettimeofday ();
+      nodes = Array.init n (fun pid -> Node.create ~config ~pid ~app ~trace:trace_);
+      boxes = Array.init n (fun _ -> mailbox ());
+      trace_;
+      big_lock = Mutex.create ();
+      busy = Array.make n false;
+      recovering = Array.make n false;
+      threads = [];
+      stopping = false;
+      inject_seq = 0;
+      client_log = [];
+      seq_lock = Mutex.create ();
+    }
+  in
+  let actors = List.init n (fun pid -> Thread.create (actor_loop t) pid) in
+  let timer = Thread.create timer_loop t in
+  t.threads <- timer :: actors;
+  t
+
+let inject t ~dst payload =
+  Mutex.lock t.seq_lock;
+  t.inject_seq <- t.inject_seq + 1;
+  let seq = t.inject_seq in
+  t.client_log <- (seq, dst, payload) :: t.client_log;
+  Mutex.unlock t.seq_lock;
+  post t.boxes.(dst) (Client { seq; payload })
+
+let crash t ~pid = post t.boxes.(pid) Crash
+
+let with_node t pid f =
+  Mutex.lock t.big_lock;
+  let result = try Ok (f t.nodes.(pid)) with exn -> Error exn in
+  Mutex.unlock t.big_lock;
+  match result with Ok v -> v | Error exn -> raise exn
+
+let idle t =
+  Array.for_all (fun box -> pending box = 0) t.boxes
+  && Array.for_all (fun b -> not b) t.busy
+  && Array.for_all (fun b -> not b) t.recovering
+
+let await (_t : ('state, 'msg) t) ?(timeout = 10.) condition =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec poll () =
+    if condition () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.005;
+      poll ()
+    end
+  in
+  poll ()
+
+let trace t = t.trace_
+
+let shutdown t =
+  if not t.stopping then begin
+    t.stopping <- true;
+    Array.iter (fun box -> post box Stop) t.boxes;
+    List.iter Thread.join t.threads;
+    t.threads <- []
+  end

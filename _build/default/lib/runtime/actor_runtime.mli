@@ -1,0 +1,52 @@
+(** A threaded actor deployment of the recovery protocol.
+
+    The simulator ({!Harness.Cluster}) exercises the protocol under
+    controlled, deterministic schedules; this runtime runs the {e same}
+    {!Recovery.Node} on real OS threads with real mailboxes and wall-clock
+    timers — the shape a downstream user would embed in an actual service.
+    One thread per process drains a mutex-protected mailbox; periodic
+    flush/checkpoint/notice ticks come from a timer thread; a crash makes
+    the actor drop its volatile state, sleep through the restart delay and
+    recover, while its mailbox keeps accumulating like a listen backlog.
+
+    Nondeterminism here is real (thread scheduling), so runs are not
+    reproducible — the correctness argument is the same offline causality
+    oracle, applied to the merged trace after the run. *)
+
+type ('state, 'msg) t
+
+val create :
+  config:Recovery.Config.t ->
+  app:('state, 'msg) App_model.App_intf.t ->
+  ?time_scale:float ->
+  unit ->
+  ('state, 'msg) t
+(** Spawn one actor thread per process plus a timer thread.  [time_scale]
+    (default 0.001) converts the configuration's abstract time units to
+    seconds — with the default, a flush interval of 50 means 50 ms. *)
+
+val inject : ('state, 'msg) t -> dst:int -> 'msg -> unit
+(** Outside-world message; thread-safe. *)
+
+val crash : ('state, 'msg) t -> pid:int -> unit
+(** Ask the actor to fail-stop and recover after the configured restart
+    delay; thread-safe and asynchronous. *)
+
+val with_node : ('state, 'msg) t -> int -> (('state, 'msg) Recovery.Node.t -> 'a) -> 'a
+(** Run a read-only inspection of a node under the runtime's lock. *)
+
+val await :
+  ('state, 'msg) t -> ?timeout:float -> (unit -> bool) -> bool
+(** Poll the condition (called without the lock; use {!with_node} inside)
+    every few milliseconds until it holds or [timeout] (seconds, default 10)
+    elapses.  Returns whether the condition was met. *)
+
+val idle : ('state, 'msg) t -> bool
+(** No mailbox has pending work and no actor is mid-handler.  (Timers keep
+    ticking, so this is a snapshot, not a fixpoint.) *)
+
+val trace : ('state, 'msg) t -> Recovery.Trace.t
+(** The shared execution trace; stable to read after {!shutdown}. *)
+
+val shutdown : ('state, 'msg) t -> unit
+(** Stop all threads and join them.  Idempotent. *)

@@ -1,0 +1,1 @@
+lib/sim/summary.ml: Array Float Fmt List Stdlib

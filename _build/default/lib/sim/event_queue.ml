@@ -1,0 +1,38 @@
+type 'a cell = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  heap : 'a cell Heap.t;
+  mutable next_seq : int;
+}
+
+let cmp a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () = { heap = Heap.create ~cmp; next_seq = 0 }
+
+let schedule t ~time payload =
+  if not (Float.is_finite time) || time < 0. then
+    invalid_arg "Event_queue.schedule: time must be finite and non-negative";
+  Heap.push t.heap { time; seq = t.next_seq; payload };
+  t.next_seq <- t.next_seq + 1
+
+let next t =
+  match Heap.pop t.heap with
+  | None -> None
+  | Some cell -> Some (cell.time, cell.payload)
+
+let peek_time t =
+  match Heap.peek t.heap with
+  | None -> None
+  | Some cell -> Some cell.time
+
+let is_empty t = Heap.is_empty t.heap
+
+let length t = Heap.length t.heap
+
+let drain t ~keep =
+  let cells = Heap.to_list t.heap in
+  Heap.clear t.heap;
+  let surviving = List.filter (fun c -> keep (c.time, c.payload)) cells in
+  List.iter (Heap.push t.heap) (List.sort cmp surviving)

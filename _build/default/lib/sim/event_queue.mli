@@ -1,0 +1,27 @@
+(** Discrete-event scheduler queue.
+
+    Events are ordered by simulated time; ties break deterministically by
+    insertion order, so a simulation run is fully reproducible. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val schedule : 'a t -> time:float -> 'a -> unit
+(** Enqueue an event at absolute simulated time [time] (must be finite and
+    non-negative). *)
+
+val next : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest pending event. *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val drain : 'a t -> keep:(float * 'a -> bool) -> unit
+(** Remove every pending event that does not satisfy [keep].  Relative order
+    of surviving events is preserved.  Used by failure injection to cancel a
+    crashed node's local timers. *)

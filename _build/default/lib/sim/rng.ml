@@ -1,0 +1,84 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 (Steele, Lea, Flood 2014): one additive step followed by a
+   64-bit finalizer.  Chosen for determinism across platforms and cheap
+   splitting; statistical quality is ample for simulation workloads. *)
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = bits64 t }
+
+(* Keep 62 significant bits: OCaml's native int has 63, so a 63-bit
+   unsigned value would overflow into the sign bit. *)
+let nonneg t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection sampling to avoid modulo bias on pathological bounds. *)
+  let max_int62 = (1 lsl 62) - 1 in
+  let limit = max_int62 - (max_int62 mod bound) in
+  let rec draw () =
+    let v = nonneg t in
+    if v >= limit then draw () else v mod bound
+  in
+  draw ()
+
+let int_in t ~lo ~hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  assert (bound > 0.);
+  (* 53 uniform mantissa bits, the full precision of a double in [0,1). *)
+  let bits53 = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int bits53 /. 9007199254740992. *. bound
+
+let uniform t ~lo ~hi =
+  assert (lo <= hi);
+  if lo = hi then lo else lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t ~p =
+  let p = Float.max 0. (Float.min 1. p) in
+  float t 1. < p
+
+let exponential t ~mean =
+  assert (mean > 0.);
+  let u = float t 1. in
+  (* 1 - u is in (0, 1], keeping log finite. *)
+  -.mean *. log (1. -. u)
+
+let geometric t ~p =
+  assert (p > 0. && p <= 1.);
+  if p >= 1. then 0
+  else
+    let u = float t 1. in
+    int_of_float (Float.floor (log (1. -. u) /. log (1. -. p)))
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let pick_other t ~n ~self =
+  assert (n >= 2);
+  let v = int t (n - 1) in
+  if v >= self then v + 1 else v
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every simulation draws randomness exclusively from values of this type so
+    that a run is a pure function of its seed.  [split] derives an
+    independent stream, which lets subsystems (network latency, workload,
+    failure schedule) evolve without perturbing each other's sequences. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator.  Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current stream state. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t] by one step. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output of the SplitMix64 sequence. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  Requires [bound > 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** [int_in t ~lo ~hi] is uniform in [\[lo, hi\]] inclusive.
+    Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)].  Requires [bound > 0.]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)].  Requires [lo <= hi]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> p:float -> bool
+(** [bernoulli t ~p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean ([mean > 0.]). *)
+
+val geometric : t -> p:float -> int
+(** Number of Bernoulli(p) failures before the first success; [0 < p <= 1]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_other : t -> n:int -> self:int -> int
+(** Uniform element of [\[0, n) \ {self}].  Requires [n >= 2]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,153 @@
+type ('ckpt, 'log, 'ann) t = {
+  mutable stable_log : 'log list; (* newest first, positions [base, stable_len) *)
+  mutable stable_len : int;
+  mutable base : int; (* logical position of the oldest retained record *)
+  volatile : 'log Queue.t;
+  mutable ckpts : 'ckpt list; (* newest first *)
+  mutable anns : 'ann list; (* newest first *)
+  mutable inc : int;
+  mutable sync_writes : int;
+  mutable flushes : int;
+}
+
+let create () =
+  {
+    stable_log = [];
+    stable_len = 0;
+    base = 0;
+    volatile = Queue.create ();
+    ckpts = [];
+    anns = [];
+    inc = 0;
+    sync_writes = 0;
+    flushes = 0;
+  }
+
+let append_volatile t r = Queue.add r t.volatile
+
+let flush t =
+  let n = Queue.length t.volatile in
+  if n > 0 then begin
+    Queue.iter (fun r -> t.stable_log <- r :: t.stable_log) t.volatile;
+    Queue.clear t.volatile;
+    t.stable_len <- t.stable_len + n;
+    t.flushes <- t.flushes + 1;
+    t.sync_writes <- t.sync_writes + 1
+  end;
+  n
+
+let stable_log_length t = t.stable_len
+
+let volatile_length t = Queue.length t.volatile
+
+let volatile_peek t = Queue.peek_opt t.volatile
+
+let stable_log_from t ~pos =
+  if pos < t.base || pos > t.stable_len then
+    invalid_arg "Stable_store.stable_log_from: position out of range";
+  (* stable_log is newest first; take until we reach position [pos]. *)
+  let rec take i acc = function
+    | [] -> acc
+    | r :: rest -> if i < pos then acc else take (i - 1) (r :: acc) rest
+  in
+  take (t.stable_len - 1) [] t.stable_log
+
+let truncate_stable_log t ~keep =
+  if keep < t.base || keep > t.stable_len then
+    invalid_arg "Stable_store.truncate_stable_log: keep out of range";
+  let removed = stable_log_from t ~pos:keep in
+  let rec drop i l = if i = 0 then l else drop (i - 1) (List.tl l) in
+  t.stable_log <- drop (t.stable_len - keep) t.stable_log;
+  t.stable_len <- keep;
+  Queue.clear t.volatile;
+  removed
+
+let discard_log_prefix t ~before =
+  if before > t.stable_len then
+    invalid_arg "Stable_store.discard_log_prefix: position out of range";
+  if before <= t.base then 0
+  else begin
+    (* newest-first: keep the first (stable_len - before) physical cells *)
+    let keep_cells = t.stable_len - before in
+    let rec take i acc l =
+      if i = 0 then List.rev acc
+      else
+        match l with
+        | [] -> List.rev acc
+        | r :: rest -> take (i - 1) (r :: acc) rest
+    in
+    let discarded = before - t.base in
+    t.stable_log <- take keep_cells [] t.stable_log;
+    t.base <- before;
+    discarded
+  end
+
+let log_base t = t.base
+
+let live_log_records t = t.stable_len - t.base
+
+let save_checkpoint t c =
+  ignore (flush t : int);
+  t.ckpts <- c :: t.ckpts;
+  t.sync_writes <- t.sync_writes + 1
+
+let latest_checkpoint t =
+  match t.ckpts with [] -> None | c :: _ -> Some c
+
+let checkpoints t = t.ckpts
+
+let restore_checkpoint t ~satisfying =
+  let rec find = function
+    | [] -> None
+    | c :: rest -> if satisfying c then Some (c, c :: rest) else find rest
+  in
+  match find t.ckpts with
+  | None -> None
+  | Some (c, kept) ->
+    t.ckpts <- kept;
+    Some c
+
+let prune_checkpoints t ~keep_latest =
+  if keep_latest < 1 then
+    invalid_arg "Stable_store.prune_checkpoints: must keep at least one";
+  let rec split i acc = function
+    | [] -> (List.rev acc, [])
+    | rest when i = 0 -> (List.rev acc, rest)
+    | c :: rest -> split (i - 1) (c :: acc) rest
+  in
+  let kept, dropped = split keep_latest [] t.ckpts in
+  t.ckpts <- kept;
+  List.length dropped
+
+let prune_checkpoints_older_than t ~anchor =
+  let rec split acc = function
+    | [] -> None
+    | c :: rest when anchor c -> Some (List.rev (c :: acc), rest)
+    | c :: rest -> split (c :: acc) rest
+  in
+  match split [] t.ckpts with
+  | None -> 0
+  | Some (kept, dropped) ->
+    t.ckpts <- kept;
+    List.length dropped
+
+let log_announcement t a =
+  t.anns <- a :: t.anns;
+  t.sync_writes <- t.sync_writes + 1
+
+let announcements t = List.rev t.anns
+
+let set_incarnation t i =
+  t.inc <- i;
+  t.sync_writes <- t.sync_writes + 1
+
+let incarnation t = t.inc
+
+let crash t =
+  let lost = Queue.length t.volatile in
+  Queue.clear t.volatile;
+  lost
+
+let sync_writes t = t.sync_writes
+
+let flushes t = t.flushes

@@ -1,0 +1,125 @@
+(** Simulated per-process stable storage.
+
+    Models exactly the storage properties the recovery protocol relies on:
+
+    - a {b message log} split into a stable prefix and a volatile suffix; the
+      paper's optimistic logging "first saves messages in a volatile buffer
+      and later writes several messages to stable storage in a single
+      operation" ([flush]);
+    - {b checkpoints}, each of which also flushes the volatile buffer "so
+      that stable state intervals are always continuous" (Section 2);
+    - a small synchronous area for {b failure announcements} and the
+      process's {b incarnation counter} (Figure 3 logs announcements
+      synchronously; the incarnation counter must survive a crash so that a
+      process never reuses an incarnation number);
+    - {b crash semantics}: [crash] discards the volatile suffix and nothing
+      else.
+
+    The store is generic in the checkpoint, log-record and announcement
+    types so that it carries whatever the recovery layer defines.  It also
+    counts synchronous writes and flushes; the simulation engine converts
+    those counts into time via its cost model. *)
+
+type ('ckpt, 'log, 'ann) t
+
+val create : unit -> ('ckpt, 'log, 'ann) t
+
+(** {1 Message log} *)
+
+val append_volatile : ('ckpt, 'log, 'ann) t -> 'log -> unit
+(** Record a delivered message in the volatile buffer. *)
+
+val flush : ('ckpt, 'log, 'ann) t -> int
+(** Write the whole volatile buffer to stable storage in one operation;
+    returns the number of records made stable.  Counted as one flush (and as
+    a synchronous write only when records were actually written). *)
+
+val stable_log_length : ('ckpt, 'log, 'ann) t -> int
+
+val volatile_length : ('ckpt, 'log, 'ann) t -> int
+
+val volatile_peek : ('ckpt, 'log, 'ann) t -> 'log option
+(** Oldest record still in the volatile buffer — the first record a crash
+    would lose. *)
+
+val stable_log_from : ('ckpt, 'log, 'ann) t -> pos:int -> 'log list
+(** Stable log records from position [pos] (0-based) onward, in order. *)
+
+val truncate_stable_log : ('ckpt, 'log, 'ann) t -> keep:int -> 'log list
+(** Keep only the first [keep] stable records, returning the removed tail in
+    order.  Used by Rollback: replay stops at the first orphan interval and
+    the remaining logged messages are re-examined.  Also clears the volatile
+    buffer (its contents started intervals after the truncation point).
+    @raise Invalid_argument if [keep] exceeds the stable length. *)
+
+val discard_log_prefix : ('ckpt, 'log, 'ann) t -> before:int -> int
+(** Garbage-collect stable records at logical positions [< before], which
+    replay will never need again (they precede a checkpoint that can never
+    be rolled past).  Logical positions are preserved: [stable_log_length]
+    and the positions used by [stable_log_from]/[truncate_stable_log] are
+    unchanged; only the storage is reclaimed.  Returns the number of
+    records discarded.  Requesting a prefix already discarded is a no-op.
+    @raise Invalid_argument if [before] exceeds the stable length. *)
+
+val log_base : ('ckpt, 'log, 'ann) t -> int
+(** First logical position still physically present (0 when no prefix has
+    been discarded).  [stable_log_from ~pos] requires [pos >= log_base]. *)
+
+val live_log_records : ('ckpt, 'log, 'ann) t -> int
+(** Number of records physically retained — the storage-footprint metric
+    the garbage-collection experiment reports. *)
+
+(** {1 Checkpoints} *)
+
+val save_checkpoint : ('ckpt, 'log, 'ann) t -> 'ckpt -> unit
+(** Persist a checkpoint; flushes the volatile buffer first (counted). *)
+
+val latest_checkpoint : ('ckpt, 'log, 'ann) t -> 'ckpt option
+
+val checkpoints : ('ckpt, 'log, 'ann) t -> 'ckpt list
+(** Newest first. *)
+
+val restore_checkpoint :
+  ('ckpt, 'log, 'ann) t -> satisfying:('ckpt -> bool) -> 'ckpt option
+(** Latest checkpoint satisfying the predicate; discards the (newer)
+    checkpoints that follow it, per Figure 3's Rollback. *)
+
+val prune_checkpoints : ('ckpt, 'log, 'ann) t -> keep_latest:int -> int
+(** Garbage-collect all but the [keep_latest] newest checkpoints; returns
+    how many were discarded.  Requires [keep_latest >= 1] (the latest
+    checkpoint is always needed for restart). *)
+
+val prune_checkpoints_older_than :
+  ('ckpt, 'log, 'ann) t -> anchor:('ckpt -> bool) -> int
+(** Discard every checkpoint older than the newest one satisfying
+    [anchor]; the anchor itself and everything newer are kept.  No-op when
+    no checkpoint satisfies [anchor].  Returns how many were discarded. *)
+
+(** {1 Synchronous area} *)
+
+val log_announcement : ('ckpt, 'log, 'ann) t -> 'ann -> unit
+(** Synchronous write (counted). *)
+
+val announcements : ('ckpt, 'log, 'ann) t -> 'ann list
+(** Oldest first. *)
+
+val set_incarnation : ('ckpt, 'log, 'ann) t -> int -> unit
+(** Synchronously persist the incarnation counter (counted).  Necessary so a
+    process that fails right after a rollback does not reuse an incarnation
+    number — a refinement Figure 3 leaves implicit. *)
+
+val incarnation : ('ckpt, 'log, 'ann) t -> int
+(** Last persisted incarnation counter; 0 initially. *)
+
+(** {1 Crash semantics and accounting} *)
+
+val crash : ('ckpt, 'log, 'ann) t -> int
+(** Discard the volatile buffer; returns how many records were lost.  All
+    stable content survives. *)
+
+val sync_writes : ('ckpt, 'log, 'ann) t -> int
+(** Number of synchronous stable-storage operations so far (flushes that
+    wrote data, checkpoints, announcement and incarnation writes). *)
+
+val flushes : ('ckpt, 'log, 'ann) t -> int
+(** Number of [flush] calls that wrote at least one record. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest App_model Chatter_app Counter_app Fmt Hashing Kvstore_app List Pipeline_app QCheck2 Script_app Telecom_app Util

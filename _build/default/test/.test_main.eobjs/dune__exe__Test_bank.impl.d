@@ -1,0 +1,1 @@
+test/test_bank.ml: Alcotest App_model Array Harness List Recovery Sim String

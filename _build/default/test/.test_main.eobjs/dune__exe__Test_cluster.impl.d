@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest App_model Harness List Recovery Util

@@ -1,0 +1,1 @@
+test/test_dep_vector.ml: Alcotest Dep_vector Depend Entry Int List Multi_dep QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_direct.ml: Alcotest App_model Depend Entry Fmt Harness List Recovery Sim Stdlib Util

@@ -1,0 +1,1 @@
+test/test_entry.ml: Alcotest Depend Entry Fmt QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_entry_set.ml: Alcotest Depend Entry Entry_set Int List QCheck2 Stdlib Util

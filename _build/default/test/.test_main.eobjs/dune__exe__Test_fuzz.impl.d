@@ -1,0 +1,1 @@
+test/test_fuzz.ml: App_model Dep_vector Depend Entry Fmt List QCheck2 Recovery Util

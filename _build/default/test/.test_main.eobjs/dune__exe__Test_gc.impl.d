@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest App_model Array Fmt Harness List Recovery Sim Storage Util

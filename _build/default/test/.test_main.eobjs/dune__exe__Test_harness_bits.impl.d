@@ -1,0 +1,1 @@
+test/test_harness_bits.ml: Alcotest App_model Float Fmt Harness List Recovery Sim String Util

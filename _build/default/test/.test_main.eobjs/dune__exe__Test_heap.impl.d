@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Float Int List QCheck2 Sim Util

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest App_model Array Fmt Harness List QCheck2 Recovery Sim Util

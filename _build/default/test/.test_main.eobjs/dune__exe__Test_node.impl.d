@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest App_model Dep_vector Depend Entry Entry_set List Recovery Sim Util

@@ -1,0 +1,1 @@
+test/test_node_edge.ml: Alcotest App_model Depend Entry Entry_set List Recovery Util

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Depend Entry Harness Recovery Util

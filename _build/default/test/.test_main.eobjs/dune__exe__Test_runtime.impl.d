@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest App_model Fun Harness List Recovery Runtime Thread

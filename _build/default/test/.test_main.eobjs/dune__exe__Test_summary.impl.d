@@ -1,0 +1,1 @@
+test/test_summary.ml: Alcotest Float List QCheck2 Sim Util

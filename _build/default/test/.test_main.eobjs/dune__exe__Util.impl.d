@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Dep_vector Depend Entry Entry_set List QCheck2 QCheck_alcotest Recovery

@@ -1,0 +1,268 @@
+(* PWD applications: determinism (the model's core requirement) and
+   per-app behaviour. *)
+
+open App_model
+module App_intf = App_model.App_intf
+
+(* Run a message sequence through an app twice and compare digests — the
+   PWD contract that makes replay-based recovery possible. *)
+let replay_equal (app : ('s, 'm) App_intf.t) ~pid ~n msgs =
+  let run () =
+    List.fold_left
+      (fun state (src, m) ->
+        let state', _ = app.App_intf.handle ~pid ~n state ~src m in
+        state')
+      (app.App_intf.init ~pid ~n)
+      msgs
+  in
+  app.App_intf.digest (run ()) = app.App_intf.digest (run ())
+
+let test_counter_behaviour () =
+  let app = Counter_app.app in
+  let s0 = app.App_intf.init ~pid:1 ~n:4 in
+  let s1, eff1 = app.App_intf.handle ~pid:1 ~n:4 s0 ~src:(-1) (Counter_app.Add 5) in
+  Alcotest.(check int) "no effects" 0 (List.length eff1);
+  let s2, eff2 =
+    app.App_intf.handle ~pid:1 ~n:4 s1 ~src:(-1)
+      (Counter_app.Forward { dst = 2; amount = 3 })
+  in
+  (match eff2 with
+  | [ App_intf.Send { dst = 2; msg = Counter_app.Add 3; k = None } ] -> ()
+  | _ -> Alcotest.fail "forward should send Add to 2");
+  let _, eff3 = app.App_intf.handle ~pid:1 ~n:4 s2 ~src:(-1) Counter_app.Report in
+  match eff3 with
+  | [ App_intf.Output text ] ->
+    Alcotest.(check string) "output" "p1 total=8" text
+  | _ -> Alcotest.fail "report should output"
+
+let test_counter_digest_changes () =
+  let app = Counter_app.app in
+  let s0 = app.App_intf.init ~pid:0 ~n:2 in
+  let s1, _ = app.App_intf.handle ~pid:0 ~n:2 s0 ~src:(-1) (Counter_app.Add 1) in
+  Alcotest.(check bool) "digest differs" false
+    (app.App_intf.digest s0 = app.App_intf.digest s1)
+
+let gen_counter_msgs =
+  QCheck2.Gen.(
+    list_size (int_bound 30)
+      (map (fun v -> (-1, Counter_app.Add v)) (int_range (-10) 10)))
+
+let test_counter_deterministic =
+  Util.qtest "counter replay determinism" gen_counter_msgs (fun msgs ->
+      replay_equal Counter_app.app ~pid:0 ~n:4 msgs)
+
+let test_kvstore_routing () =
+  let app = Kvstore_app.app in
+  let n = 4 in
+  let key = "somekey" in
+  let owner = Kvstore_app.owner ~n key in
+  let other = (owner + 1) mod n in
+  (* A put at a non-owner routes to the owner. *)
+  let s0 = app.App_intf.init ~pid:other ~n in
+  let _, eff = app.App_intf.handle ~pid:other ~n s0 ~src:(-1) (Kvstore_app.Put { key; value = 1 }) in
+  (match eff with
+  | [ App_intf.Send { dst; msg = Kvstore_app.Put _; _ } ] ->
+    Alcotest.(check int) "routed to owner" owner dst
+  | _ -> Alcotest.fail "expected routed put");
+  (* A put at the owner applies and replicates to the successor. *)
+  let s0 = app.App_intf.init ~pid:owner ~n in
+  let s1, eff = app.App_intf.handle ~pid:owner ~n s0 ~src:(-1) (Kvstore_app.Put { key; value = 7 }) in
+  (match eff with
+  | [ App_intf.Send { dst; msg = Kvstore_app.Replica { version = 1; _ }; _ } ] ->
+    Alcotest.(check int) "replica to successor" ((owner + 1) mod n) dst
+  | _ -> Alcotest.fail "expected replica");
+  let _, eff = app.App_intf.handle ~pid:owner ~n s1 ~src:(-1) (Kvstore_app.Get key) in
+  match eff with
+  | [ App_intf.Output text ] ->
+    Alcotest.(check string) "get answer" (Fmt.str "get %s -> 7 (v1)" key) text
+  | _ -> Alcotest.fail "expected output"
+
+let test_kvstore_replica_versions () =
+  let app = Kvstore_app.app in
+  let s0 = app.App_intf.init ~pid:0 ~n:4 in
+  let s1, _ =
+    app.App_intf.handle ~pid:0 ~n:4 s0 ~src:1
+      (Kvstore_app.Replica { key = "k"; value = 5; version = 3 })
+  in
+  (* An older replica must not overwrite a newer one. *)
+  let s2, _ =
+    app.App_intf.handle ~pid:0 ~n:4 s1 ~src:1
+      (Kvstore_app.Replica { key = "k"; value = 9; version = 2 })
+  in
+  let _, eff = app.App_intf.handle ~pid:0 ~n:4 s2 ~src:(-1) (Kvstore_app.Get "k") in
+  match eff with
+  | [ App_intf.Output text ] -> Alcotest.(check string) "newer kept" "get k -> 5 (v3)" text
+  | _ -> Alcotest.fail "expected output"
+
+let test_pipeline_stages () =
+  let app = Pipeline_app.app in
+  let n = 3 in
+  let s0 = app.App_intf.init ~pid:0 ~n in
+  let _, eff =
+    app.App_intf.handle ~pid:0 ~n s0 ~src:(-1)
+      (Pipeline_app.Job { id = 1; stage = 0; payload = 42 })
+  in
+  (match eff with
+  | [ App_intf.Send { dst = 1; msg = Pipeline_app.Job { id = 1; stage = 1; _ }; _ } ] -> ()
+  | _ -> Alcotest.fail "middle stage forwards");
+  let slast = app.App_intf.init ~pid:2 ~n in
+  let _, eff =
+    app.App_intf.handle ~pid:2 ~n slast ~src:1
+      (Pipeline_app.Job { id = 1; stage = 2; payload = 42 })
+  in
+  match eff with
+  | [ App_intf.Output _ ] -> ()
+  | _ -> Alcotest.fail "last stage outputs"
+
+let test_pipeline_transform_deterministic () =
+  Alcotest.(check int) "same inputs same transform"
+    (Pipeline_app.transform ~pid:2 17)
+    (Pipeline_app.transform ~pid:2 17);
+  Alcotest.(check bool) "pid matters" false
+    (Pipeline_app.transform ~pid:1 17 = Pipeline_app.transform ~pid:2 17)
+
+let test_telecom_route_valid =
+  Util.qtest "telecom routes stay in range and avoid self-loops"
+    QCheck2.Gen.(triple (int_range 2 16) (int_bound 1000) (int_range 1 6))
+    (fun (n, call_id, hops) ->
+      let ingress = call_id mod n in
+      let route = Telecom_app.route ~n ~ingress ~call_id ~hops in
+      List.length route = hops
+      && List.for_all (fun sw -> sw >= 0 && sw < n) route
+      &&
+      let rec no_self prev = function
+        | [] -> true
+        | x :: rest -> x <> prev && no_self x rest
+      in
+      no_self ingress route)
+
+let test_telecom_connects () =
+  let app = Telecom_app.app in
+  let s0 = app.App_intf.init ~pid:2 ~n:4 in
+  let s1, eff =
+    app.App_intf.handle ~pid:2 ~n:4 s0 ~src:1
+      (Telecom_app.Setup { call_id = 9; route = [] })
+  in
+  (match eff with
+  | [ App_intf.Output text ] ->
+    Alcotest.(check string) "connected" "call 9 connected at switch 2" text
+  | _ -> Alcotest.fail "expected connect output");
+  let _, eff =
+    app.App_intf.handle ~pid:2 ~n:4 s1 ~src:1
+      (Telecom_app.Setup { call_id = 10; route = [ 3; 1 ] })
+  in
+  match eff with
+  | [ App_intf.Send { dst = 3; msg = Telecom_app.Setup { call_id = 10; route = [ 1 ] }; _ } ]
+    -> ()
+  | _ -> Alcotest.fail "expected forward to next switch"
+
+let test_telecom_teardown () =
+  let app = Telecom_app.app in
+  let s0 = app.App_intf.init ~pid:0 ~n:4 in
+  let s1, _ =
+    app.App_intf.handle ~pid:0 ~n:4 s0 ~src:1 (Telecom_app.Setup { call_id = 1; route = [] })
+  in
+  let s2, eff = app.App_intf.handle ~pid:0 ~n:4 s1 ~src:1 (Telecom_app.Teardown { call_id = 1 }) in
+  Alcotest.(check int) "no effects" 0 (List.length eff);
+  Alcotest.(check bool) "state changed" false
+    (app.App_intf.digest s1 = app.App_intf.digest s2)
+
+let test_chatter_branching_bounded () =
+  let app = Chatter_app.app in
+  let state = ref (app.App_intf.init ~pid:0 ~n:8) in
+  for i = 1 to 200 do
+    let s', eff =
+      app.App_intf.handle ~pid:0 ~n:8 !state ~src:(-1)
+        (Chatter_app.Token { hops_left = 5; salt = i })
+    in
+    state := s';
+    if List.length eff > 2 then Alcotest.fail "fan-out exceeds 2";
+    List.iter
+      (function
+        | App_intf.Send { dst; _ } ->
+          if dst = 0 || dst < 0 || dst >= 8 then Alcotest.failf "bad destination %d" dst
+        | App_intf.Output _ -> Alcotest.fail "no output while hops remain")
+      eff
+  done
+
+let test_chatter_retires () =
+  let app = Chatter_app.app in
+  let s0 = app.App_intf.init ~pid:3 ~n:8 in
+  let _, eff =
+    app.App_intf.handle ~pid:3 ~n:8 s0 ~src:(-1) (Chatter_app.Token { hops_left = 0; salt = 1 })
+  in
+  match eff with
+  | [ App_intf.Output _ ] -> ()
+  | _ -> Alcotest.fail "exhausted token must retire with an output"
+
+let test_script_app () =
+  let plan =
+    Script_app.make_plan
+      [ (0, "hello", [ App_intf.send 1 "world"; App_intf.output "done" ]) ]
+  in
+  let app = Script_app.app plan in
+  let s0 = app.App_intf.init ~pid:0 ~n:2 in
+  let _, eff = app.App_intf.handle ~pid:0 ~n:2 s0 ~src:(-1) "hello" in
+  Alcotest.(check int) "two effects" 2 (List.length eff);
+  let _, eff = app.App_intf.handle ~pid:0 ~n:2 s0 ~src:(-1) "unplanned" in
+  Alcotest.(check int) "inert label" 0 (List.length eff)
+
+let test_script_plan_duplicate () =
+  Alcotest.check_raises "duplicate binding"
+    (Invalid_argument "Script_app.make_plan: duplicate entry for (0, x)") (fun () ->
+      ignore (Script_app.make_plan [ (0, "x", []); (0, "x", []) ]))
+
+let test_hashing_stable () =
+  Alcotest.(check int) "string hash stable" (Hashing.string "abc") (Hashing.string "abc");
+  Alcotest.(check bool) "different strings differ" false
+    (Hashing.string "abc" = Hashing.string "abd");
+  Alcotest.(check bool) "mix order matters" false
+    (Hashing.mix (Hashing.int 1) 2 = Hashing.mix (Hashing.int 2) 1)
+
+let test_hashing_in_range =
+  Util.qtest "in_range bounds" QCheck2.Gen.(pair int (int_range 1 100)) (fun (h, b) ->
+      let v = Hashing.in_range h ~bound:b in
+      v >= 0 && v < b)
+
+let gen_telecom_msgs =
+  QCheck2.Gen.(
+    list_size (int_bound 25)
+      (map2
+         (fun id hops -> (-1, Telecom_app.Setup { call_id = id; route = Telecom_app.route ~n:5 ~ingress:(id mod 5) ~call_id:id ~hops }))
+         (int_bound 100) (int_range 1 4)))
+
+let test_telecom_deterministic =
+  Util.qtest "telecom replay determinism" gen_telecom_msgs (fun msgs ->
+      replay_equal Telecom_app.app ~pid:2 ~n:5 msgs)
+
+let gen_chatter_msgs =
+  QCheck2.Gen.(
+    list_size (int_bound 25)
+      (map2 (fun salt hops -> (-1, Chatter_app.Token { hops_left = hops; salt }))
+         (int_bound 1000) (int_bound 6)))
+
+let test_chatter_deterministic =
+  Util.qtest "chatter replay determinism" gen_chatter_msgs (fun msgs ->
+      replay_equal Chatter_app.app ~pid:1 ~n:6 msgs)
+
+let suite =
+  [
+    Alcotest.test_case "counter behaviour" `Quick test_counter_behaviour;
+    Alcotest.test_case "counter digest sensitivity" `Quick test_counter_digest_changes;
+    Alcotest.test_case "kvstore routing" `Quick test_kvstore_routing;
+    Alcotest.test_case "kvstore replica versions" `Quick test_kvstore_replica_versions;
+    Alcotest.test_case "pipeline stages" `Quick test_pipeline_stages;
+    Alcotest.test_case "pipeline transform" `Quick test_pipeline_transform_deterministic;
+    Alcotest.test_case "telecom connect/forward" `Quick test_telecom_connects;
+    Alcotest.test_case "telecom teardown" `Quick test_telecom_teardown;
+    Alcotest.test_case "chatter branching bounded" `Quick test_chatter_branching_bounded;
+    Alcotest.test_case "chatter retires tokens" `Quick test_chatter_retires;
+    Alcotest.test_case "script app" `Quick test_script_app;
+    Alcotest.test_case "script plan duplicates" `Quick test_script_plan_duplicate;
+    Alcotest.test_case "hashing stable" `Quick test_hashing_stable;
+    test_counter_deterministic;
+    test_telecom_route_valid;
+    test_telecom_deterministic;
+    test_chatter_deterministic;
+    test_hashing_in_range;
+  ]

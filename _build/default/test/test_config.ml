@@ -1,0 +1,74 @@
+(* Configuration presets and validation. *)
+
+module Config = Recovery.Config
+
+let ok = function Ok _ -> true | Error _ -> false
+
+let test_presets_valid () =
+  List.iter
+    (fun (name, c) ->
+      Alcotest.(check bool) name true (ok (Config.validate c)))
+    [
+      ("pessimistic", Config.pessimistic ~n:4 ());
+      ("optimistic", Config.optimistic ~n:4 ());
+      ("k=2", Config.k_optimistic ~n:4 ~k:2 ());
+      ("strom-yemini", Config.strom_yemini ~n:4 ());
+      ("damani-garg", Config.damani_garg ~n:4 ());
+    ]
+
+let test_k_bounds () =
+  Alcotest.check_raises "k negative"
+    (Invalid_argument "Config: k must be in [0, n]") (fun () ->
+      ignore (Config.k_optimistic ~n:4 ~k:(-1) ()));
+  Alcotest.check_raises "k above n"
+    (Invalid_argument "Config: k must be in [0, n]") (fun () ->
+      ignore (Config.k_optimistic ~n:4 ~k:5 ()))
+
+let test_small_k_needs_commit_tracking () =
+  let c = Config.k_optimistic ~n:4 ~k:2 () in
+  let bad =
+    { c with Config.protocol = { c.Config.protocol with commit_tracking = false } }
+  in
+  Alcotest.(check bool) "rejected" false (ok (Config.validate bad))
+
+let test_wait_rule_needs_all_announcements () =
+  let c = Config.strom_yemini ~n:4 () in
+  let bad =
+    {
+      c with
+      Config.protocol = { c.Config.protocol with announce_all_rollbacks = false };
+    }
+  in
+  Alcotest.(check bool) "rejected" false (ok (Config.validate bad))
+
+let test_n_positive () =
+  let c = Config.optimistic ~n:4 () in
+  Alcotest.(check bool) "n=0 rejected" false (ok (Config.validate { c with Config.n = 0 }))
+
+let test_describe () =
+  Alcotest.(check string) "pessimistic" "pessimistic (sync logging, K=0)"
+    (Config.describe (Config.pessimistic ~n:4 ()));
+  Alcotest.(check string) "optimistic" "optimistic (K=N)"
+    (Config.describe (Config.optimistic ~n:4 ()));
+  Alcotest.(check string) "2-optimistic" "2-optimistic"
+    (Config.describe (Config.k_optimistic ~n:4 ~k:2 ()))
+
+let test_sy_preset_shape () =
+  let c = Config.strom_yemini ~n:4 () in
+  Alcotest.(check bool) "no commit tracking" false c.Config.protocol.commit_tracking;
+  Alcotest.(check bool) "announces all" true c.Config.protocol.announce_all_rollbacks;
+  Alcotest.(check bool) "fifo channels" true c.Config.timing.fifo;
+  Alcotest.(check bool) "wait rule" true
+    (c.Config.protocol.delivery_rule = Config.Wait_announcement)
+
+let suite =
+  [
+    Alcotest.test_case "presets valid" `Quick test_presets_valid;
+    Alcotest.test_case "k bounds" `Quick test_k_bounds;
+    Alcotest.test_case "k<n needs commit tracking" `Quick test_small_k_needs_commit_tracking;
+    Alcotest.test_case "wait rule needs announcements" `Quick
+      test_wait_rule_needs_all_announcements;
+    Alcotest.test_case "n positive" `Quick test_n_positive;
+    Alcotest.test_case "describe" `Quick test_describe;
+    Alcotest.test_case "strom-yemini preset shape" `Quick test_sy_preset_shape;
+  ]

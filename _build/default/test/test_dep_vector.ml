@@ -1,0 +1,163 @@
+(* Dependency vectors with NULL entries. *)
+
+open Depend
+open Util
+
+let gen_vec ~n =
+  QCheck2.Gen.(
+    map
+      (fun opts ->
+        let v = Dep_vector.create ~n in
+        List.iteri (fun j o -> Dep_vector.set v j o) opts;
+        v)
+      (list_repeat n (option gen_entry)))
+
+let gen_vec4 = gen_vec ~n:4
+
+let test_create_all_null () =
+  let v = Dep_vector.create ~n:5 in
+  Alcotest.(check int) "no entries" 0 (Dep_vector.non_null_count v);
+  Alcotest.(check int) "size" 5 (Dep_vector.n v);
+  for j = 0 to 4 do
+    Alcotest.(check bool) "null" true (Dep_vector.get v j = None)
+  done
+
+let test_create_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Dep_vector.create: n must be positive")
+    (fun () -> ignore (Dep_vector.create ~n:0))
+
+let test_merge_lexmax () =
+  let a = Dep_vector.create ~n:3 and b = Dep_vector.create ~n:3 in
+  Dep_vector.set a 0 (Some (e ~inc:0 ~sii:5));
+  Dep_vector.set b 0 (Some (e ~inc:1 ~sii:2));
+  Dep_vector.set a 1 (Some (e ~inc:0 ~sii:9));
+  Dep_vector.set b 2 (Some (e ~inc:0 ~sii:1));
+  Dep_vector.merge_max ~into:a b;
+  Alcotest.(check (option entry)) "incarnation wins" (Some (e ~inc:1 ~sii:2))
+    (Dep_vector.get a 0);
+  Alcotest.(check (option entry)) "kept" (Some (e ~inc:0 ~sii:9)) (Dep_vector.get a 1);
+  Alcotest.(check (option entry)) "acquired" (Some (e ~inc:0 ~sii:1))
+    (Dep_vector.get a 2)
+
+let merge_copy a b =
+  let r = Dep_vector.copy a in
+  Dep_vector.merge_max ~into:r b;
+  r
+
+let test_merge_commutative =
+  qtest "merge is commutative" QCheck2.Gen.(pair gen_vec4 gen_vec4) (fun (a, b) ->
+      Dep_vector.equal (merge_copy a b) (merge_copy b a))
+
+let test_merge_associative =
+  qtest "merge is associative" QCheck2.Gen.(triple gen_vec4 gen_vec4 gen_vec4)
+    (fun (a, b, c) ->
+      Dep_vector.equal
+        (merge_copy (merge_copy a b) c)
+        (merge_copy a (merge_copy b c)))
+
+let test_merge_idempotent =
+  qtest "merge is idempotent" gen_vec4 (fun a ->
+      Dep_vector.equal (merge_copy a a) a)
+
+let test_merge_null_identity =
+  qtest "all-NULL vector is the identity" gen_vec4 (fun a ->
+      Dep_vector.equal (merge_copy a (Dep_vector.create ~n:4)) a)
+
+let test_merge_size_mismatch () =
+  let a = Dep_vector.create ~n:2 and b = Dep_vector.create ~n:3 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Dep_vector.merge_max: size mismatch")
+    (fun () -> Dep_vector.merge_max ~into:a b)
+
+let test_wire_roundtrip =
+  qtest "non_null/of_non_null roundtrip" gen_vec4 (fun a ->
+      Dep_vector.equal a (Dep_vector.of_non_null ~n:4 (Dep_vector.non_null a)))
+
+let test_non_null_sorted =
+  qtest "wire entries sorted by process" gen_vec4 (fun a ->
+      let idx = List.map fst (Dep_vector.non_null a) in
+      List.sort Int.compare idx = idx)
+
+let test_elide_stable () =
+  (* Theorem 2: entries on known-stable intervals are dropped. *)
+  let v = Dep_vector.create ~n:3 in
+  Dep_vector.set v 0 (Some (e ~inc:0 ~sii:3));
+  Dep_vector.set v 1 (Some (e ~inc:0 ~sii:7));
+  Dep_vector.set v 2 (Some (e ~inc:1 ~sii:2));
+  let stable j (x : Entry.t) = j = 0 || (j = 2 && x.inc = 1) in
+  let elided = Dep_vector.elide_stable v ~stable in
+  Alcotest.(check int) "two elided" 2 elided;
+  Alcotest.(check (option entry)) "0 gone" None (Dep_vector.get v 0);
+  Alcotest.(check (option entry)) "1 kept" (Some (e ~inc:0 ~sii:7)) (Dep_vector.get v 1);
+  Alcotest.(check (option entry)) "2 gone" None (Dep_vector.get v 2)
+
+let test_clear () =
+  let v = Dep_vector.create ~n:2 in
+  Dep_vector.set v 1 (Some (e ~inc:0 ~sii:1));
+  Dep_vector.clear v 1;
+  Alcotest.(check int) "cleared" 0 (Dep_vector.non_null_count v)
+
+let test_copy_isolated () =
+  let v = Dep_vector.create ~n:2 in
+  Dep_vector.set v 0 (Some (e ~inc:0 ~sii:1));
+  let w = Dep_vector.copy v in
+  Dep_vector.clear v 0;
+  Alcotest.(check (option entry)) "copy unaffected" (Some (e ~inc:0 ~sii:1))
+    (Dep_vector.get w 0)
+
+let test_of_non_null_bad_index () =
+  Alcotest.check_raises "index" (Invalid_argument "Dep_vector.of_non_null: bad index")
+    (fun () -> ignore (Dep_vector.of_non_null ~n:2 [ (5, e ~inc:0 ~sii:1) ]))
+
+(* Multi-incarnation tracker *)
+
+let test_multi_dep_basic () =
+  let m = Multi_dep.create ~n:3 in
+  Multi_dep.add m 1 (e ~inc:0 ~sii:4);
+  Multi_dep.add m 1 (e ~inc:1 ~sii:5);
+  Multi_dep.add m 1 (e ~inc:0 ~sii:2);
+  (* Section 2: both incarnations tracked, per-incarnation maxima. *)
+  Alcotest.(check (list (pair int entry)))
+    "two entries for P1"
+    [ (1, e ~inc:0 ~sii:4); (1, e ~inc:1 ~sii:5) ]
+    (Multi_dep.entries m);
+  Alcotest.(check bool) "depends on smaller" true
+    (Multi_dep.depends_on m 1 (e ~inc:0 ~sii:3));
+  Alcotest.(check bool) "not beyond max" false
+    (Multi_dep.depends_on m 1 (e ~inc:0 ~sii:5));
+  Alcotest.(check bool) "other process" false
+    (Multi_dep.depends_on m 2 (e ~inc:0 ~sii:1))
+
+let test_multi_dep_merge =
+  qtest "multi_dep merge = union"
+    QCheck2.Gen.(pair (list_size (int_bound 10) (pair (int_bound 3) gen_entry))
+                   (list_size (int_bound 10) (pair (int_bound 3) gen_entry)))
+    (fun (xs, ys) ->
+      let build entries =
+        let m = Multi_dep.create ~n:4 in
+        List.iter (fun (j, en) -> Multi_dep.add m j en) entries;
+        m
+      in
+      let a = build xs and b = build ys in
+      Multi_dep.merge ~into:a b;
+      Multi_dep.equal a (build (xs @ ys)))
+
+let suite =
+  [
+    Alcotest.test_case "create all NULL (Corollary 3)" `Quick test_create_all_null;
+    Alcotest.test_case "create invalid" `Quick test_create_invalid;
+    Alcotest.test_case "merge takes lexicographic max" `Quick test_merge_lexmax;
+    Alcotest.test_case "merge size mismatch" `Quick test_merge_size_mismatch;
+    Alcotest.test_case "elide stable (Theorem 2)" `Quick test_elide_stable;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "copy isolation" `Quick test_copy_isolated;
+    Alcotest.test_case "of_non_null bad index" `Quick test_of_non_null_bad_index;
+    Alcotest.test_case "multi-incarnation tracking (Section 2)" `Quick
+      test_multi_dep_basic;
+    test_merge_commutative;
+    test_merge_associative;
+    test_merge_idempotent;
+    test_merge_null_identity;
+    test_wire_roundtrip;
+    test_non_null_sorted;
+    test_multi_dep_merge;
+  ]

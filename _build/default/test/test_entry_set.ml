@@ -1,0 +1,112 @@
+(* Per-incarnation maximum tables (iet rows and logging-progress rows),
+   checked against a naive list-of-entries model. *)
+
+open Depend
+open Util
+
+module Model = struct
+  (* Reference implementation of Figure 3's Insert: one entry per
+     incarnation, maximum index wins; answer queries by scanning. *)
+  let insert model (entry : Depend.Entry.t) =
+    let same, rest =
+      List.partition (fun (x : Depend.Entry.t) -> x.inc = entry.inc) model
+    in
+    let sii =
+      List.fold_left (fun acc (x : Depend.Entry.t) -> Stdlib.max acc x.sii)
+        entry.sii same
+    in
+    { entry with sii } :: rest
+
+  let covers model (q : Entry.t) =
+    List.exists (fun (x : Entry.t) -> x.inc = q.inc && q.sii <= x.sii) model
+
+  let orphans model (q : Entry.t) =
+    List.exists (fun (x : Entry.t) -> x.inc >= q.inc && x.sii < q.sii) model
+end
+
+let build entries = List.fold_left Entry_set.insert Entry_set.empty entries
+
+let test_empty () =
+  Alcotest.(check bool) "empty" true (Entry_set.is_empty Entry_set.empty);
+  Alcotest.(check bool) "covers nothing" false
+    (Entry_set.covers Entry_set.empty (e ~inc:0 ~sii:1));
+  Alcotest.(check bool) "orphans nothing" false
+    (Entry_set.orphans Entry_set.empty (e ~inc:0 ~sii:1));
+  Alcotest.(check (option int)) "max_inc" None (Entry_set.max_inc Entry_set.empty)
+
+let test_insert_keeps_max () =
+  (* Figure 3's Insert: one entry per incarnation, maximum index wins. *)
+  let s = build [ e ~inc:1 ~sii:4; e ~inc:1 ~sii:9; e ~inc:1 ~sii:6 ] in
+  Alcotest.(check int) "one entry" 1 (Entry_set.cardinal s);
+  Alcotest.(check (option int)) "max kept" (Some 9) (Entry_set.find s ~inc:1)
+
+let test_covers_cases () =
+  let s = build [ e ~inc:0 ~sii:5; e ~inc:2 ~sii:3 ] in
+  Alcotest.(check bool) "below frontier" true (Entry_set.covers s (e ~inc:0 ~sii:4));
+  Alcotest.(check bool) "at frontier" true (Entry_set.covers s (e ~inc:0 ~sii:5));
+  Alcotest.(check bool) "beyond frontier" false (Entry_set.covers s (e ~inc:0 ~sii:6));
+  Alcotest.(check bool) "unknown incarnation" false
+    (Entry_set.covers s (e ~inc:1 ~sii:1))
+
+let test_orphans_cases () =
+  (* iet entry (t, x0): dependency (s, y) is revoked iff s <= t and y > x0. *)
+  let iet = build [ e ~inc:1 ~sii:4 ] in
+  Alcotest.(check bool) "same inc, higher index" true
+    (Entry_set.orphans iet (e ~inc:1 ~sii:5));
+  Alcotest.(check bool) "same inc, at ending" false
+    (Entry_set.orphans iet (e ~inc:1 ~sii:4));
+  Alcotest.(check bool) "older inc, higher index" true
+    (Entry_set.orphans iet (e ~inc:0 ~sii:5));
+  Alcotest.(check bool) "newer incarnation survives" false
+    (Entry_set.orphans iet (e ~inc:2 ~sii:9))
+
+let test_covers_vs_model =
+  qtest "covers agrees with naive model" QCheck2.Gen.(pair gen_entry_list gen_entry)
+    (fun (entries, q) ->
+      let s = build entries in
+      let model = List.fold_left Model.insert [] entries in
+      Entry_set.covers s q = Model.covers model q)
+
+let test_orphans_vs_model =
+  qtest "orphans agrees with naive model" QCheck2.Gen.(pair gen_entry_list gen_entry)
+    (fun (entries, q) ->
+      let s = build entries in
+      let model = List.fold_left Model.insert [] entries in
+      Entry_set.orphans s q = Model.orphans model q)
+
+let test_merge =
+  qtest "merge = insert all" QCheck2.Gen.(pair gen_entry_list gen_entry_list)
+    (fun (xs, ys) ->
+      Entry_set.equal
+        (Entry_set.merge (build xs) (build ys))
+        (build (xs @ ys)))
+
+let test_entries_sorted =
+  qtest "entries are in increasing incarnation order" gen_entry_list (fun xs ->
+      let entries = Entry_set.entries (build xs) in
+      let incs = List.map (fun (x : Entry.t) -> x.inc) entries in
+      List.sort Int.compare incs = incs
+      && List.length (List.sort_uniq Int.compare incs) = List.length incs)
+
+let test_of_entries_roundtrip =
+  qtest "of_entries/entries roundtrip" gen_entry_list (fun xs ->
+      let s = build xs in
+      Entry_set.equal s (Entry_set.of_entries (Entry_set.entries s)))
+
+let test_max_inc () =
+  let s = build [ e ~inc:2 ~sii:1; e ~inc:0 ~sii:9 ] in
+  Alcotest.(check (option int)) "max incarnation" (Some 2) (Entry_set.max_inc s)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "insert keeps per-incarnation max" `Quick test_insert_keeps_max;
+    Alcotest.test_case "covers cases" `Quick test_covers_cases;
+    Alcotest.test_case "orphans cases" `Quick test_orphans_cases;
+    Alcotest.test_case "max_inc" `Quick test_max_inc;
+    test_covers_vs_model;
+    test_orphans_vs_model;
+    test_merge;
+    test_entries_sorted;
+    test_of_entries_roundtrip;
+  ]

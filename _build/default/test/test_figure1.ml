@@ -1,0 +1,39 @@
+(* The paper's Figure 1 worked example, both flavours. *)
+
+let test_improved () =
+  let outcome = Harness.Figure1.run Harness.Figure1.Improved in
+  List.iter (fun f -> Alcotest.fail f) outcome.Harness.Figure1.failures
+
+let test_strom_yemini () =
+  let outcome = Harness.Figure1.run Harness.Figure1.Strom_yemini in
+  List.iter (fun f -> Alcotest.fail f) outcome.Harness.Figure1.failures
+
+let test_delivery_race_quantified () =
+  (* The concrete numbers behind the Corollary 1 claim: under S&Y, m6 and m7
+     wait for r1; under the improved protocol they do not. *)
+  let imp = Harness.Figure1.run Harness.Figure1.Improved in
+  let sy = Harness.Figure1.run Harness.Figure1.Strom_yemini in
+  let get = function Some v -> v | None -> Alcotest.fail "missing event" in
+  Alcotest.(check bool) "improved: m6 before r1" true
+    (get imp.m6_delivered_at < get imp.r1_at_p4);
+  Alcotest.(check bool) "improved: m7 before r1" true
+    (get imp.m7_delivered_at < get imp.r1_at_p5);
+  Alcotest.(check bool) "S&Y: m6 after r1" true
+    (get sy.m6_delivered_at >= get sy.r1_at_p4);
+  Alcotest.(check bool) "S&Y: m7 after r1" true
+    (get sy.m7_delivered_at >= get sy.r1_at_p5)
+
+let test_oracle_clean_both () =
+  List.iter
+    (fun flavour ->
+      let outcome = Harness.Figure1.run flavour in
+      Alcotest.(check bool) "oracle clean" true (Harness.Oracle.ok outcome.oracle))
+    [ Harness.Figure1.Improved; Harness.Figure1.Strom_yemini ]
+
+let suite =
+  [
+    Alcotest.test_case "improved protocol reproduces prose" `Quick test_improved;
+    Alcotest.test_case "Strom-Yemini reproduces prose" `Quick test_strom_yemini;
+    Alcotest.test_case "delivery race quantified" `Quick test_delivery_race_quantified;
+    Alcotest.test_case "oracle clean in both flavours" `Quick test_oracle_clean_both;
+  ]

@@ -1,0 +1,205 @@
+(* Protocol fuzzer: drive a single node with random packet/timer/crash
+   sequences and check local invariants after every step.
+
+   The invariants:
+   - the node never raises;
+   - every released message carries at most K dependency entries (the
+     local face of Theorem 4);
+   - the self entry of the vector is either NULL or the current interval;
+   - the stability frontier never exceeds the current interval;
+   - the current interval never moves backwards except through a rollback
+     or restart, which must strictly increase the incarnation;
+   - after a final crash+restart, the replayed application state digest
+     matches the digest the live run had at the stability frontier. *)
+
+open Depend
+open Util
+module Node = Recovery.Node
+module Wire = Recovery.Wire
+module Config = Recovery.Config
+module D = Util.Driver
+
+let counter = App_model.Counter_app.app
+
+type cmd =
+  | Inject of int
+  | Incoming of { src : int; inc : int; sii : int; idx : int; fwd : bool }
+  | Announce of { src : int; inc : int; sii : int }
+  | Notice of { src : int; inc : int; sii : int }
+  | Ack_all
+  | Flush
+  | Checkpoint
+  | Crash_restart
+  | Perform_send of int
+
+let gen_cmd =
+  QCheck2.Gen.(
+    frequency
+      [
+        (4, map (fun v -> Inject v) (int_range 1 9));
+        ( 6,
+          map
+            (fun (src, inc, sii, idx, fwd) -> Incoming { src; inc; sii; idx; fwd })
+            (tup5 (int_range 1 3) (int_bound 2) (int_range 1 20) (int_bound 2) bool) );
+        ( 3,
+          map
+            (fun (src, inc, sii) -> Announce { src; inc; sii })
+            (triple (int_range 1 3) (int_bound 2) (int_range 1 20)) );
+        ( 3,
+          map
+            (fun (src, inc, sii) -> Notice { src; inc; sii })
+            (triple (int_range 1 3) (int_bound 2) (int_range 1 20)) );
+        (1, return Ack_all);
+        (3, return Flush);
+        (2, return Checkpoint);
+        (1, return Crash_restart);
+        (2, map (fun dst -> Perform_send dst) (int_range 1 3));
+      ])
+
+let gen_cmds = QCheck2.Gen.(list_size (int_range 5 60) gen_cmd)
+
+exception Violation of string
+
+let check_invariants ~k d ~prev_current =
+  let node = d.D.node in
+  let current = Node.current node in
+  let frontier = Node.stable_frontier node in
+  if Entry.lt current prev_current && current.Entry.inc <= prev_current.Entry.inc
+  then
+    raise
+      (Violation
+         (Fmt.str "current moved back without an incarnation bump: %a -> %a"
+            Entry.pp prev_current Entry.pp current));
+  if Entry.lt current frontier then
+    raise
+      (Violation
+         (Fmt.str "stability frontier %a beyond current %a" Entry.pp frontier
+            Entry.pp current));
+  (match Dep_vector.get (Node.dep_vector node) 0 with
+  | None -> ()
+  | Some e ->
+    if not (Entry.equal e current) then
+      raise
+        (Violation
+           (Fmt.str "self entry %a is neither NULL nor current %a" Entry.pp e
+              Entry.pp current)));
+  List.iter
+    (fun (m : _ Wire.app_message) ->
+      if List.length m.dep > k then
+        raise
+          (Violation
+             (Fmt.str "released message with %d > K=%d entries"
+                (List.length m.dep) k)))
+    (D.released d);
+  D.clear d
+
+let run_cmds ~k cmds =
+  let config = Config.k_optimistic ~timing:quiet_timing ~n:4 ~k () in
+  let d = D.make config counter in
+  let seq = ref 0 in
+  let ack_candidates = ref [] in
+  let apply = function
+    | Inject v ->
+      incr seq;
+      D.inject d ~seq:!seq (App_model.Counter_app.Add v)
+    | Incoming { src; inc; sii; idx; fwd } ->
+      let payload =
+        if fwd then App_model.Counter_app.Forward { dst = (src + 1) mod 4; amount = 1 }
+        else App_model.Counter_app.Add 1
+      in
+      let m =
+        D.app_msg ~idx ~src ~dst:0 ~send_interval:(e ~inc ~sii)
+          ~dep:[ (src, e ~inc ~sii) ]
+          payload
+      in
+      D.packet d (Wire.App m)
+    | Announce { src; inc; sii } ->
+      D.packet d (Wire.Ann { Wire.from_ = src; ending = e ~inc ~sii; failure = true })
+    | Notice { src; inc; sii } ->
+      D.packet d (D.notice_packet ~from_:src ~rows:[ (src, [ e ~inc ~sii ]) ])
+    | Ack_all ->
+      List.iter (fun id -> D.packet d (Wire.Ack { Wire.from_ = 1; to_ = 0; ids = [ id ] }))
+        !ack_candidates;
+      ack_candidates := []
+    | Flush -> D.flush d
+    | Checkpoint -> D.checkpoint d
+    | Crash_restart ->
+      D.crash d;
+      D.restart d
+    | Perform_send dst ->
+      D.perform d [ App_model.App_intf.send dst (App_model.Counter_app.Add 1) ]
+  in
+  List.iter
+    (fun cmd ->
+      let prev_current = Node.current d.node in
+      ack_candidates :=
+        List.map (fun (m : _ Wire.app_message) -> m.Wire.id) (D.released d)
+        @ !ack_candidates;
+      apply cmd;
+      check_invariants ~k d ~prev_current)
+    cmds;
+  d
+
+let fuzz_property ~k cmds =
+  match run_cmds ~k cmds with
+  | _ -> true
+  | exception Violation msg -> QCheck2.Test.fail_report msg
+
+let test_fuzz_k0 = qtest ~count:150 "fuzz: invariants hold at K=0" gen_cmds (fuzz_property ~k:0)
+
+let test_fuzz_k1 = qtest ~count:150 "fuzz: invariants hold at K=1" gen_cmds (fuzz_property ~k:1)
+
+let test_fuzz_k4 = qtest ~count:150 "fuzz: invariants hold at K=4" gen_cmds (fuzz_property ~k:4)
+
+(* Replay determinism under fuzzing: after any command sequence, crash and
+   restart; the replayed state must agree with a live digest snapshot taken
+   at the last flush. *)
+let test_fuzz_replay =
+  qtest ~count:150 "fuzz: crash replay reproduces the stable prefix" gen_cmds
+    (fun cmds ->
+      match run_cmds ~k:2 cmds with
+      | exception Violation msg -> QCheck2.Test.fail_report msg
+      | d ->
+        D.flush d;
+        let before = counter.App_model.App_intf.digest (Node.app_state d.node) in
+        D.crash d;
+        D.restart d;
+        let after = counter.App_model.App_intf.digest (Node.app_state d.node) in
+        before = after)
+
+(* The Strom-Yemini configuration must survive the same fuzzing. *)
+let test_fuzz_sy =
+  qtest ~count:100 "fuzz: Strom-Yemini configuration never raises" gen_cmds
+    (fun cmds ->
+      let config = Config.strom_yemini ~timing:quiet_timing ~n:4 () in
+      let d = D.make config counter in
+      let seq = ref 0 in
+      List.iter
+        (fun cmd ->
+          match cmd with
+          | Inject v ->
+            incr seq;
+            D.inject d ~seq:!seq (App_model.Counter_app.Add v)
+          | Incoming { src; inc; sii; idx; _ } ->
+            D.packet d
+              (Wire.App
+                 (D.app_msg ~idx ~src ~dst:0 ~send_interval:(e ~inc ~sii)
+                    ~dep:[ (src, e ~inc ~sii) ]
+                    (App_model.Counter_app.Add 1)))
+          | Announce { src; inc; sii } ->
+            D.packet d
+              (Wire.Ann { Wire.from_ = src; ending = e ~inc ~sii; failure = inc = 0 })
+          | Notice { src; inc; sii } ->
+            D.packet d (D.notice_packet ~from_:src ~rows:[ (src, [ e ~inc ~sii ]) ])
+          | Ack_all -> ()
+          | Flush -> D.flush d
+          | Checkpoint -> D.checkpoint d
+          | Crash_restart ->
+            D.crash d;
+            D.restart d
+          | Perform_send dst ->
+            D.perform d [ App_model.App_intf.send dst (App_model.Counter_app.Add 1) ])
+        cmds;
+      true)
+
+let suite = [ test_fuzz_k0; test_fuzz_k1; test_fuzz_k4; test_fuzz_replay; test_fuzz_sy ]

@@ -1,0 +1,123 @@
+(* Binary heap and event queue. *)
+
+let test_empty () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h);
+  Alcotest.(check (option int)) "peek" None (Sim.Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Sim.Heap.pop h)
+
+let test_pop_exn_empty () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Sim.Heap.pop_exn h))
+
+let test_sorted_order =
+  Util.qtest "pops in sorted order" QCheck2.Gen.(list_size (int_bound 200) int)
+    (fun xs ->
+      let h = Sim.Heap.create ~cmp:Int.compare in
+      List.iter (Sim.Heap.push h) xs;
+      let rec drain acc =
+        match Sim.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+let test_length =
+  Util.qtest "length tracks pushes" QCheck2.Gen.(list_size (int_bound 50) int)
+    (fun xs ->
+      let h = Sim.Heap.create ~cmp:Int.compare in
+      List.iter (Sim.Heap.push h) xs;
+      Sim.Heap.length h = List.length xs)
+
+let test_interleaved () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  Sim.Heap.push h 5;
+  Sim.Heap.push h 1;
+  Alcotest.(check (option int)) "min" (Some 1) (Sim.Heap.pop h);
+  Sim.Heap.push h 3;
+  Sim.Heap.push h 0;
+  Alcotest.(check (option int)) "new min" (Some 0) (Sim.Heap.pop h);
+  Alcotest.(check (option int)) "then" (Some 3) (Sim.Heap.pop h);
+  Alcotest.(check (option int)) "then" (Some 5) (Sim.Heap.pop h);
+  Alcotest.(check (option int)) "empty" None (Sim.Heap.pop h)
+
+let test_to_list_preserves =
+  Util.qtest "to_list holds all elements" QCheck2.Gen.(list_size (int_bound 50) int)
+    (fun xs ->
+      let h = Sim.Heap.create ~cmp:Int.compare in
+      List.iter (Sim.Heap.push h) xs;
+      List.sort compare (Sim.Heap.to_list h) = List.sort compare xs)
+
+let test_clear () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  List.iter (Sim.Heap.push h) [ 3; 1; 2 ];
+  Sim.Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Sim.Heap.is_empty h)
+
+(* Event queue *)
+
+let test_queue_time_order () =
+  let q = Sim.Event_queue.create () in
+  Sim.Event_queue.schedule q ~time:3. "c";
+  Sim.Event_queue.schedule q ~time:1. "a";
+  Sim.Event_queue.schedule q ~time:2. "b";
+  Alcotest.(check (option (pair (float 0.0) string)))
+    "first" (Some (1., "a")) (Sim.Event_queue.next q);
+  Alcotest.(check (option (pair (float 0.0) string)))
+    "second" (Some (2., "b")) (Sim.Event_queue.next q);
+  Alcotest.(check (option (pair (float 0.0) string)))
+    "third" (Some (3., "c")) (Sim.Event_queue.next q)
+
+let test_queue_fifo_ties () =
+  let q = Sim.Event_queue.create () in
+  Sim.Event_queue.schedule q ~time:1. "first";
+  Sim.Event_queue.schedule q ~time:1. "second";
+  Sim.Event_queue.schedule q ~time:1. "third";
+  let order =
+    List.init 3 (fun _ ->
+        match Sim.Event_queue.next q with Some (_, s) -> s | None -> "?")
+  in
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "second"; "third" ] order
+
+let test_queue_rejects_bad_times () =
+  let q = Sim.Event_queue.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Event_queue.schedule: time must be finite and non-negative")
+    (fun () -> Sim.Event_queue.schedule q ~time:(-1.) ());
+  Alcotest.check_raises "nan"
+    (Invalid_argument "Event_queue.schedule: time must be finite and non-negative")
+    (fun () -> Sim.Event_queue.schedule q ~time:Float.nan ())
+
+let test_queue_drain () =
+  let q = Sim.Event_queue.create () in
+  List.iter (fun (t, v) -> Sim.Event_queue.schedule q ~time:t v)
+    [ (1., 1); (2., 2); (3., 3); (4., 4) ];
+  Sim.Event_queue.drain q ~keep:(fun (_, v) -> v mod 2 = 0);
+  Alcotest.(check int) "two survive" 2 (Sim.Event_queue.length q);
+  Alcotest.(check (option (pair (float 0.0) int)))
+    "order preserved" (Some (2., 2)) (Sim.Event_queue.next q);
+  Alcotest.(check (option (pair (float 0.0) int)))
+    "order preserved" (Some (4., 4)) (Sim.Event_queue.next q)
+
+let test_queue_peek_time () =
+  let q = Sim.Event_queue.create () in
+  Alcotest.(check (option (float 0.0))) "empty" None (Sim.Event_queue.peek_time q);
+  Sim.Event_queue.schedule q ~time:5. ();
+  Alcotest.(check (option (float 0.0))) "peek" (Some 5.) (Sim.Event_queue.peek_time q);
+  Alcotest.(check int) "peek does not remove" 1 (Sim.Event_queue.length q)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "pop_exn on empty" `Quick test_pop_exn_empty;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    Alcotest.test_case "clear" `Quick test_clear;
+    test_sorted_order;
+    test_length;
+    test_to_list_preserves;
+    Alcotest.test_case "queue time order" `Quick test_queue_time_order;
+    Alcotest.test_case "queue FIFO on ties" `Quick test_queue_fifo_ties;
+    Alcotest.test_case "queue rejects bad times" `Quick test_queue_rejects_bad_times;
+    Alcotest.test_case "queue drain" `Quick test_queue_drain;
+    Alcotest.test_case "queue peek_time" `Quick test_queue_peek_time;
+  ]

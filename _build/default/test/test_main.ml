@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "koptlog"
+    [
+      ("rng", Test_rng.suite);
+      ("heap+queue", Test_heap.suite);
+      ("summary", Test_summary.suite);
+      ("entry", Test_entry.suite);
+      ("entry-set", Test_entry_set.suite);
+      ("dep-vector", Test_dep_vector.suite);
+      ("storage", Test_storage.suite);
+      ("apps", Test_apps.suite);
+      ("node", Test_node.suite);
+      ("node-edge", Test_node_edge.suite);
+      ("config", Test_config.suite);
+      ("gc", Test_gc.suite);
+      ("direct-tracking", Test_direct.suite);
+      ("bank-conservation", Test_bank.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("actor-runtime", Test_runtime.suite);
+      ("harness-bits", Test_harness_bits.suite);
+      ("oracle", Test_oracle.suite);
+      ("cluster", Test_cluster.suite);
+      ("figure1", Test_figure1.suite);
+      ("integration", Test_integration.suite);
+    ]

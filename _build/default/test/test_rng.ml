@@ -1,0 +1,141 @@
+(* Deterministic RNG substrate. *)
+
+let test_determinism () =
+  let a = Sim.Rng.create 42 and b = Sim.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Sim.Rng.create 1 and b = Sim.Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Sim.Rng.bits64 a <> Sim.Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_copy_preserves_state () =
+  let a = Sim.Rng.create 7 in
+  ignore (Sim.Rng.bits64 a);
+  let b = Sim.Rng.copy a in
+  Alcotest.(check int64) "copies aligned" (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+
+let test_split_independent () =
+  let a = Sim.Rng.create 7 in
+  let b = Sim.Rng.split a in
+  let xs = List.init 20 (fun _ -> Sim.Rng.bits64 a) in
+  let ys = List.init 20 (fun _ -> Sim.Rng.bits64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_int_bounds =
+  Util.qtest "int stays in [0, bound)" QCheck2.Gen.(pair int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Sim.Rng.create seed in
+      let v = Sim.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let test_int_in_bounds =
+  Util.qtest "int_in stays in [lo, hi]"
+    QCheck2.Gen.(triple int (int_range (-50) 50) (int_bound 100))
+    (fun (seed, lo, extent) ->
+      let rng = Sim.Rng.create seed in
+      let hi = lo + extent in
+      let v = Sim.Rng.int_in rng ~lo ~hi in
+      v >= lo && v <= hi)
+
+let test_float_bounds =
+  Util.qtest "float stays in [0, bound)" QCheck2.Gen.(pair int (int_range 1 100))
+    (fun (seed, bound) ->
+      let rng = Sim.Rng.create seed in
+      let bound = float_of_int bound in
+      let v = Sim.Rng.float rng bound in
+      v >= 0. && v < bound)
+
+let test_int_never_negative () =
+  (* Regression: a 63-bit logical shift overflowed into OCaml's sign bit,
+     yielding negative draws roughly half the time. *)
+  let rng = Sim.Rng.create 23 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.int rng 8 in
+    if v < 0 || v >= 8 then Alcotest.failf "draw %d out of range" v
+  done
+
+let test_exponential_positive () =
+  let rng = Sim.Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.exponential rng ~mean:3. in
+    if v < 0. then Alcotest.fail "negative exponential sample"
+  done
+
+let test_exponential_mean () =
+  let rng = Sim.Rng.create 5 in
+  let total = ref 0. in
+  let samples = 20_000 in
+  for _ = 1 to samples do
+    total := !total +. Sim.Rng.exponential rng ~mean:3.
+  done;
+  let mean = !total /. float_of_int samples in
+  if mean < 2.8 || mean > 3.2 then Alcotest.failf "mean %.3f too far from 3" mean
+
+let test_uniform_distribution () =
+  (* Chi-square-ish sanity: each of 8 buckets should get roughly 1/8. *)
+  let rng = Sim.Rng.create 11 in
+  let buckets = Array.make 8 0 in
+  let samples = 80_000 in
+  for _ = 1 to samples do
+    let v = Sim.Rng.int rng 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i count ->
+      let frac = float_of_int count /. float_of_int samples in
+      if frac < 0.115 || frac > 0.135 then
+        Alcotest.failf "bucket %d has fraction %.4f" i frac)
+    buckets
+
+let test_bernoulli_extremes () =
+  let rng = Sim.Rng.create 3 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never true" false (Sim.Rng.bernoulli rng ~p:0.);
+    Alcotest.(check bool) "p=1 always true" true (Sim.Rng.bernoulli rng ~p:1.)
+  done
+
+let test_geometric_p1 () =
+  let rng = Sim.Rng.create 3 in
+  Alcotest.(check int) "p=1 gives 0" 0 (Sim.Rng.geometric rng ~p:1.)
+
+let test_pick_other =
+  Util.qtest "pick_other avoids self"
+    QCheck2.Gen.(triple int (int_range 2 16) (int_bound 15))
+    (fun (seed, n, self) ->
+      let self = self mod n in
+      let rng = Sim.Rng.create seed in
+      let v = Sim.Rng.pick_other rng ~n ~self in
+      v >= 0 && v < n && v <> self)
+
+let test_shuffle_is_permutation =
+  Util.qtest "shuffle permutes" QCheck2.Gen.(pair int (list_size (int_bound 20) int))
+    (fun (seed, xs) ->
+      let rng = Sim.Rng.create seed in
+      let a = Array.of_list xs in
+      Sim.Rng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy preserves state" `Quick test_copy_preserves_state;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int never negative (regression)" `Quick test_int_never_negative;
+    Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+    Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+    Alcotest.test_case "uniform distribution" `Slow test_uniform_distribution;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "geometric p=1" `Quick test_geometric_p1;
+    test_int_bounds;
+    test_int_in_bounds;
+    test_float_bounds;
+    test_pick_other;
+    test_shuffle_is_permutation;
+  ]
