@@ -104,6 +104,42 @@ let bench_oracle () =
     (Bechamel.Staged.stage (fun () ->
          ignore (Harness.Oracle.check ~k:2 ~n:6 trace : Harness.Oracle.report)))
 
+(* B7: the sender-side retransmission archive.  The former implementation
+   was a newest-first list whose per-ack removal scanned the whole archive
+   (O(n^2) over a run); Recovery.Archive keys by identity. *)
+let archive_msgs =
+  lazy
+    (List.init 512 (fun i ->
+         {
+           Recovery.Wire.id =
+             { Recovery.Wire.origin = 0; origin_interval = e ~inc:0 ~sii:1; idx = i };
+           src = 0;
+           dst = 1;
+           send_interval = e ~inc:0 ~sii:1;
+           dep = [];
+           payload = ();
+         }))
+
+let bench_archive_list () =
+  let msgs = Lazy.force archive_msgs in
+  let ids = List.map (fun m -> m.Recovery.Wire.id) msgs in
+  Bechamel.Test.make ~name:"B7 archive: 512 releases + 512 acks (list)"
+    (Bechamel.Staged.stage (fun () ->
+         let store = ref [] in
+         List.iter (fun m -> store := m :: !store) msgs;
+         List.iter
+           (fun id -> store := List.filter (fun m -> m.Recovery.Wire.id <> id) !store)
+           ids))
+
+let bench_archive_keyed () =
+  let msgs = Lazy.force archive_msgs in
+  let ids = List.map (fun m -> m.Recovery.Wire.id) msgs in
+  Bechamel.Test.make ~name:"B7 archive: 512 releases + 512 acks (keyed)"
+    (Bechamel.Staged.stage (fun () ->
+         let a = Recovery.Archive.create () in
+         List.iter (fun m -> Recovery.Archive.add a m) msgs;
+         List.iter (fun id -> Recovery.Archive.remove a id) ids))
+
 let micro_tests () =
   [
     bench_merge 8;
@@ -113,6 +149,8 @@ let micro_tests () =
     bench_node_step ();
     bench_crash_recovery ();
     bench_oracle ();
+    bench_archive_list ();
+    bench_archive_keyed ();
   ]
 
 let run_micro () =
@@ -121,6 +159,7 @@ let run_micro () =
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:true () in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   Fmt.pr "== Micro-benchmarks (Bechamel, ns/run) ==@.";
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -129,13 +168,29 @@ let run_micro () =
         (fun name ols_result ->
           let estimate =
             match Analyze.OLS.estimates ols_result with
-            | Some [ est ] -> Fmt.str "%12.1f ns/run" est
-            | Some _ | None -> "n/a"
+            | Some [ est ] -> Some est
+            | Some _ | None -> None
           in
-          Fmt.pr "%-45s %s@." name estimate)
+          rows := (name, estimate) :: !rows)
         results)
     (micro_tests ());
-  Fmt.pr "@."
+  (* Hashtbl.iter order is nondeterministic; sort so runs are comparable. *)
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
+  List.iter
+    (fun (name, estimate) ->
+      Fmt.pr "%-45s %s@." name
+        (match estimate with
+        | Some est -> Fmt.str "%12.1f ns/run" est
+        | None -> "n/a"))
+    rows;
+  let oc = open_out "BENCH_micro.json" in
+  let field (name, estimate) =
+    Fmt.str "  %S: %s" name
+      (match estimate with Some est -> Fmt.str "%.1f" est | None -> "null")
+  in
+  output_string oc ("{\n" ^ String.concat ",\n" (List.map field rows) ^ "\n}\n");
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_micro.json@.@."
 
 (* ------------------------------------------------------------------ *)
 

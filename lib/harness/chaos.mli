@@ -1,0 +1,82 @@
+(** Oracle-certified chaos campaigns.
+
+    A campaign runs many randomized scenarios — each a workload plus a list
+    of fault directives (message loss, duplication, reordering, timed
+    partitions, correlated crashes) — under the hardened K-optimistic
+    protocol, and certifies every run with the offline causality oracle
+    ({!Oracle.check}).  When a run fails (oracle violation or harness
+    exception), a greedy delta-debugging shrinker minimizes the fault list
+    to a 1-minimal counterexample. *)
+
+type crash_kind =
+  | Single of int
+  | Group of int list  (** simultaneous multi-node crash *)
+  | Cascade of int list  (** staggered crashes, each while the previous victim is down *)
+  | In_checkpoint of int  (** crash mid-checkpoint *)
+  | In_flush of int  (** crash mid-flush *)
+
+(** One removable unit of adversity.  The shrinker minimizes a failing case
+    by dropping directives one at a time. *)
+type fault =
+  | Loss of float  (** per-packet loss probability *)
+  | Duplication of float
+  | Reorder of float * float  (** probability, extra-delay spread *)
+  | Partition of { group : int list; from_ : float; until : float; drop : bool }
+  | Crash of { kind : crash_kind; time : float }
+
+type case = { n : int; k : int; seed : int; faults : fault list }
+
+val pp_fault : Format.formatter -> fault -> unit
+
+val pp_case : Format.formatter -> case -> unit
+
+val plan_of_faults : fault list -> Netmodel.fault_plan
+(** Wire-level directives folded into one plan (probabilities combine by
+    max, so dropping any directive weakens the plan monotonically). *)
+
+type verdict =
+  | Certified of Oracle.report
+  | Violated of Oracle.report
+  | Crashed of string  (** the harness or protocol raised *)
+
+type outcome = { verdict : verdict; stats : Cluster.stats option }
+
+val verdict_failed : verdict -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val run_case :
+  ?breakage:Recovery.Config.breakage -> ?calls:int -> case -> outcome
+(** Run one case end to end under [Config.harden (k_optimistic ~n ~k)]:
+    telecom workload, the case's fault plan and crash schedule, then the
+    oracle over the full trace.  [breakage] deliberately disables protocol
+    safeguards to validate that the oracle (or the harness itself) catches
+    the resulting corruption. *)
+
+val random_case : Sim.Rng.t -> index:int -> case
+(** Randomized case generator: every case carries loss (≤ 10%),
+    duplication and reordering; half add a timed partition; crash
+    directives cycle through the correlated-failure kinds; K cycles
+    through [{0, 2, N}]. *)
+
+type summary = {
+  runs : int;
+  certified : int;
+  failures : (case * verdict) list;  (** oldest first *)
+  total_retransmissions : int;
+  total_net_lost : int;
+  total_net_duplicated : int;
+  max_risk_seen : int;
+}
+
+val campaign :
+  ?breakage:Recovery.Config.breakage ->
+  ?progress:(int -> unit) ->
+  runs:int ->
+  seed:int ->
+  unit ->
+  summary
+
+val shrink : ?breakage:Recovery.Config.breakage -> case -> case
+(** Greedy 1-minimal shrink of a failing case: the result still fails, and
+    removing any single remaining directive makes it pass. *)

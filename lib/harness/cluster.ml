@@ -2,7 +2,7 @@ module Node = Recovery.Node
 module Wire = Recovery.Wire
 module Config = Recovery.Config
 
-type timer_kind = Flush_timer | Checkpoint_timer | Notice_timer
+type timer_kind = Flush_timer | Checkpoint_timer | Notice_timer | Retransmit_timer
 
 type 'msg event =
   | Packet of { src : int; dst : int; packet : 'msg Wire.packet }
@@ -45,6 +45,7 @@ let period t = function
   | Flush_timer -> t.cfg.Config.timing.flush_interval
   | Checkpoint_timer -> t.cfg.Config.timing.checkpoint_interval
   | Notice_timer -> t.cfg.Config.timing.notice_interval
+  | Retransmit_timer -> t.cfg.Config.timing.retransmit_interval
 
 let schedule t ~time ev = Sim.Event_queue.schedule t.queue ~time ev
 
@@ -56,11 +57,11 @@ let entries_of_packet = function
   | Wire.Ann _ | Wire.Ack _ | Wire.Flush_request _ -> 0
 
 let send_packet t ~src ~dst packet =
-  let arrival =
-    Netmodel.transit t.net ~now:t.now ~src ~dst ~kind:(Wire.packet_kind packet)
-      ~entries:(entries_of_packet packet)
-  in
-  schedule t ~time:arrival (Packet { src; dst; packet })
+  (* The fault plan may eat the packet ([]) or duplicate it (two arrivals). *)
+  List.iter
+    (fun arrival -> schedule t ~time:arrival (Packet { src; dst; packet }))
+    (Netmodel.arrivals t.net ~now:t.now ~src ~dst ~kind:(Wire.packet_kind packet)
+       ~entries:(entries_of_packet packet))
 
 let dispatch_actions t ~src actions =
   List.iter
@@ -112,6 +113,7 @@ let fire_timer t ~pid kind =
     | Flush_timer -> consume t ~pid (Node.flush node ~now:t.now)
     | Checkpoint_timer -> consume t ~pid (Node.checkpoint node ~now:t.now)
     | Notice_timer -> consume t ~pid (Node.broadcast_notice node ~now:t.now)
+    | Retransmit_timer -> consume t ~pid (Node.retransmit_tick node ~now:t.now)
   end
 
 let release_held t ~pid =
@@ -214,7 +216,7 @@ let run_until t deadline =
   t.now <- Stdlib.max t.now deadline
 
 let create ~config ~app ?(seed = 42) ?(horizon = 10_000.) ?net_override
-    ?(auto_timers = true) () =
+    ?(fault_plan = Netmodel.benign) ?(auto_timers = true) () =
   let config = Config.validate_exn config in
   let n = config.Config.n in
   let rng = Sim.Rng.create seed in
@@ -222,12 +224,19 @@ let create ~config ~app ?(seed = 42) ?(horizon = 10_000.) ?net_override
   let nodes =
     Array.init n (fun pid -> Node.create ~config ~pid ~app ~trace:trace_)
   in
+  (* Bind the splits in sequence: the first must be the timing stream (the
+     same child the pre-fault-plan model derived, so benign runs reproduce
+     historical tables bit-for-bit); the fault stream is a further split. *)
+  let net_rng = Sim.Rng.split rng in
+  let fault_rng = Sim.Rng.split rng in
   let t =
     {
       cfg = config;
       nodes;
       queue = Sim.Event_queue.create ();
-      net = Netmodel.create ~n ~timing:config.Config.timing ~rng:(Sim.Rng.split rng) ?override:net_override ();
+      net =
+        Netmodel.create ~n ~timing:config.Config.timing ~rng:net_rng ~fault_rng
+          ~plan:fault_plan ?override:net_override ();
       trace_;
       horizon;
       now = 0.;
@@ -254,7 +263,8 @@ let create ~config ~app ?(seed = 42) ?(horizon = 10_000.) ?net_override
         in
         stagger Flush_timer 0;
         stagger Checkpoint_timer 1;
-        stagger Notice_timer 2)
+        stagger Notice_timer 2;
+        stagger Retransmit_timer 3)
       nodes;
   t
 
@@ -264,6 +274,27 @@ let inject_at t ~time ~dst payload =
   schedule t ~time (Inject { dst; payload; seq; retry = false })
 
 let crash_at t ~time ~pid = schedule t ~time (Crash pid)
+
+(* --- Correlated failure injection ----------------------------------- *)
+
+(* Simultaneous multi-node crash: every pid goes down at the same instant,
+   so no survivor hears a failure announcement before losing its peers. *)
+let crash_group_at t ~time ~pids = List.iter (fun pid -> crash_at t ~time ~pid) pids
+
+(* Cascading crashes: each subsequent pid fails [gap] after the previous
+   one.  With [gap < restart_delay] (the default: half of it), pid [i+1]
+   dies while pid [i] is still down or replaying — the recovery of one
+   failure overlaps the next. *)
+let cascade_crash_at t ~time ?gap ~pids () =
+  let gap =
+    match gap with
+    | Some g -> g
+    | None -> 0.5 *. t.cfg.Config.timing.restart_delay
+  in
+  List.iteri
+    (fun i pid -> crash_at t ~time:(time +. (gap *. float_of_int i)) ~pid)
+    pids
+
 
 let perform_at t ~time ~pid effects = schedule t ~time (Perform { pid; effects })
 
@@ -275,6 +306,18 @@ let checkpoint_at t ~time ~pid =
 
 let notice_at t ~time ~pid =
   schedule t ~time (Timer { pid; kind = Notice_timer; periodic = false })
+
+(* Crash landing inside the checkpoint's busy window: the checkpoint is
+   forced at [time] and the crash hits while the node is still paying for
+   it (checkpoints cost [t_checkpoint] of busy time). *)
+let crash_during_checkpoint_at t ~time ~pid =
+  checkpoint_at t ~time ~pid;
+  crash_at t ~time:(time +. (0.5 *. t.cfg.Config.timing.t_checkpoint)) ~pid
+
+(* Likewise for an asynchronous flush. *)
+let crash_during_flush_at t ~time ~pid =
+  flush_at t ~time ~pid;
+  crash_at t ~time:(time +. (0.5 *. t.cfg.Config.timing.t_sync_write)) ~pid
 
 type stats = {
   makespan : float;
@@ -301,6 +344,7 @@ type stats = {
   notices : int;
   packets : (string * int) list;
   piggyback_entries : int;
+  net_faults : Netmodel.fault_stats;
   busy_time : float;
 }
 
@@ -336,5 +380,6 @@ let stats t =
     notices = sum (fun m -> m.Recovery.Metrics.notices);
     packets = Netmodel.packets_sent t.net;
     piggyback_entries = Netmodel.entries_carried t.net;
+    net_faults = Netmodel.fault_stats t.net;
     busy_time = t.busy_time;
   }

@@ -16,14 +16,20 @@ val create :
   ?seed:int ->
   ?horizon:float ->
   ?net_override:Netmodel.override ->
+  ?fault_plan:Netmodel.fault_plan ->
   ?auto_timers:bool ->
   unit ->
   ('state, 'msg) t
 (** [auto_timers] (default [true]) arms the periodic flush / checkpoint /
-    notice timers from the configured intervals; scripted scenarios turn it
-    off and drive those actions explicitly.  [horizon] (default 10000 time
-    units) bounds the run — periodic timers re-arm forever, so a finite
-    horizon is what terminates [run]. *)
+    notice timers from the configured intervals (plus the retransmission
+    timer when {!Recovery.Config.timing.retransmit_interval} is set);
+    scripted scenarios turn it off and drive those actions explicitly.
+    [horizon] (default 10000 time units) bounds the run — periodic timers
+    re-arm forever, so a finite horizon is what terminates [run].
+    [fault_plan] (default {!Netmodel.benign}) subjects all inter-node
+    traffic to adversarial network faults; its randomness comes from a
+    stream separate from the timing jitter, so the benign plan reproduces
+    historical runs bit-for-bit. *)
 
 (** {1 Scheduling inputs} *)
 
@@ -32,6 +38,22 @@ val inject_at : ('state, 'msg) t -> time:float -> dst:int -> 'msg -> unit
 
 val crash_at : ('state, 'msg) t -> time:float -> pid:int -> unit
 (** Fail-stop crash; the node restarts [restart_delay] later. *)
+
+val crash_group_at : ('state, 'msg) t -> time:float -> pids:int list -> unit
+(** Correlated failure: all listed nodes crash at the same instant. *)
+
+val cascade_crash_at :
+  ('state, 'msg) t -> time:float -> ?gap:float -> pids:int list -> unit -> unit
+(** Cascading failure: each listed node crashes [gap] (default: half the
+    restart delay, i.e. while the previous victim is still down) after the
+    previous one. *)
+
+val crash_during_checkpoint_at : ('state, 'msg) t -> time:float -> pid:int -> unit
+(** Force a checkpoint at [time] and crash the node mid-way through the
+    checkpoint's busy window. *)
+
+val crash_during_flush_at : ('state, 'msg) t -> time:float -> pid:int -> unit
+(** Force a flush at [time] and crash the node mid-way through the write. *)
 
 val perform_at :
   ('state, 'msg) t ->
@@ -97,6 +119,8 @@ type stats = {
   notices : int;
   packets : (string * int) list;
   piggyback_entries : int;
+  net_faults : Netmodel.fault_stats;
+      (** wire-level faults injected by the fault plan *)
   busy_time : float;  (** total node busy time (work-weighted overhead) *)
 }
 

@@ -57,6 +57,16 @@ val tracking_comparison : ?n:int -> ?seeds:int list -> unit -> Report.t
     related-work tradeoff): wire overhead against commit-time assembly
     traffic.  Failure-free (see DESIGN.md on direct-tracking recovery). *)
 
+val adversarial_network : ?n:int -> ?seeds:int list -> unit -> Report.t
+(** E10: the hardened protocol (retransmission + announcement gossip)
+    under wire-level loss, duplication and reordering, for K in
+    [{0, 2, N}]; every run oracle-certified. *)
+
+val correlated_failures : ?n:int -> ?seeds:int list -> unit -> Report.t
+(** E11: correlated failure injection (simultaneous multi-node crashes,
+    cascades, crash-during-checkpoint/flush, partition + crash) over a
+    lossy network at K=2; every run oracle-certified. *)
+
 val all : unit -> Report.t list
 (** Every table, in EXPERIMENTS.md order. *)
 

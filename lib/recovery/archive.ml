@@ -1,0 +1,55 @@
+(* Sender-side retransmission archive (footnote 3's "senders' volatile
+   logs").
+
+   Semantically an ordered set of released application messages keyed by
+   {!Wire.identity}.  Acks and announcements remove entries by identity or
+   by predicate on every ack/announcement received, so membership
+   operations must be O(1) — a plain list made each of those a full scan
+   and the whole run O(n^2) in the number of released messages.  Entries
+   carry a monotone insertion sequence number so retransmission still
+   walks the archive in exactly release order (the order matters: it is
+   the order retransmitted packets hit the network model). *)
+
+type 'msg item = { seq : int; msg : 'msg Wire.app_message }
+
+type 'msg t = {
+  tbl : (Wire.identity, 'msg item) Hashtbl.t;
+  mutable next_seq : int;
+}
+
+let create () = { tbl = Hashtbl.create 64; next_seq = 0 }
+
+let length t = Hashtbl.length t.tbl
+
+let mem t id = Hashtbl.mem t.tbl id
+
+let add t (msg : 'msg Wire.app_message) =
+  Hashtbl.replace t.tbl msg.Wire.id { seq = t.next_seq; msg };
+  t.next_seq <- t.next_seq + 1
+
+let remove t id = Hashtbl.remove t.tbl id
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.next_seq <- 0
+
+let remove_if t pred =
+  Hashtbl.filter_map_inplace
+    (fun _ item -> if pred item.msg then None else Some item)
+    t.tbl
+
+let items t = Hashtbl.fold (fun _ item acc -> item :: acc) t.tbl []
+
+(* Release order: the order retransmissions go out in. *)
+let oldest_first t =
+  List.sort (fun a b -> Stdlib.compare a.seq b.seq) (items t)
+  |> List.map (fun item -> item.msg)
+
+(* Reverse release order: the shape the checkpointed snapshot has always
+   had (the archive used to be a newest-first list), preserved so restart
+   rebuilds retransmit in the historical order. *)
+let newest_first t =
+  List.sort (fun a b -> Stdlib.compare b.seq a.seq) (items t)
+  |> List.map (fun item -> item.msg)
+
+let iter_oldest t f = List.iter f (oldest_first t)

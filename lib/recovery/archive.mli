@@ -1,0 +1,33 @@
+(** Sender-side retransmission archive.
+
+    An insertion-ordered set of released application messages keyed by
+    {!Wire.identity}: O(1) removal by identity (acks) and by predicate
+    (orphan pruning on announcements), with iteration in release order
+    for retransmission.  Replaces the former newest-first list whose
+    per-ack [List.mem]/[List.filter] scans were O(n{^2}) over a run. *)
+
+type 'msg t
+
+val create : unit -> 'msg t
+
+val length : 'msg t -> int
+
+val mem : 'msg t -> Wire.identity -> bool
+
+val add : 'msg t -> 'msg Wire.app_message -> unit
+(** Append at the newest end.  Re-adding an existing identity moves it to
+    the newest end (does not occur in the protocol's use). *)
+
+val remove : 'msg t -> Wire.identity -> unit
+
+val remove_if : 'msg t -> ('msg Wire.app_message -> bool) -> unit
+
+val clear : 'msg t -> unit
+
+val oldest_first : 'msg t -> 'msg Wire.app_message list
+(** Archived messages in release order. *)
+
+val newest_first : 'msg t -> 'msg Wire.app_message list
+(** Archived messages in reverse release order (checkpoint snapshots). *)
+
+val iter_oldest : 'msg t -> ('msg Wire.app_message -> unit) -> unit

@@ -2,6 +2,15 @@ type delivery_rule = Corollary1 | Wait_announcement
 
 type tracking = Transitive | Direct
 
+type breakage = {
+  break_orphan_check : bool;
+  break_dup_suppression : bool;
+  break_send_gate : bool;
+}
+
+let no_breakage =
+  { break_orphan_check = false; break_dup_suppression = false; break_send_gate = false }
+
 type protocol = {
   tracking : tracking;
   k : int;
@@ -12,7 +21,9 @@ type protocol = {
   output_driven_logging : bool;
   retransmit_on_failure : bool;
   gossip_notices : bool;
+  gossip_announcements : bool;
   gc_logs : bool;
+  breakage : breakage;
 }
 
 type timing = {
@@ -24,6 +35,7 @@ type timing = {
   flush_interval : float option;
   checkpoint_interval : float option;
   notice_interval : float option;
+  retransmit_interval : float option;
   restart_delay : float;
   net_latency : float;
   net_jitter : float;
@@ -46,6 +58,7 @@ let default_timing =
     flush_interval = Some 50.;
     checkpoint_interval = Some 400.;
     notice_interval = Some 25.;
+    retransmit_interval = None;
     restart_delay = 30.;
     net_latency = 1.0;
     net_jitter = 0.5;
@@ -90,7 +103,9 @@ let base_protocol ~k =
     output_driven_logging = false;
     retransmit_on_failure = true;
     gossip_notices = false;
+    gossip_announcements = false;
     gc_logs = false;
+    breakage = no_breakage;
   }
 
 let k_optimistic ?(timing = default_timing) ~n ~k () =
@@ -133,6 +148,18 @@ let direct_dependency ?(timing = default_timing) ~n () =
 let damani_garg ?(timing = default_timing) ~n () =
   validate_exn
     { n; protocol = { (base_protocol ~k:n) with commit_tracking = false }; timing }
+
+(* Turn on the reliability machinery needed to survive a lossy network:
+   a periodic retransmission timer on every sender's archive, and
+   announcement gossip so a dropped failure announcement is eventually
+   healed by a periodic notice.  Off by default so the benign-network
+   experiments are bit-for-bit unchanged. *)
+let harden ?(retransmit_interval = 40.) t =
+  {
+    t with
+    protocol = { t.protocol with gossip_announcements = true };
+    timing = { t.timing with retransmit_interval = Some retransmit_interval };
+  }
 
 let describe t =
   let p = t.protocol in

@@ -32,6 +32,19 @@ type tracking =
           the uncoordinated data path only; use it for failure-free
           comparisons. *)
 
+type breakage = {
+  break_orphan_check : bool;
+      (** deliberately skip the arrival-time orphan check (Figure 2's
+          discard rule) — for validating that the chaos harness and the
+          offline oracle actually detect protocol violations. *)
+  break_dup_suppression : bool;
+      (** deliberately deliver duplicate copies of a message. *)
+  break_send_gate : bool;
+      (** deliberately release messages regardless of the K bound. *)
+}
+
+val no_breakage : breakage
+
 type protocol = {
   tracking : tracking;
   k : int;
@@ -59,6 +72,11 @@ type protocol = {
           volatile logs"). *)
   gossip_notices : bool;
       (** notices carry all known stability rows, not just the sender's. *)
+  gossip_announcements : bool;
+      (** periodic notices also carry every failure announcement the
+          sender has seen, so an announcement lost on the wire is healed
+          by anti-entropy.  Needed for safety under message loss; off by
+          default (benign networks deliver each broadcast exactly once). *)
   gc_logs : bool;
       (** garbage-collect the stable log and old checkpoints behind any
           checkpoint whose dependency vector is empty — such a checkpoint
@@ -69,6 +87,9 @@ type protocol = {
           log prefix holding a still-undelivered requeued message is never
           collected.  The paper attributes garbage collection to
           accumulated logging progress information (Section 2). *)
+  breakage : breakage;
+      (** deliberate protocol breaks, all false in every preset; used only
+          to prove the chaos harness detects violations. *)
 }
 
 type timing = {
@@ -81,6 +102,11 @@ type timing = {
   flush_interval : float option;  (** period of asynchronous flushes *)
   checkpoint_interval : float option;
   notice_interval : float option;  (** logging-progress broadcast period *)
+  retransmit_interval : float option;
+      (** period of the sender-side retransmission timer: unacknowledged
+          archived messages are re-sent each period.  [None] (the default)
+          retransmits only on failure announcements, which suffices on a
+          lossless network. *)
   restart_delay : float;  (** crash detection + reboot time *)
   net_latency : float;  (** base one-way latency *)
   net_jitter : float;  (** uniform jitter added to the base latency *)
@@ -127,6 +153,11 @@ val damani_garg : ?timing:timing -> n:int -> unit -> t
     but no commit dependency tracking.  (Their protocol tracks multiple
     incarnations per process; this preset approximates it within the
     single-entry-per-process engine — see DESIGN.md.) *)
+
+val harden : ?retransmit_interval:float -> t -> t
+(** Enable the reliability machinery required on a lossy network:
+    periodic sender retransmission and announcement gossip.  Leaves every
+    other axis untouched; never weakens the K bound (see PROTOCOL.md). *)
 
 val describe : t -> string
 (** Short human-readable protocol description for report headers. *)

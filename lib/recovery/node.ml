@@ -140,7 +140,11 @@ type ('state, 'msg) t = {
   buffered_send_ids : (Wire.identity, unit) Hashtbl.t;
   buffered_out_ids : (Wire.output_id, unit) Hashtbl.t;
   committed_ids : (Wire.output_id, unit) Hashtbl.t; (* cache of stable records *)
-  mutable archive : 'msg Wire.app_message list; (* released msgs, newest first *)
+  archive : 'msg Archive.t; (* released msgs awaiting ack, in release order *)
+  anns_seen : (Wire.announcement, unit) Hashtbl.t;
+  mutable anns_order : Wire.announcement list;
+      (* announcements absorbed (received or own), newest first; gossiped
+         on notices when [gossip_announcements] is set *)
   mutable unacked : (int * Wire.identity) list; (* deliveries awaiting ack *)
   mutable send_idx : int; (* sends performed in the current interval *)
   mutable out_idx : int; (* outputs performed in the current interval *)
@@ -157,6 +161,18 @@ let push t a = t.actions <- a :: t.actions
 let trace t ~now ev = Trace.add t.trace ~time:now ev
 
 let proto t = t.cfg.Config.protocol
+
+let breakage t = (proto t).Config.breakage
+
+(* Remember an announcement (received or our own) for dedup and gossip. *)
+let note_ann t ann =
+  if not (Hashtbl.mem t.anns_seen ann) then begin
+    Hashtbl.replace t.anns_seen ann ();
+    t.anns_order <- ann :: t.anns_order
+  end
+
+let gossip_anns t =
+  if (proto t).gossip_announcements then List.rev t.anns_order else []
 
 (* ------------------------------------------------------------------ *)
 (* Dependency bookkeeping                                              *)
@@ -260,7 +276,8 @@ let release_send t ~now (ps : 'msg pending_send) =
   Sim.Summary.add_int m.release_dep_entries (List.length dep);
   Sim.Summary.add_int m.wire_vector_size
     (if (proto t).commit_tracking then List.length dep else t.n);
-  if (proto t).retransmit_on_failure then t.archive <- wire :: t.archive;
+  if (proto t).retransmit_on_failure || t.cfg.Config.timing.retransmit_interval <> None
+  then Archive.add t.archive wire;
   trace t ~now
     (Message_released
        { id = ps.ps_id; dep_size = List.length dep; blocked = now -. ps.ps_enqueued });
@@ -273,7 +290,9 @@ let check_send_buffer t ~now =
       t.send_buf;
   let ready, blocked =
     List.partition
-      (fun ps -> Dep_vector.non_null_count ps.ps_tdv <= ps.ps_k)
+      (fun ps ->
+        (breakage t).break_send_gate
+        || Dep_vector.non_null_count ps.ps_tdv <= ps.ps_k)
       t.send_buf
   in
   t.send_buf <- blocked;
@@ -771,7 +790,7 @@ let rollback t ~now ~(because : Wire.announcement) =
   List.iter
     (fun lg ->
       let m = match lg with Delivery d -> d.lg_msg | Requeued m -> m in
-      if orphan_wire t m then begin
+      if orphan_wire t m && not (breakage t).break_orphan_check then begin
         t.metrics.orphans_discarded <- t.metrics.orphans_discarded + 1;
         trace t ~now
           (Message_discarded { id = m.Wire.id; dst = t.pid; reason = Trace.Orphan_message })
@@ -840,6 +859,7 @@ let rollback t ~now ~(because : Wire.announcement) =
       }
     in
     Store.log_announcement t.store (Wire.Ann_logged fa);
+    note_ann t fa;
     t.iet.(t.pid) <- Entry_set.insert t.iet.(t.pid) fa.ending;
     t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) fa.ending;
     t.metrics.announcements_sent <- t.metrics.announcements_sent + 1;
@@ -850,7 +870,10 @@ let rollback t ~now ~(because : Wire.announcement) =
 (* Receive_failure_ann (Figure 3)                                      *)
 
 let discard_orphan_receives t ~now =
-  let orphans, kept = List.partition (fun (_, m) -> orphan_wire t m) t.recv_buf in
+  let orphans, kept =
+    if (breakage t).break_orphan_check then ([], t.recv_buf)
+    else List.partition (fun (_, m) -> orphan_wire t m) t.recv_buf
+  in
   t.recv_buf <- kept;
   List.iter
     (fun ((_, m) : float * 'msg Wire.app_message) ->
@@ -865,18 +888,31 @@ let cancel_orphan_sends t ~now =
   List.iter (cancel_send t ~now) orphans
 
 let retransmit t ~dst =
-  List.iter
-    (fun (m : 'msg Wire.app_message) ->
+  Archive.iter_oldest t.archive (fun (m : 'msg Wire.app_message) ->
       if m.dst = dst && not (orphan_wire t m) then begin
         t.metrics.retransmissions <- t.metrics.retransmissions + 1;
         push t (Unicast { dst; packet = Wire.App m })
       end)
-    (List.rev t.archive)
+
+(* Periodic retransmission (armed by [Config.timing.retransmit_interval]):
+   re-send every archived message that is not yet acked and not orphan.
+   On a lossless network the archive drains via acks before the first
+   tick; on a lossy one this is what makes delivery eventually happen. *)
+let do_retransmit_tick t =
+  Archive.iter_oldest t.archive (fun (m : 'msg Wire.app_message) ->
+      if not (orphan_wire t m) then begin
+        t.metrics.retransmissions <- t.metrics.retransmissions + 1;
+        push t (Unicast { dst = m.Wire.dst; packet = Wire.App m })
+      end)
 
 let receive_ann t ~now (ann : Wire.announcement) =
   let j = ann.from_ in
-  if j = t.pid then ()
+  (* Dedup: a re-broadcast, a duplicated packet or a gossiped copy of an
+     announcement already absorbed is a no-op (announcement contents are
+     unique per rollback/restart, so structural equality identifies them). *)
+  if j = t.pid || Hashtbl.mem t.anns_seen ann then ()
   else begin
+    note_ann t ann;
     trace t ~now (Announcement_received { pid = t.pid; ann });
     (* "Synchronously log the received announcement". *)
     Store.log_announcement t.store (Wire.Ann_logged ann);
@@ -887,7 +923,7 @@ let receive_ann t ~now (ann : Wire.announcement) =
     if ann.ending.inc > t.max_ann_inc.(j) then t.max_ann_inc.(j) <- ann.ending.inc;
     discard_orphan_receives t ~now;
     cancel_orphan_sends t ~now;
-    t.archive <- List.filter (fun m -> not (orphan_wire t m)) t.archive;
+    Archive.remove_if t.archive (orphan_wire t);
     (match (proto t).tracking with
     | Config.Transitive -> (
       match Dep_vector.get t.tdv j with
@@ -917,18 +953,22 @@ let receive_notice t ~now (notice : Wire.notice) =
       List.iter (fun e -> t.log_tab.(j) <- Entry_set.insert t.log_tab.(j) e) entries)
     notice.Wire.rows;
   elide_tdv t;
-  recheck t ~now
+  recheck t ~now;
+  (* Gossiped announcements (anti-entropy against announcement loss): each
+     is absorbed exactly as a direct broadcast would be; already-seen ones
+     are deduplicated inside [receive_ann]. *)
+  List.iter (fun ann -> receive_ann t ~now ann) notice.Wire.anns
 
 let receive_ack t (ack : Wire.ack) =
-  t.archive <-
-    List.filter (fun (m : 'msg Wire.app_message) -> not (List.mem m.id ack.ids)) t.archive
+  List.iter (fun id -> Archive.remove t.archive id) ack.ids
 
 (* ------------------------------------------------------------------ *)
 (* Receive_message (Figure 2)                                          *)
 
 let receive_app t ~now (m : 'msg Wire.app_message) =
   match
-    if buffered_in_recv t m.id then Some `Buffered
+    if (breakage t).break_dup_suppression then None
+    else if buffered_in_recv t m.id then Some `Buffered
     else if Hashtbl.mem t.delivered m.id || Hashtbl.mem t.stubs m.id then
       Some `Delivered
     else None
@@ -946,7 +986,7 @@ let receive_app t ~now (m : 'msg Wire.app_message) =
     then
       push t (Unicast { dst = m.src; packet = Wire.Ack { from_ = t.pid; to_ = m.src; ids = [ m.id ] } })
   | None ->
-    if orphan_wire t m then begin
+    if orphan_wire t m && not (breakage t).break_orphan_check then begin
       t.metrics.orphans_discarded <- t.metrics.orphans_discarded + 1;
       trace t ~now (Message_discarded { id = m.id; dst = t.pid; reason = Trace.Orphan_message })
     end
@@ -1044,7 +1084,7 @@ let do_checkpoint t ~now =
               so_buffered = po.po_buffered;
             })
           t.out_buf;
-      ck_archive = t.archive;
+      ck_archive = Archive.newest_first t.archive;
     }
   in
   if (proto t).gc_logs then run_gc t;
@@ -1090,7 +1130,9 @@ let do_restart t ~now =
   Hashtbl.reset t.buffered_send_ids;
   Hashtbl.reset t.buffered_out_ids;
   Hashtbl.reset t.committed_ids;
-  t.archive <- [];
+  Archive.clear t.archive;
+  Hashtbl.reset t.anns_seen;
+  t.anns_order <- [];
   t.unacked <- [];
   t.log_tab <- Array.make t.n Entry_set.empty;
   t.iet <- Array.make t.n Entry_set.empty;
@@ -1100,6 +1142,7 @@ let do_restart t ~now =
   List.iter
     (function
       | Wire.Ann_logged (ann : Wire.announcement) ->
+        note_ann t ann;
         t.iet.(ann.from_) <- Entry_set.insert t.iet.(ann.from_) ann.ending;
         t.log_tab.(ann.from_) <- Entry_set.insert t.log_tab.(ann.from_) ann.ending;
         if ann.ending.inc > t.max_ann_inc.(ann.from_) then
@@ -1126,11 +1169,9 @@ let do_restart t ~now =
      replayed intervals; anything older comes from the checkpoint copy. *)
   List.iter
     (fun (m : 'msg Wire.app_message) ->
-      if
-        (not (List.exists (fun (a : 'msg Wire.app_message) -> a.id = m.id) t.archive))
-        && not (Hashtbl.mem t.buffered_send_ids m.id)
+      if (not (Archive.mem t.archive m.id)) && not (Hashtbl.mem t.buffered_send_ids m.id)
       then begin
-        t.archive <- m :: t.archive;
+        Archive.add t.archive m;
         Hashtbl.replace t.released_ids m.id ()
       end)
     ck.ck_archive;
@@ -1167,6 +1208,7 @@ let do_restart t ~now =
     }
   in
   Store.log_announcement t.store (Wire.Ann_logged fa);
+  note_ann t fa;
   t.iet.(t.pid) <- Entry_set.insert t.iet.(t.pid) fa.ending;
   t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) fa.ending;
   t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) t.current;
@@ -1222,7 +1264,9 @@ let create ~config ~pid ~app ~trace:tr =
       buffered_send_ids = Hashtbl.create 16;
       buffered_out_ids = Hashtbl.create 16;
       committed_ids = Hashtbl.create 16;
-      archive = [];
+      archive = Archive.create ();
+      anns_seen = Hashtbl.create 16;
+      anns_order = [];
       unacked = [];
       send_idx = 0;
       out_idx = 0;
@@ -1288,7 +1332,12 @@ let handle_packet t ~now packet =
           | Wire.Flush_request { from_ } ->
             do_flush t ~now ~ack:true;
             let rows = [ (t.pid, Entry_set.entries t.log_tab.(t.pid)) ] in
-            push t (Unicast { dst = from_; packet = Wire.Notice { from_ = t.pid; rows } })
+            push t
+              (Unicast
+                 {
+                   dst = from_;
+                   packet = Wire.Notice { from_ = t.pid; rows; anns = gossip_anns t };
+                 })
           | Wire.Dep_query { from_; intervals } ->
             let infos =
               List.map (fun interval -> (interval, local_dep_info t interval)) intervals
@@ -1365,7 +1414,11 @@ let broadcast_notice t ~now =
           t.metrics.notices <- t.metrics.notices + 1;
           t.metrics.notice_entries <- t.metrics.notice_entries + entries;
           trace t ~now (Notice_sent { pid = t.pid; entries });
-          push t (Broadcast (Wire.Notice { from_ = t.pid; rows }))))
+          push t (Broadcast (Wire.Notice { from_ = t.pid; rows; anns = gossip_anns t }))))
+
+let retransmit_tick t ~now =
+  ignore now;
+  with_cost t (fun () -> guard t (fun () -> do_retransmit_tick t))
 
 let crash t ~now = if t.up then do_crash t ~now
 

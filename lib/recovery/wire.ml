@@ -53,11 +53,19 @@ let pp_announcement ppf a =
 
 (** A logging progress notification: for each process, the per-incarnation
     stability frontier the sender knows.  With gossiping disabled the list
-    has a single row — the sender's own. *)
-type notice = { from_ : int; rows : (int * Entry.t list) list }
+    has a single row — the sender's own.  [anns] is empty unless
+    announcement gossip is enabled ({!Config.protocol.gossip_announcements}),
+    in which case it carries every failure announcement the sender has
+    absorbed, as anti-entropy against announcement loss. *)
+type notice = {
+  from_ : int;
+  rows : (int * Entry.t list) list;
+  anns : announcement list;
+}
 
 let notice_entry_count n =
   List.fold_left (fun acc (_, es) -> acc + List.length es) 0 n.rows
+  + List.length n.anns
 
 (** Stability acknowledgement: the listed deliveries from [to_] have become
     stable at [from_], so [to_] may drop them from its retransmission

@@ -1,6 +1,11 @@
+(* Slots hold ['a option] so vacated positions can be released: a bare
+   ['a array] backing store would keep popped payloads (and, after [grow],
+   copies of the seed element in every spare slot) reachable until they
+   are overwritten, pinning arbitrarily large event payloads across the
+   life of the queue. *)
 type 'a t = {
   cmp : 'a -> 'a -> int;
-  mutable data : 'a array;
+  mutable data : 'a option array;
   mutable size : int;
 }
 
@@ -10,11 +15,13 @@ let length t = t.size
 
 let is_empty t = t.size = 0
 
-let grow t x =
+let get t i = match t.data.(i) with Some x -> x | None -> assert false
+
+let grow t =
   let capacity = Array.length t.data in
   if t.size = capacity then begin
     let capacity' = if capacity = 0 then 16 else 2 * capacity in
-    let data' = Array.make capacity' x in
+    let data' = Array.make capacity' None in
     Array.blit t.data 0 data' 0 t.size;
     t.data <- data'
   end
@@ -22,7 +29,7 @@ let grow t x =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+    if t.cmp (get t i) (get t parent) < 0 then begin
       let tmp = t.data.(i) in
       t.data.(i) <- t.data.(parent);
       t.data.(parent) <- tmp;
@@ -33,8 +40,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
-  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if l < t.size && t.cmp (get t l) (get t !smallest) < 0 then smallest := l;
+  if r < t.size && t.cmp (get t r) (get t !smallest) < 0 then smallest := r;
   if !smallest <> i then begin
     let tmp = t.data.(i) in
     t.data.(i) <- t.data.(!smallest);
@@ -43,22 +50,23 @@ let rec sift_down t i =
   end
 
 let push t x =
-  grow t x;
-  t.data.(t.size) <- x;
+  grow t;
+  t.data.(t.size) <- Some x;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let peek t = if t.size = 0 then None else Some t.data.(0)
+let peek t = if t.size = 0 then None else Some (get t 0)
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = get t 0 in
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
       sift_down t 0
     end;
+    t.data.(t.size) <- None;
     Some top
   end
 
@@ -72,5 +80,5 @@ let clear t =
   t.size <- 0
 
 let to_list t =
-  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (get t i :: acc) in
   loop (t.size - 1) []

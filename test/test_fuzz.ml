@@ -202,4 +202,79 @@ let test_fuzz_sy =
         cmds;
       true)
 
-let suite = [ test_fuzz_k0; test_fuzz_k1; test_fuzz_k4; test_fuzz_replay; test_fuzz_sy ]
+(* Netmodel fault-plan equivalence: the fault machinery draws from its own
+   RNG stream, so a plan with no loss, no reordering and no partitions must
+   be observationally identical to the plain model — same arrival for the
+   same timing seed, packet by packet. *)
+
+let gen_net_schedule =
+  QCheck2.Gen.(
+    pair (int_range 0 1000)
+      (list_size (int_range 1 80)
+         (tup4 (int_range 0 700) (int_range 0 3) (int_range 0 3) (int_range 0 5))))
+
+let net_steps f steps =
+  List.for_all
+    (fun (dt, src, dst, entries) ->
+      let now = float_of_int dt /. 7. in
+      let kind = if entries mod 2 = 0 then "app" else "notice" in
+      f ~now ~src ~dst ~kind ~entries)
+    steps
+
+let test_netmodel_zero_plan_equiv =
+  qtest ~count:200 "netmodel: zeroed fault plan is observationally identical"
+    gen_net_schedule (fun (seed, steps) ->
+      let timing = Recovery.Config.default_timing in
+      let plain = Harness.Netmodel.create ~n:4 ~timing ~rng:(Sim.Rng.create seed) () in
+      let planned =
+        Harness.Netmodel.create ~n:4 ~timing ~rng:(Sim.Rng.create seed)
+          ~fault_rng:(Sim.Rng.create (seed + 1))
+          ~plan:
+            {
+              Harness.Netmodel.loss = 0.;
+              duplicate = 0.;
+              reorder = 0.;
+              reorder_spread = 17.;
+              partitions = [];
+            }
+          ()
+      in
+      net_steps
+        (fun ~now ~src ~dst ~kind ~entries ->
+          let base = Harness.Netmodel.transit plain ~now ~src ~dst ~kind ~entries in
+          Harness.Netmodel.arrivals planned ~now ~src ~dst ~kind ~entries = [ base ])
+        steps)
+
+(* Duplication only echoes packets: the first arrival of every packet is
+   exactly the plain model's arrival (the timing stream is untouched by
+   fault draws), and any echo comes strictly no earlier. *)
+let test_netmodel_duplication_first_arrival =
+  qtest ~count:200 "netmodel: duplication-only plan preserves first arrivals"
+    gen_net_schedule (fun (seed, steps) ->
+      let timing = Recovery.Config.default_timing in
+      let plain = Harness.Netmodel.create ~n:4 ~timing ~rng:(Sim.Rng.create seed) () in
+      let planned =
+        Harness.Netmodel.create ~n:4 ~timing ~rng:(Sim.Rng.create seed)
+          ~fault_rng:(Sim.Rng.create (seed + 1))
+          ~plan:{ Harness.Netmodel.benign with duplicate = 0.5 }
+          ()
+      in
+      net_steps
+        (fun ~now ~src ~dst ~kind ~entries ->
+          let base = Harness.Netmodel.transit plain ~now ~src ~dst ~kind ~entries in
+          match Harness.Netmodel.arrivals planned ~now ~src ~dst ~kind ~entries with
+          | [ a ] -> a = base
+          | [ a; echo ] -> a = base && echo >= a
+          | _ -> false)
+        steps)
+
+let suite =
+  [
+    test_fuzz_k0;
+    test_fuzz_k1;
+    test_fuzz_k4;
+    test_fuzz_replay;
+    test_fuzz_sy;
+    test_netmodel_zero_plan_equiv;
+    test_netmodel_duplication_first_arrival;
+  ]

@@ -170,23 +170,35 @@ let test_wire_helpers () =
                 payload = ();
               };
             Wire.Ann { Wire.from_ = 0; ending = e ~inc:0 ~sii:1; failure = true };
-            Wire.Notice { Wire.from_ = 0; rows = [] };
+            Wire.Notice { Wire.from_ = 0; rows = []; anns = [] };
             Wire.Ack { Wire.from_ = 0; to_ = 1; ids = [] };
             Wire.Flush_request { from_ = 0 };
             Wire.Dep_query { from_ = 0; intervals = [] };
             Wire.Dep_reply { from_ = 0; infos = [] };
           ]));
   let notice =
-    { Wire.from_ = 0; rows = [ (1, [ e ~inc:0 ~sii:1 ]); (2, [ e ~inc:0 ~sii:1; e ~inc:1 ~sii:2 ]) ] }
+    {
+      Wire.from_ = 0;
+      rows = [ (1, [ e ~inc:0 ~sii:1 ]); (2, [ e ~inc:0 ~sii:1; e ~inc:1 ~sii:2 ]) ];
+      anns = [];
+    }
   in
-  Alcotest.(check int) "notice entries" 3 (Wire.notice_entry_count notice)
+  Alcotest.(check int) "notice entries" 3 (Wire.notice_entry_count notice);
+  let gossiping =
+    {
+      notice with
+      Wire.anns = [ { Wire.from_ = 1; ending = e ~inc:0 ~sii:4; failure = true } ];
+    }
+  in
+  Alcotest.(check int) "gossiped announcements count as entries" 4
+    (Wire.notice_entry_count gossiping)
 
 let test_experiment_registry () =
   Alcotest.(check bool) "figure1 registered" true
     (Harness.Experiments.by_name "figure1" <> None);
   Alcotest.(check bool) "unknown rejected" true
     (Harness.Experiments.by_name "nope" = None);
-  Alcotest.(check int) "eleven experiments" 11 (List.length Harness.Experiments.names)
+  Alcotest.(check int) "thirteen experiments" 13 (List.length Harness.Experiments.names)
 
 let suite =
   [

@@ -53,6 +53,41 @@ let test_clear () =
   Sim.Heap.clear h;
   Alcotest.(check bool) "cleared" true (Sim.Heap.is_empty h)
 
+(* A popped payload must become unreachable: the heap used to keep dead
+   elements alive through vacated array slots (and through the spare
+   capacity [grow] filled with copies of the pushed element), pinning
+   arbitrarily large event payloads for the life of the queue. *)
+let test_pop_releases_payload () =
+  let h = Sim.Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+  let weak = Weak.create 1 in
+  (* No closure below mentions the payload, so only the heap roots it. *)
+  let () =
+    let payload = Bytes.create 4096 in
+    Weak.set weak 0 (Some payload);
+    Sim.Heap.push h (1, payload)
+  in
+  Sim.Heap.push h (2, Bytes.create 8);
+  Alcotest.(check bool) "payload live while heaped" true
+    (Gc.full_major ();
+     Weak.check weak 0);
+  (match Sim.Heap.pop h with
+  | Some (k, _) -> Alcotest.(check int) "popped min" 1 k
+  | None -> Alcotest.fail "expected an element");
+  Gc.full_major ();
+  Alcotest.(check bool) "payload collectable once popped" false (Weak.check weak 0)
+
+let test_clear_releases_payload () =
+  let h = Sim.Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+  let weak = Weak.create 1 in
+  let () =
+    let payload = Bytes.create 4096 in
+    Weak.set weak 0 (Some payload);
+    Sim.Heap.push h (1, payload)
+  in
+  Sim.Heap.clear h;
+  Gc.full_major ();
+  Alcotest.(check bool) "payload collectable once cleared" false (Weak.check weak 0)
+
 (* Event queue *)
 
 let test_queue_time_order () =
@@ -115,6 +150,8 @@ let suite =
     test_sorted_order;
     test_length;
     test_to_list_preserves;
+    Alcotest.test_case "pop releases payload" `Quick test_pop_releases_payload;
+    Alcotest.test_case "clear releases payload" `Quick test_clear_releases_payload;
     Alcotest.test_case "queue time order" `Quick test_queue_time_order;
     Alcotest.test_case "queue FIFO on ties" `Quick test_queue_fifo_ties;
     Alcotest.test_case "queue rejects bad times" `Quick test_queue_rejects_bad_times;

@@ -96,7 +96,7 @@ module Driver = struct
 
   let ann ~from_ ~ending ?(failure = true) () = { Wire.from_; ending; failure }
 
-  let notice_packet ~from_ ~rows = Wire.Notice { Wire.from_; rows }
+  let notice_packet ~from_ ~rows = Wire.Notice { Wire.from_; rows; anns = [] }
 end
 
 let counter_config ?(k = 2) ?(n = 4) () =
