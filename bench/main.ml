@@ -64,7 +64,10 @@ let bench_node_step () =
   Bechamel.Test.make ~name:"B4 node: deliver+release step (x16)"
     (Bechamel.Staged.stage (fun () ->
          let trace = Recovery.Trace.create () in
-         let node = Node.create ~config ~pid:0 ~app:App_model.Counter_app.app ~trace in
+         let node =
+           Node.create ~config ~pid:0 ~app:App_model.Counter_app.app ?store_dir:None
+             ~trace
+         in
          for seq = 1 to 16 do
            ignore
              (Node.inject node ~now:(float_of_int seq) ~seq
@@ -76,7 +79,10 @@ let bench_crash_recovery () =
   Bechamel.Test.make ~name:"B5 node: crash + replay of 32 deliveries"
     (Bechamel.Staged.stage (fun () ->
          let trace = Recovery.Trace.create () in
-         let node = Node.create ~config ~pid:0 ~app:App_model.Counter_app.app ~trace in
+         let node =
+           Node.create ~config ~pid:0 ~app:App_model.Counter_app.app ?store_dir:None
+             ~trace
+         in
          for seq = 1 to 32 do
            ignore
              (Node.inject node ~now:(float_of_int seq) ~seq (App_model.Counter_app.Add seq))
@@ -140,6 +146,53 @@ let bench_archive_keyed () =
          List.iter (fun m -> Recovery.Archive.add a m) msgs;
          List.iter (fun id -> Recovery.Archive.remove a id) ids))
 
+(* B8: durable record codec, encode + decode of a fixed volume per run.
+   64 records of 1 KiB = 65536 payload bytes each way; MB/s follows from
+   the ns/run estimate (bytes / ns * 1000 ≈ MB/s). *)
+let codec_payload_bytes = 65536
+
+let bench_codec () =
+  let payload = String.init 1024 (fun i -> Char.chr ((i * 31) land 0xff)) in
+  let records = codec_payload_bytes / String.length payload in
+  Bechamel.Test.make
+    ~name:(Fmt.str "B8 codec: encode+decode %d KiB" (codec_payload_bytes / 1024))
+    (Bechamel.Staged.stage (fun () ->
+         let buf = Buffer.create (codec_payload_bytes + (records * 16)) in
+         for _ = 1 to records do
+           Durable.Codec.encode_into buf ~kind:0x4C payload
+         done;
+         let s = Buffer.contents buf in
+         let pos = ref 0 in
+         let continue = ref true in
+         while !continue do
+           match Durable.Codec.decode s ~pos:!pos with
+           | Durable.Codec.Record { next; _ } -> pos := next
+           | Durable.Codec.End -> continue := false
+           | Durable.Codec.Truncated | Durable.Codec.Corrupt ->
+             failwith "B8: codec round-trip corrupted"
+         done))
+
+(* B9: cost of one batched durable flush — 8 log records made stable with a
+   single fsync plus the stable-length witness write (a second fsync on the
+   synchronous area).  This is the real-file price of the paper's one
+   stable-storage operation per flush. *)
+let bench_durable_flush () =
+  let store =
+    lazy
+      (let dir = Durable.Temp.fresh_dir ~prefix:"bench-b9" () in
+       at_exit (fun () -> Durable.Temp.rm_rf dir);
+       let store, _report = Durable.Durable_store.open_ ~dir () in
+       (store : (unit, string, unit) Durable.Durable_store.t))
+  in
+  let payload = String.make 64 'x' in
+  Bechamel.Test.make ~name:"B9 durable store: flush of 8 records (fsync)"
+    (Bechamel.Staged.stage (fun () ->
+         let store = Lazy.force store in
+         for _ = 1 to 8 do
+           Durable.Durable_store.append_volatile store payload
+         done;
+         ignore (Durable.Durable_store.flush store : int)))
+
 let micro_tests () =
   [
     bench_merge 8;
@@ -151,6 +204,8 @@ let micro_tests () =
     bench_oracle ();
     bench_archive_list ();
     bench_archive_keyed ();
+    bench_codec ();
+    bench_durable_flush ();
   ]
 
 let run_micro () =

@@ -80,15 +80,30 @@ let chaos_cmd =
              dup-suppression or send-gate) to demonstrate that the oracle \
              catches the corruption and the shrinker minimizes it.")
   in
-  let run runs seed breakage =
-    Fmt.pr "chaos campaign: %d runs, master seed %d@." runs seed;
+  let storage_faults =
+    Arg.(
+      value & flag
+      & info [ "storage-faults" ]
+          ~doc:
+            "Also kill one process per case over a real file-backed store and \
+             damage its files before the respawn (torn final write, bit flip, \
+             truncated segment, failing fsync).  Runs whose oracle violations \
+             are matched by storage damage reported at reopen count as \
+             detected data loss, not protocol failures.")
+  in
+  let run runs seed breakage storage_faults =
+    Fmt.pr "chaos campaign: %d runs, master seed %d%s@." runs seed
+      (if storage_faults then " (with storage faults)" else "");
     let progress i = if i mod 25 = 0 then Fmt.pr "  ... %d/%d runs@." i runs in
-    let summary = Harness.Chaos.campaign ~breakage ~progress ~runs ~seed () in
+    let summary =
+      Harness.Chaos.campaign ~breakage ~storage_faults ~progress ~runs ~seed ()
+    in
     Fmt.pr
-      "certified %d/%d runs (max risk seen %d; wire faults injected: %d lost, %d \
-       duplicated; %d protocol retransmissions)@."
-      summary.Harness.Chaos.certified summary.runs summary.max_risk_seen
-      summary.total_net_lost summary.total_net_duplicated
+      "certified %d/%d runs, %d with detected storage data loss (max risk seen \
+       %d; wire faults injected: %d lost, %d duplicated; %d protocol \
+       retransmissions)@."
+      summary.Harness.Chaos.certified summary.runs summary.Harness.Chaos.detected
+      summary.max_risk_seen summary.total_net_lost summary.total_net_duplicated
       summary.total_retransmissions;
     match summary.Harness.Chaos.failures with
     | [] ->
@@ -104,7 +119,7 @@ let chaos_cmd =
         Harness.Chaos.pp_verdict outcome.Harness.Chaos.verdict;
       1
   in
-  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ runs $ seed $ break_)
+  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ runs $ seed $ break_ $ storage_faults)
 
 let () =
   let doc = "K-optimistic logging experiment suite (ICDCS '97 reproduction)" in

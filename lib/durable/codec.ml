@@ -1,0 +1,115 @@
+let magic = '\xd7'
+
+let header_bytes = 10 (* magic 1 + kind 1 + length 4 + crc 4 *)
+
+(* CRC32, IEEE 802.3 reflected polynomial, table-driven byte at a time.
+   Plain OCaml ints: the value always fits 32 bits, masked on the way out. *)
+
+let table =
+  lazy
+    (let t = Array.make 256 0 in
+     for i = 0 to 255 do
+       let c = ref i in
+       for _ = 0 to 7 do
+         c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+       done;
+       t.(i) <- !c
+     done;
+     t)
+
+let mask32 = 0xFFFFFFFF
+
+let crc32 ?(init = 0) s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Codec.crc32";
+  let table = Lazy.force table in
+  let c = ref (init lxor mask32) in
+  for i = pos to pos + len - 1 do
+    c :=
+      Array.unsafe_get table ((!c lxor Char.code (String.unsafe_get s i)) land 0xFF)
+      lxor (!c lsr 8)
+  done;
+  !c lxor mask32
+
+let crc32_string s = crc32 s ~pos:0 ~len:(String.length s)
+
+(* The checksum covers kind + length + payload, i.e. everything after the
+   magic byte, so no single flipped byte can yield a different valid
+   record. *)
+let frame_crc ~kind ~len payload =
+  let head = Bytes.create 5 in
+  Bytes.set head 0 (Char.chr kind);
+  Bytes.set_int32_le head 1 (Int32.of_int len);
+  let c = crc32 (Bytes.unsafe_to_string head) ~pos:0 ~len:5 in
+  crc32 ~init:c payload ~pos:0 ~len
+
+let encode_into buf ~kind payload =
+  if kind < 0 || kind > 0xFF then invalid_arg "Codec.encode: kind out of range";
+  let len = String.length payload in
+  let head = Bytes.create header_bytes in
+  Bytes.set head 0 magic;
+  Bytes.set head 1 (Char.chr kind);
+  Bytes.set_int32_le head 2 (Int32.of_int len);
+  Bytes.set_int32_le head 6 (Int32.of_int (frame_crc ~kind ~len payload));
+  Buffer.add_bytes buf head;
+  Buffer.add_string buf payload
+
+let encode ~kind payload =
+  let buf = Buffer.create (header_bytes + String.length payload) in
+  encode_into buf ~kind payload;
+  Buffer.contents buf
+
+type decoded =
+  | Record of { kind : int; payload : string; next : int }
+  | Truncated
+  | Corrupt
+  | End
+
+let get_le32 s pos =
+  Int32.to_int (String.get_int32_le s pos) land mask32
+
+let decode s ~pos =
+  let total = String.length s in
+  if pos < 0 || pos > total then invalid_arg "Codec.decode: position out of range";
+  if pos = total then End
+  else if total - pos < header_bytes then Truncated
+  else if s.[pos] <> magic then Corrupt
+  else begin
+    let kind = Char.code s.[pos + 1] in
+    let len = get_le32 s (pos + 2) in
+    let crc = get_le32 s (pos + 6) in
+    if len > total - pos - header_bytes then
+      (* A mutated length field lands here too; indistinguishable from a
+         torn write and equally safe: the reader truncates, never invents
+         a record. *)
+      Truncated
+    else
+      let c = crc32 s ~pos:(pos + 1) ~len:5 in
+      let c = crc32 ~init:c s ~pos:(pos + header_bytes) ~len in
+      if c <> crc then Corrupt
+      else
+        Record
+          {
+            kind;
+            payload = String.sub s (pos + header_bytes) len;
+            next = pos + header_bytes + len;
+          }
+  end
+
+type tail = Clean | Torn | Corrupt_tail
+
+type scan_result = {
+  records : (int * string) list;
+  valid_bytes : int;
+  tail : tail;
+}
+
+let scan s =
+  let rec loop pos acc =
+    match decode s ~pos with
+    | End -> { records = List.rev acc; valid_bytes = pos; tail = Clean }
+    | Truncated -> { records = List.rev acc; valid_bytes = pos; tail = Torn }
+    | Corrupt -> { records = List.rev acc; valid_bytes = pos; tail = Corrupt_tail }
+    | Record { kind; payload; next } -> loop next ((kind, payload) :: acc)
+  in
+  loop 0 []

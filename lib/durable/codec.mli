@@ -1,0 +1,55 @@
+(** Self-describing binary record codec for the on-disk stores.
+
+    Every durable artifact (log segments, checkpoint snapshots, the
+    synchronous area) is a sequence of framed records:
+
+    {v
+      +-------+------+-----------+----------+------------------+
+      | magic | kind | length LE | crc32 LE | payload          |
+      | 1 B   | 1 B  | 4 B       | 4 B      | [length] bytes   |
+      +-------+------+-----------+----------+------------------+
+    v}
+
+    The CRC32 (IEEE, reflected) covers the kind byte, the length field and
+    the payload, so a single-byte mutation anywhere in a record is either
+    caught by the checksum, rejected by the magic byte, or turns the frame
+    into a truncation — a reader can never accept a wrong record.  Decoding
+    stops at the first anomaly; whatever follows is treated as a torn or
+    corrupt tail and truncated by open-time recovery. *)
+
+val magic : char
+
+val header_bytes : int
+(** Bytes of framing overhead per record (magic + kind + length + crc). *)
+
+val crc32 : ?init:int -> string -> pos:int -> len:int -> int
+(** Running CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a
+    substring.  [init] defaults to the empty-message state; feed the result
+    back in to checksum discontiguous pieces.  The result fits 32 bits. *)
+
+val crc32_string : string -> int
+
+val encode : kind:int -> string -> string
+(** Frame one record.  [kind] must fit one byte. *)
+
+val encode_into : Buffer.t -> kind:int -> string -> unit
+
+type decoded =
+  | Record of { kind : int; payload : string; next : int }
+      (** a valid frame; [next] is the offset just past it *)
+  | Truncated  (** the bytes end mid-frame: a torn write *)
+  | Corrupt  (** bad magic or checksum mismatch *)
+  | End  (** clean end of input *)
+
+val decode : string -> pos:int -> decoded
+
+type tail = Clean | Torn | Corrupt_tail
+
+type scan_result = {
+  records : (int * string) list;  (** (kind, payload), oldest first *)
+  valid_bytes : int;  (** length of the longest valid prefix *)
+  tail : tail;
+}
+
+val scan : string -> scan_result
+(** Decode records from offset 0 until the first anomaly or the end. *)

@@ -1,0 +1,409 @@
+(* Record kinds, one byte each.  The segment log uses its own fixed kind
+   internally; these are the checkpoint-file and synchronous-area kinds. *)
+let k_ckpt = 0x43 (* 'C': (stable length at save, checkpoint snapshot) *)
+
+let k_ann = 0x41 (* 'A': announcement *)
+
+let k_inc = 0x49 (* 'I': incarnation counter *)
+
+let k_len = 0x4E (* 'N': stable-length witness, written after each flush *)
+
+let k_base = 0x42 (* 'B': logical log base after prefix compaction *)
+
+let to_bin v = Marshal.to_string v [ Marshal.Closures ]
+
+let of_bin (s : string) = Marshal.from_string s 0
+
+type open_report = {
+  fresh : bool;
+  recovered_log : int;
+  log_bytes_dropped : int;
+  log_segments_dropped : int;
+  missing_log_records : int;
+  recovered_checkpoints : int;
+  checkpoints_dropped : int;
+  sync_records : int;
+  sync_bytes_dropped : int;
+  sync_area_missing : bool;
+}
+
+let damaged r =
+  r.log_bytes_dropped > 0 || r.log_segments_dropped > 0
+  || r.missing_log_records > 0 || r.checkpoints_dropped > 0
+  || r.sync_bytes_dropped > 0 || r.sync_area_missing
+
+let pp_open_report ppf r =
+  Format.fprintf ppf
+    "@[<v>fresh: %b@,log: %d records recovered, %d bytes + %d segments dropped@,\
+     missing vs stable-length witness: %d@,\
+     checkpoints: %d recovered, %d dropped@,\
+     sync area: %d records, %d bytes dropped%s@]"
+    r.fresh r.recovered_log r.log_bytes_dropped r.log_segments_dropped
+    r.missing_log_records r.recovered_checkpoints r.checkpoints_dropped
+    r.sync_records r.sync_bytes_dropped
+    (if r.sync_area_missing then ", MISSING" else "")
+
+type ('ckpt, 'log, 'ann) t = {
+  root : string;
+  log : Segment_log.t;
+  mutable stable_log : 'log list; (* newest first, mirrors the segments *)
+  mutable stable_len : int;
+  mutable base : int;
+  volatile : 'log Queue.t;
+  mutable ckpts : (int * 'ckpt) list; (* (file seq, snapshot), newest first *)
+  mutable ckpt_seq : int;
+  mutable anns : 'ann list; (* newest first *)
+  mutable inc : int;
+  mutable sync_writes : int;
+  mutable flushes : int;
+  mutable sync_fd : Unix.file_descr; (* sync.dat, every append fsynced *)
+  mutable alive : bool;
+  report : open_report;
+}
+
+let guard t = if not t.alive then invalid_arg "Durable_store: store killed"
+
+let sync_path root = Filename.concat root "sync.dat"
+
+let ckpt_path root seq = Filename.concat root (Printf.sprintf "ckpt-%012d.dat" seq)
+
+let parse_ckpt name =
+  if String.length name = 21 && String.sub name 0 5 = "ckpt-"
+     && Filename.check_suffix name ".dat"
+  then int_of_string_opt (String.sub name 5 12)
+  else None
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Append one fsynced record to the synchronous area.  Writes of protocol
+   data (announcements, incarnation) are counted by the callers;
+   store-internal metadata (length witness, base) is not — the paper's
+   cost model has no such operation, it piggybacks here on writes the
+   simulated store performs for free. *)
+let sync_put t ~kind payload =
+  let frame = Codec.encode ~kind payload in
+  let len = String.length frame in
+  let rec loop pos =
+    if pos < len then
+      loop (pos + Unix.write_substring t.sync_fd frame pos (len - pos))
+  in
+  loop 0;
+  Unix.fsync t.sync_fd
+
+let open_ ~dir ?segment_bytes () =
+  Temp.mkdir_p dir;
+  let pre_existing =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun name ->
+           name = "sync.dat"
+           || Filename.check_suffix name ".dat"
+              && (String.length name >= 4 && String.sub name 0 4 = "seg-"
+                 || String.length name >= 5 && String.sub name 0 5 = "ckpt-"))
+  in
+  let fresh = pre_existing = [] in
+  let sync_file = sync_path dir in
+  let sync_missing = (not fresh) && not (Sys.file_exists sync_file) in
+  (* Synchronous area first: it holds the metadata (base, length witness)
+     that interprets the rest. *)
+  let sync_records = ref [] (* oldest first after rev *) in
+  let sync_bytes_dropped = ref 0 in
+  (if Sys.file_exists sync_file then begin
+     let contents = read_file sync_file in
+     let scanned = Codec.scan contents in
+     sync_records := scanned.records;
+     if scanned.valid_bytes < String.length contents then begin
+       sync_bytes_dropped := String.length contents - scanned.valid_bytes;
+       let fd = Unix.openfile sync_file [ Unix.O_WRONLY ] 0o644 in
+       Unix.ftruncate fd scanned.valid_bytes;
+       Unix.close fd
+     end
+   end);
+  let anns = ref [] (* newest first *) in
+  let inc = ref 0 in
+  let witness_len = ref None in
+  let logical_base = ref 0 in
+  List.iter
+    (fun (kind, payload) ->
+      if kind = k_ann then anns := of_bin payload :: !anns
+      else if kind = k_inc then inc := (of_bin payload : int)
+      else if kind = k_len then witness_len := Some (of_bin payload : int)
+      else if kind = k_base then logical_base := (of_bin payload : int))
+    !sync_records;
+  (* Message log. *)
+  let log, recovered = Segment_log.open_ ~dir ?segment_bytes () in
+  let stable_log =
+    List.rev_map (fun payload -> of_bin payload) recovered.Segment_log.payloads
+  in
+  let stable_len = Segment_log.next_index log in
+  let missing =
+    match !witness_len with
+    | Some w when w > stable_len -> w - stable_len
+    | Some _ | None -> 0
+  in
+  (* Checkpoints: each its own file; drop torn/corrupt ones and any whose
+     saved stable length exceeds the recovered log (its replay suffix is
+     gone, an older checkpoint still covers the surviving prefix). *)
+  let ckpt_seqs =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map parse_ckpt
+    |> List.sort compare
+  in
+  let ckpts = ref [] (* newest first *) in
+  let ckpts_dropped = ref 0 in
+  List.iter
+    (fun seq ->
+      let path = ckpt_path dir seq in
+      let usable =
+        match Codec.decode (read_file path) ~pos:0 with
+        | Codec.Record { kind; payload; _ } when kind = k_ckpt -> (
+          match (of_bin payload : int * _) with
+          | log_pos, snapshot when log_pos <= stable_len -> Some (seq, snapshot)
+          | _ -> None
+          | exception _ -> None)
+        | _ -> None
+        | exception _ -> None
+      in
+      match usable with
+      | Some c -> ckpts := c :: !ckpts
+      | None ->
+        incr ckpts_dropped;
+        Unix.unlink path)
+    ckpt_seqs;
+  let report =
+    {
+      fresh;
+      recovered_log = List.length recovered.Segment_log.payloads;
+      log_bytes_dropped = recovered.Segment_log.bytes_dropped;
+      log_segments_dropped = recovered.Segment_log.segments_dropped;
+      missing_log_records = missing;
+      recovered_checkpoints = List.length !ckpts;
+      checkpoints_dropped = !ckpts_dropped;
+      sync_records = List.length !sync_records;
+      sync_bytes_dropped = !sync_bytes_dropped;
+      sync_area_missing = sync_missing;
+    }
+  in
+  let sync_fd =
+    Unix.openfile sync_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  let t =
+    {
+      root = dir;
+      log;
+      stable_log;
+      stable_len;
+      base = max !logical_base (Segment_log.first_index log);
+      volatile = Queue.create ();
+      ckpts = !ckpts;
+      ckpt_seq = 1 + List.fold_left (fun m s -> max m s) (-1) ckpt_seqs;
+      anns = !anns;
+      inc = !inc;
+      sync_writes = 0;
+      flushes = 0;
+      sync_fd;
+      alive = true;
+      report;
+    }
+  in
+  (t, report)
+
+let report t = t.report
+
+let dir t = t.root
+
+(* --- the Stable_store contract ------------------------------------- *)
+
+let append_volatile t r =
+  guard t;
+  Queue.add r t.volatile
+
+let flush t =
+  guard t;
+  let n = Queue.length t.volatile in
+  if n > 0 then begin
+    Queue.iter
+      (fun r ->
+        ignore (Segment_log.append t.log (to_bin r) : int);
+        t.stable_log <- r :: t.stable_log)
+      t.volatile;
+    Queue.clear t.volatile;
+    t.stable_len <- t.stable_len + n;
+    (* One batched fsync — the paper's single stable-storage operation —
+       then the durable length witness that lets a reopen detect a log
+       tail this fsync claimed but did not persist. *)
+    Segment_log.sync t.log;
+    sync_put t ~kind:k_len (to_bin t.stable_len);
+    t.flushes <- t.flushes + 1;
+    t.sync_writes <- t.sync_writes + 1
+  end;
+  n
+
+let stable_log_length t = t.stable_len
+
+let volatile_length t = Queue.length t.volatile
+
+let volatile_peek t = Queue.peek_opt t.volatile
+
+let stable_log_from t ~pos =
+  if pos < t.base || pos > t.stable_len then
+    invalid_arg "Stable_store.stable_log_from: position out of range";
+  let rec take i acc = function
+    | [] -> acc
+    | r :: rest -> if i < pos then acc else take (i - 1) (r :: acc) rest
+  in
+  take (t.stable_len - 1) [] t.stable_log
+
+let truncate_stable_log t ~keep =
+  guard t;
+  if keep < t.base || keep > t.stable_len then
+    invalid_arg "Stable_store.truncate_stable_log: keep out of range";
+  let removed = stable_log_from t ~pos:keep in
+  let rec drop i l = if i = 0 then l else drop (i - 1) (List.tl l) in
+  t.stable_log <- drop (t.stable_len - keep) t.stable_log;
+  t.stable_len <- keep;
+  Segment_log.truncate_after t.log ~keep;
+  sync_put t ~kind:k_len (to_bin keep);
+  Queue.clear t.volatile;
+  removed
+
+let discard_log_prefix t ~before =
+  guard t;
+  if before > t.stable_len then
+    invalid_arg "Stable_store.discard_log_prefix: position out of range";
+  if before <= t.base then 0
+  else begin
+    let keep_cells = t.stable_len - before in
+    let rec take i acc l =
+      if i = 0 then List.rev acc
+      else
+        match l with
+        | [] -> List.rev acc
+        | r :: rest -> take (i - 1) (r :: acc) rest
+    in
+    let discarded = before - t.base in
+    t.stable_log <- take keep_cells [] t.stable_log;
+    t.base <- before;
+    (* Record the logical base first, then reclaim whole segments; if we
+       die in between, reopen just sees a few extra records below base. *)
+    sync_put t ~kind:k_base (to_bin before);
+    Segment_log.drop_segments_below t.log ~before;
+    discarded
+  end
+
+let log_base t = t.base
+
+let live_log_records t = t.stable_len - t.base
+
+let save_checkpoint t c =
+  guard t;
+  ignore (flush t : int);
+  let seq = t.ckpt_seq in
+  t.ckpt_seq <- seq + 1;
+  let path = ckpt_path t.root seq in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let frame = Codec.encode ~kind:k_ckpt (to_bin (t.stable_len, c)) in
+      let len = String.length frame in
+      let rec loop pos =
+        if pos < len then loop (pos + Unix.write_substring fd frame pos (len - pos))
+      in
+      loop 0;
+      Unix.fsync fd);
+  t.ckpts <- (seq, c) :: t.ckpts;
+  t.sync_writes <- t.sync_writes + 1
+
+let latest_checkpoint t =
+  match t.ckpts with [] -> None | (_, c) :: _ -> Some c
+
+let checkpoints t = List.map snd t.ckpts
+
+let unlink_ckpts t dropped =
+  List.iter (fun (seq, _) -> Unix.unlink (ckpt_path t.root seq)) dropped
+
+let restore_checkpoint t ~satisfying =
+  guard t;
+  let rec find newer = function
+    | [] -> None
+    | (seq, c) :: rest ->
+      if satisfying c then Some (List.rev newer, (seq, c) :: rest)
+      else find ((seq, c) :: newer) rest
+  in
+  match find [] t.ckpts with
+  | None -> None
+  | Some (newer, kept) ->
+    unlink_ckpts t newer;
+    t.ckpts <- kept;
+    Some (snd (List.hd kept))
+
+let prune_checkpoints t ~keep_latest =
+  guard t;
+  if keep_latest < 1 then
+    invalid_arg "Stable_store.prune_checkpoints: must keep at least one";
+  let rec split i acc = function
+    | [] -> (List.rev acc, [])
+    | rest when i = 0 -> (List.rev acc, rest)
+    | c :: rest -> split (i - 1) (c :: acc) rest
+  in
+  let kept, dropped = split keep_latest [] t.ckpts in
+  t.ckpts <- kept;
+  unlink_ckpts t dropped;
+  List.length dropped
+
+let prune_checkpoints_older_than t ~anchor =
+  guard t;
+  let rec split acc = function
+    | [] -> None
+    | (seq, c) :: rest when anchor c -> Some (List.rev ((seq, c) :: acc), rest)
+    | c :: rest -> split (c :: acc) rest
+  in
+  match split [] t.ckpts with
+  | None -> 0
+  | Some (kept, dropped) ->
+    t.ckpts <- kept;
+    unlink_ckpts t dropped;
+    List.length dropped
+
+let log_announcement t a =
+  guard t;
+  sync_put t ~kind:k_ann (to_bin a);
+  t.anns <- a :: t.anns;
+  t.sync_writes <- t.sync_writes + 1
+
+let announcements t = List.rev t.anns
+
+let set_incarnation t i =
+  guard t;
+  sync_put t ~kind:k_inc (to_bin i);
+  t.inc <- i;
+  t.sync_writes <- t.sync_writes + 1
+
+let incarnation t = t.inc
+
+let crash t =
+  let lost = Queue.length t.volatile in
+  Queue.clear t.volatile;
+  lost
+
+let sync_writes t = t.sync_writes
+
+let flushes t = t.flushes
+
+let kill t =
+  if t.alive then begin
+    Queue.clear t.volatile;
+    Segment_log.kill t.log;
+    Unix.close t.sync_fd;
+    t.alive <- false
+  end
+
+let arm_fsync_failure t =
+  guard t;
+  Segment_log.arm_fsync_failure t.log

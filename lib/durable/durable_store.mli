@@ -1,0 +1,124 @@
+(** File-backed stable storage.
+
+    Implements the same contract as the in-memory [Storage.Stable_store]
+    (same operations, same counters, same error strings) on real files:
+
+    - the {b message log} is a {!Segment_log} of Marshal-encoded records,
+      made durable in batches by [flush] (one [fsync] per batch — the
+      paper's single stable-storage operation);
+    - each {b checkpoint} is its own [ckpt-<seq>.dat] file holding one
+      checksummed record: the pair (stable length at save time, snapshot);
+      the length lets open-time recovery reject checkpoints that point past
+      a log whose tail was lost;
+    - the {b synchronous area} is [sync.dat], an append-only record stream
+      fsynced on every write.  Besides announcements and the incarnation
+      counter it carries store metadata: the logical log base after
+      compaction and a stable-length witness written after every flush, so
+      a reopen can {e detect} (not just silently absorb) a log tail lost to
+      a lying fsync.
+
+    Open-time recovery scans everything, truncates torn or corrupt tails,
+    drops unusable checkpoints and reports what it found in
+    {!open_report}. *)
+
+type ('ckpt, 'log, 'ann) t
+
+type open_report = {
+  fresh : bool;  (** no pre-existing store in this directory *)
+  recovered_log : int;  (** stable log records recovered *)
+  log_bytes_dropped : int;  (** torn/corrupt log bytes truncated *)
+  log_segments_dropped : int;  (** whole segments discarded after an anomaly *)
+  missing_log_records : int;
+      (** shortfall of the recovered log against the last durable
+          stable-length witness: records the store claimed stable (e.g.
+          under a failing fsync) that did not survive *)
+  recovered_checkpoints : int;
+  checkpoints_dropped : int;  (** corrupt, torn, or pointing past the log *)
+  sync_records : int;
+  sync_bytes_dropped : int;  (** synchronous-area tail truncated *)
+  sync_area_missing : bool;
+      (** the synchronous area vanished although other store files exist *)
+}
+
+val damaged : open_report -> bool
+(** True when anything was dropped, missing or truncated — every such
+    condition is reported, never silently absorbed. *)
+
+val pp_open_report : Format.formatter -> open_report -> unit
+
+val open_ :
+  dir:string -> ?segment_bytes:int -> unit -> ('ckpt, 'log, 'ann) t * open_report
+(** Open the store rooted at [dir], creating it if needed, running
+    open-time recovery otherwise.  Serialization uses [Marshal] (with
+    closures permitted), so a store must be reopened by the same binary
+    that wrote it — true of every use here (restart within a run, or the
+    respawn of a killed actor). *)
+
+val report : ('ckpt, 'log, 'ann) t -> open_report
+
+(** {1 The [Storage.Stable_store] contract} *)
+
+val append_volatile : ('ckpt, 'log, 'ann) t -> 'log -> unit
+
+val flush : ('ckpt, 'log, 'ann) t -> int
+
+val stable_log_length : ('ckpt, 'log, 'ann) t -> int
+
+val volatile_length : ('ckpt, 'log, 'ann) t -> int
+
+val volatile_peek : ('ckpt, 'log, 'ann) t -> 'log option
+
+val stable_log_from : ('ckpt, 'log, 'ann) t -> pos:int -> 'log list
+
+val truncate_stable_log : ('ckpt, 'log, 'ann) t -> keep:int -> 'log list
+
+val discard_log_prefix : ('ckpt, 'log, 'ann) t -> before:int -> int
+
+val log_base : ('ckpt, 'log, 'ann) t -> int
+
+val live_log_records : ('ckpt, 'log, 'ann) t -> int
+
+val save_checkpoint : ('ckpt, 'log, 'ann) t -> 'ckpt -> unit
+
+val latest_checkpoint : ('ckpt, 'log, 'ann) t -> 'ckpt option
+
+val checkpoints : ('ckpt, 'log, 'ann) t -> 'ckpt list
+
+val restore_checkpoint :
+  ('ckpt, 'log, 'ann) t -> satisfying:('ckpt -> bool) -> 'ckpt option
+
+val prune_checkpoints : ('ckpt, 'log, 'ann) t -> keep_latest:int -> int
+
+val prune_checkpoints_older_than :
+  ('ckpt, 'log, 'ann) t -> anchor:('ckpt -> bool) -> int
+
+val log_announcement : ('ckpt, 'log, 'ann) t -> 'ann -> unit
+
+val announcements : ('ckpt, 'log, 'ann) t -> 'ann list
+
+val set_incarnation : ('ckpt, 'log, 'ann) t -> int -> unit
+
+val incarnation : ('ckpt, 'log, 'ann) t -> int
+
+val crash : ('ckpt, 'log, 'ann) t -> int
+(** In-process crash model: drop the volatile buffer only (disk intact,
+    handles still open).  Use {!kill} for a process death. *)
+
+val sync_writes : ('ckpt, 'log, 'ann) t -> int
+
+val flushes : ('ckpt, 'log, 'ann) t -> int
+
+(** {1 Process death and fault injection} *)
+
+val kill : ('ckpt, 'log, 'ann) t -> unit
+(** Process death: every byte not yet fsynced is discarded from the files,
+    all descriptors close, and the handle becomes unusable.  Recovery is
+    only possible through a fresh {!open_} on the same directory. *)
+
+val arm_fsync_failure : ('ckpt, 'log, 'ann) t -> unit
+(** Make the {e log}'s fsync lie (report success, persist nothing) from
+    now on; the synchronous area keeps its own descriptor and stays honest,
+    which is what lets the stable-length witness expose the loss at the
+    next open. *)
+
+val dir : ('ckpt, 'log, 'ann) t -> string

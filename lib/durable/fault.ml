@@ -1,0 +1,86 @@
+type t = Torn_final_write | Bit_flip | Truncated_segment | Failed_fsync
+
+let all = [ Torn_final_write; Bit_flip; Truncated_segment; Failed_fsync ]
+
+let to_string = function
+  | Torn_final_write -> "torn-final-write"
+  | Bit_flip -> "bit-flip"
+  | Truncated_segment -> "truncated-segment"
+  | Failed_fsync -> "failed-fsync"
+
+let of_string s = List.find_opt (fun f -> to_string f = s) all
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)
+
+let files_matching dir prefix =
+  match Sys.readdir dir with
+  | entries ->
+    Array.to_list entries
+    |> List.filter (fun name ->
+           String.length name >= String.length prefix
+           && String.sub name 0 (String.length prefix) = prefix
+           && Filename.check_suffix name ".dat")
+    |> List.sort compare
+    |> List.map (fun name -> Filename.concat dir name)
+  | exception Sys_error _ -> []
+
+let size path = (Unix.stat path).Unix.st_size
+
+let truncate path len =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.ftruncate fd len)
+
+let flip_byte path off mask =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let b = Bytes.create 1 in
+      ignore (Unix.lseek fd off Unix.SEEK_SET : int);
+      if Unix.read fd b 0 1 = 1 then begin
+        Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor mask));
+        ignore (Unix.lseek fd off Unix.SEEK_SET : int);
+        ignore (Unix.write fd b 0 1 : int)
+      end)
+
+let apply ~dir ~rand fault =
+  match fault with
+  | Failed_fsync -> "failed fsync (armed on the live store before the kill)"
+  | Torn_final_write -> (
+    match
+      List.filter (fun p -> size p > 0) (files_matching dir "seg-") |> List.rev
+    with
+    | [] -> "torn final write: no log bytes to tear"
+    | last :: _ ->
+      let sz = size last in
+      let tear = 1 + rand (min 16 sz) in
+      truncate last (sz - tear);
+      Printf.sprintf "tore %d trailing bytes off %s" tear (Filename.basename last)
+    )
+  | Truncated_segment -> (
+    match List.filter (fun p -> size p > 0) (files_matching dir "seg-") with
+    | [] -> "truncated segment: no log bytes to cut"
+    | segs ->
+      let victim = List.nth segs (rand (List.length segs)) in
+      let sz = size victim in
+      let keep = rand sz in
+      truncate victim keep;
+      Printf.sprintf "truncated %s from %d to %d bytes" (Filename.basename victim)
+        sz keep)
+  | Bit_flip -> (
+    let candidates =
+      (files_matching dir "seg-" @ files_matching dir "ckpt-"
+      @
+      let s = Filename.concat dir "sync.dat" in
+      if Sys.file_exists s then [ s ] else [])
+      |> List.filter (fun p -> size p > 0)
+    in
+    match candidates with
+    | [] -> "bit flip: no bytes to flip"
+    | files ->
+      let victim = List.nth files (rand (List.length files)) in
+      let off = rand (size victim) in
+      let bit = rand 8 in
+      flip_byte victim off (1 lsl bit);
+      Printf.sprintf "flipped bit %d of byte %d in %s" bit off
+        (Filename.basename victim))

@@ -1,0 +1,30 @@
+(** Storage fault injection.
+
+    Faults model what real disks do to logging systems.  [Failed_fsync] is
+    armed on a {e live} store (see {!Durable_store.arm_fsync_failure}) and
+    takes effect at the eventual kill; the other three mutate the closed
+    files of a killed store, between death and respawn — exactly when a
+    real machine would lose or mangle sectors. *)
+
+type t =
+  | Torn_final_write  (** shear trailing bytes off the last log record *)
+  | Bit_flip  (** flip one bit in a random store file *)
+  | Truncated_segment  (** cut a random log segment to a random length *)
+  | Failed_fsync
+      (** the log's fsync reports success without persisting (lying disk);
+          applied before the kill, a no-op afterwards *)
+
+val all : t list
+
+val to_string : t -> string
+
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+val apply : dir:string -> rand:(int -> int) -> t -> string
+(** Mutate the store files under [dir] after a kill.  [rand n] must return
+    a uniform integer in [\[0, n)]; callers pass a stream derived from the
+    run's seed so campaigns stay reproducible.  Returns a human-readable
+    description of the damage done (or why none was possible, e.g. no
+    segment had any bytes yet). *)

@@ -1,0 +1,287 @@
+let log_kind = 0x4C (* 'L' *)
+
+let default_segment_bytes = 64 * 1024
+
+type seg = {
+  start : int; (* absolute logical index of the first record *)
+  path : string;
+  mutable count : int;
+  mutable bytes : int;
+  mutable offsets : int list; (* byte offset of each record, newest first *)
+}
+
+type t = {
+  dir : string;
+  segment_bytes : int;
+  mutable segs : seg list; (* oldest first; the last one is [cur] *)
+  mutable cur : seg;
+  mutable fd : Unix.file_descr;
+  mutable synced : int; (* durable byte count of [cur] *)
+  mutable dirty : bool;
+  mutable fail_fsync : bool;
+  (* segments rotated away while fsync was failing: (path, durable bytes) *)
+  mutable closed_unsynced : (string * int) list;
+  mutable alive : bool;
+}
+
+type recovered = {
+  first : int;
+  payloads : string list;
+  bytes_dropped : int;
+  segments_dropped : int;
+  tail : Codec.tail;
+}
+
+let seg_path dir start = Filename.concat dir (Printf.sprintf "seg-%012d.dat" start)
+
+let parse_seg name =
+  if String.length name = 20 && String.sub name 0 4 = "seg-"
+     && Filename.check_suffix name ".dat"
+  then int_of_string_opt (String.sub name 4 12)
+  else None
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let truncate_file path len =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> Unix.ftruncate fd len)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec loop pos =
+    if pos < len then loop (pos + Unix.write_substring fd s pos (len - pos))
+  in
+  loop 0
+
+let guard t name = if not t.alive then invalid_arg ("Segment_log." ^ name ^ ": log closed")
+
+let offsets_of_records records =
+  (* newest first, from a Codec.scan record list (oldest first) *)
+  let off = ref 0 in
+  List.fold_left
+    (fun acc (_, payload) ->
+      let here = !off in
+      off := here + Codec.header_bytes + String.length payload;
+      here :: acc)
+    [] records
+
+let create_segment dir start =
+  let path = seg_path dir start in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Unix.close fd;
+  { start; path; count = 0; bytes = 0; offsets = [] }
+
+let open_ ~dir ?(segment_bytes = default_segment_bytes) () =
+  Temp.mkdir_p dir;
+  let starts =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map parse_seg
+    |> List.sort compare
+  in
+  let bytes_dropped = ref 0 in
+  let segments_dropped = ref 0 in
+  let tail = ref Codec.Clean in
+  let stop = ref false in
+  let kept = ref [] (* newest first *) in
+  let payloads = ref [] (* newest first *) in
+  List.iter
+    (fun start ->
+      let path = seg_path dir start in
+      if !stop then begin
+        bytes_dropped := !bytes_dropped + file_size path;
+        incr segments_dropped;
+        Unix.unlink path
+      end
+      else begin
+        (match !kept with
+        | prev :: _ when prev.start + prev.count <> start ->
+          (* The previous segment lost records (a mid-log truncation or
+             corruption ate its tail): logical positions would gap, so
+             everything from here on is unusable. *)
+          if !tail = Codec.Clean then tail := Codec.Corrupt_tail;
+          stop := true;
+          bytes_dropped := !bytes_dropped + file_size path;
+          incr segments_dropped;
+          Unix.unlink path
+        | _ -> ());
+        if not !stop then begin
+          let contents = read_file path in
+          let scanned = Codec.scan contents in
+          let seg =
+            {
+              start;
+              path;
+              count = List.length scanned.records;
+              bytes = scanned.valid_bytes;
+              offsets = offsets_of_records scanned.records;
+            }
+          in
+          List.iter (fun (_, p) -> payloads := p :: !payloads) scanned.records;
+          kept := seg :: !kept;
+          if scanned.tail <> Codec.Clean then begin
+            tail := scanned.tail;
+            stop := true;
+            bytes_dropped :=
+              !bytes_dropped + (String.length contents - scanned.valid_bytes);
+            truncate_file path scanned.valid_bytes
+          end
+        end
+      end)
+    starts;
+  let segs =
+    match List.rev !kept with [] -> [ create_segment dir 0 ] | segs -> segs
+  in
+  let cur = List.nth segs (List.length segs - 1) in
+  let fd = Unix.openfile cur.path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+  let t =
+    {
+      dir;
+      segment_bytes;
+      segs;
+      cur;
+      fd;
+      synced = cur.bytes;
+      dirty = false;
+      fail_fsync = false;
+      closed_unsynced = [];
+      alive = true;
+    }
+  in
+  let recovered =
+    {
+      first = (List.hd segs).start;
+      payloads = List.rev !payloads;
+      bytes_dropped = !bytes_dropped;
+      segments_dropped = !segments_dropped;
+      tail = !tail;
+    }
+  in
+  (t, recovered)
+
+let next_index t = t.cur.start + t.cur.count
+
+let first_index t = (List.hd t.segs).start
+
+let segment_count t = List.length t.segs
+
+let do_sync t =
+  if t.dirty then begin
+    if not t.fail_fsync then begin
+      Unix.fsync t.fd;
+      t.synced <- t.cur.bytes
+    end;
+    t.dirty <- false
+  end
+
+let sync t =
+  guard t "sync";
+  do_sync t
+
+let arm_fsync_failure t =
+  guard t "arm_fsync_failure";
+  t.fail_fsync <- true
+
+let rotate t =
+  do_sync t;
+  if t.synced < t.cur.bytes then
+    t.closed_unsynced <- (t.cur.path, t.synced) :: t.closed_unsynced;
+  Unix.close t.fd;
+  let seg = create_segment t.dir (next_index t) in
+  t.segs <- t.segs @ [ seg ];
+  t.cur <- seg;
+  t.fd <- Unix.openfile seg.path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644;
+  t.synced <- 0;
+  t.dirty <- false
+
+let append t payload =
+  guard t "append";
+  if t.cur.bytes >= t.segment_bytes && t.cur.count > 0 then rotate t;
+  let frame = Codec.encode ~kind:log_kind payload in
+  write_all t.fd frame;
+  let idx = next_index t in
+  t.cur.offsets <- t.cur.bytes :: t.cur.offsets;
+  t.cur.count <- t.cur.count + 1;
+  t.cur.bytes <- t.cur.bytes + String.length frame;
+  t.dirty <- true;
+  idx
+
+let rec drop_n n l = if n = 0 then l else drop_n (n - 1) (List.tl l)
+
+let truncate_after t ~keep =
+  guard t "truncate_after";
+  if keep < first_index t then
+    invalid_arg "Segment_log.truncate_after: keep below first retained record";
+  if keep < next_index t then begin
+    Unix.close t.fd;
+    let keep_segs, dropped =
+      List.partition (fun s -> s.start < keep) t.segs
+    in
+    List.iter
+      (fun s ->
+        t.closed_unsynced <- List.remove_assoc s.path t.closed_unsynced;
+        Unix.unlink s.path)
+      dropped;
+    let cur =
+      match List.rev keep_segs with
+      | [] -> create_segment t.dir keep
+      | s :: _ -> s
+    in
+    t.segs <- (match keep_segs with [] -> [ cur ] | _ -> keep_segs);
+    let durable =
+      if cur == t.cur then t.synced
+      else
+        match List.assoc_opt cur.path t.closed_unsynced with
+        | Some b -> b
+        | None -> cur.bytes
+    in
+    t.closed_unsynced <- List.remove_assoc cur.path t.closed_unsynced;
+    (if keep < cur.start + cur.count then begin
+       let i = keep - cur.start in
+       let off = List.nth cur.offsets (cur.count - 1 - i) in
+       truncate_file cur.path off;
+       cur.offsets <- drop_n (cur.count - i) cur.offsets;
+       cur.count <- i;
+       cur.bytes <- off
+     end);
+    t.cur <- cur;
+    t.fd <- Unix.openfile cur.path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644;
+    t.synced <- min durable cur.bytes;
+    t.dirty <- t.cur.bytes > t.synced
+  end
+
+let drop_segments_below t ~before =
+  guard t "drop_segments_below";
+  let keep, dropped =
+    List.partition
+      (fun s -> s == t.cur || s.start + s.count > before)
+      t.segs
+  in
+  List.iter
+    (fun s ->
+      t.closed_unsynced <- List.remove_assoc s.path t.closed_unsynced;
+      Unix.unlink s.path)
+    dropped;
+  t.segs <- keep
+
+let kill t =
+  if t.alive then begin
+    Unix.close t.fd;
+    if t.cur.bytes > t.synced then truncate_file t.cur.path t.synced;
+    List.iter (fun (path, durable) -> truncate_file path durable) t.closed_unsynced;
+    t.alive <- false
+  end
+
+let close t =
+  if t.alive then begin
+    do_sync t;
+    Unix.close t.fd;
+    t.alive <- false
+  end

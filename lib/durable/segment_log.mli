@@ -1,0 +1,72 @@
+(** Segmented append-only record log.
+
+    The message log lives in numbered segment files [seg-<start>.dat],
+    where [<start>] is the absolute logical index of the segment's first
+    record — so logical positions survive both restarts and prefix
+    compaction (deleting whole leading segments) without any translation
+    table.  Records are {!Codec} frames; appends go to the newest segment
+    and are made durable in batches by {!sync}, which is the physical face
+    of the paper's [flush] operation.
+
+    Open-time recovery scans every segment in order and stops at the first
+    anomaly — a torn frame, a checksum mismatch, or a segment whose record
+    count does not meet the next segment's start index.  Everything from
+    the anomaly onward is truncated (later segments deleted), so the
+    recovered log is always a gap-free prefix of what was written.
+
+    [kill] models a process death: nothing is synced, every byte past the
+    last successful [sync] is discarded, exactly like an OS losing the page
+    cache.  A log whose [sync] has been armed to fail (see
+    {!arm_fsync_failure}) silently stops making appends durable — the
+    storage-fault campaigns use this to model a lying disk. *)
+
+type t
+
+type recovered = {
+  first : int;  (** logical index of the first recovered record *)
+  payloads : string list;  (** recovered record payloads, oldest first *)
+  bytes_dropped : int;  (** bytes truncated from torn/corrupt tails *)
+  segments_dropped : int;  (** later segments discarded after an anomaly *)
+  tail : Codec.tail;  (** state of the first anomaly encountered *)
+}
+
+val open_ : dir:string -> ?segment_bytes:int -> unit -> t * recovered
+(** Open (creating if needed) the segment log in [dir].  [segment_bytes]
+    (default 64 KiB) is the size threshold past which appends rotate to a
+    new segment. *)
+
+val append : t -> string -> int
+(** Append one record payload; returns its absolute logical index.  The
+    record is volatile until the next {!sync}. *)
+
+val sync : t -> unit
+(** fsync the newest segment (one synchronous operation per batch). *)
+
+val arm_fsync_failure : t -> unit
+(** From now on {!sync} reports success without persisting anything. *)
+
+val next_index : t -> int
+(** Logical index the next {!append} will get. *)
+
+val first_index : t -> int
+(** Logical index of the oldest physically retained record. *)
+
+val truncate_after : t -> keep:int -> unit
+(** Physically discard every record with logical index [>= keep]: later
+    segments are deleted and the segment containing [keep] is truncated at
+    the record boundary.  Subsequent appends continue at index [keep]. *)
+
+val drop_segments_below : t -> before:int -> unit
+(** Delete whole segments that only contain records with index [< before].
+    The newest segment is never deleted; compaction is segment-grained, so
+    a few records below [before] may physically survive. *)
+
+val segment_count : t -> int
+
+val kill : t -> unit
+(** Process death: discard every un-synced byte (including segments rotated
+    away while fsync was armed to fail) and close all descriptors.  The log
+    is unusable afterwards; reopen with {!open_}. *)
+
+val close : t -> unit
+(** Graceful close: {!sync} then release descriptors. *)

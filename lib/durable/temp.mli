@@ -1,0 +1,14 @@
+(** Filesystem helpers shared by the durable store, the experiment harness
+    and the tests: scratch directories for store roots and recursive
+    cleanup. *)
+
+val mkdir_p : string -> unit
+
+val fresh_dir : ?base:string -> prefix:string -> unit -> string
+(** Create (and return) a new empty directory under [base] (default: the
+    system temporary directory) whose name starts with [prefix].  Names are
+    disambiguated with the process id and a counter, so concurrent test
+    runners do not collide. *)
+
+val rm_rf : string -> unit
+(** Recursively delete a file or directory tree; missing paths are fine. *)

@@ -17,6 +17,7 @@ type fault =
   | Reorder of float * float  (* probability, spread *)
   | Partition of { group : int list; from_ : float; until : float; drop : bool }
   | Crash of { kind : crash_kind; time : float }
+  | Kill of { pid : int; time : float; storage : Durable.Fault.t option }
 
 type case = { n : int; k : int; seed : int; faults : fault list }
 
@@ -37,6 +38,10 @@ let pp_fault ppf = function
     | Cascade pids -> Fmt.pf ppf "cascading crash %a from %.0f" pp_pids pids time
     | In_checkpoint pid -> Fmt.pf ppf "crash P%d during checkpoint at %.0f" pid time
     | In_flush pid -> Fmt.pf ppf "crash P%d during flush at %.0f" pid time)
+  | Kill { pid; time; storage } ->
+    Fmt.pf ppf "kill P%d at %.0f%a" pid time
+      Fmt.(option (any " + storage fault " ++ Durable.Fault.pp))
+      storage
 
 let pp_case ppf c =
   Fmt.pf ppf "@[<v2>n=%d K=%d seed=%d, %d fault(s):@,%a@]" c.n c.k c.seed
@@ -71,13 +76,15 @@ let plan_of_faults faults =
             }
             :: plan.partitions;
         }
-      | Crash _ -> plan)
+      | Crash _ | Kill _ -> plan)
     Netmodel.benign faults
 
 let schedule_crashes cluster faults =
   List.iter
     (function
       | Loss _ | Duplication _ | Reorder _ | Partition _ -> ()
+      | Kill { pid; time; storage } ->
+        Cluster.kill_at cluster ~time ~pid ?storage_fault:storage ()
       | Crash { kind; time } -> (
         match kind with
         | Single pid -> Cluster.crash_at cluster ~time ~pid
@@ -87,17 +94,28 @@ let schedule_crashes cluster faults =
         | In_flush pid -> Cluster.crash_during_flush_at cluster ~time ~pid))
     faults
 
+let needs_store faults = List.exists (function Kill _ -> true | _ -> false) faults
+
 type verdict =
   | Certified of Oracle.report
+  | Detected of { oracle : Oracle.report; damage : string list }
+      (* oracle violations, but injected storage damage was detected and
+         reported at reopen: loud data loss, not silent wrong state *)
   | Violated of Oracle.report
   | Crashed of string  (* the harness or protocol raised *)
 
 type outcome = { verdict : verdict; stats : Cluster.stats option }
 
-let verdict_failed = function Certified _ -> false | Violated _ | Crashed _ -> true
+let verdict_failed = function
+  | Certified _ | Detected _ -> false
+  | Violated _ | Crashed _ -> true
 
 let pp_verdict ppf = function
   | Certified r -> Fmt.pf ppf "certified (%a)" Oracle.pp_report r
+  | Detected { oracle; damage } ->
+    Fmt.pf ppf "@[<v2>detected storage damage (%a):@,%a@]" Oracle.pp_report oracle
+      Fmt.(list ~sep:cut string)
+      damage
   | Violated r -> Fmt.pf ppf "VIOLATED: %a" Oracle.pp_report r
   | Crashed msg -> Fmt.pf ppf "HARNESS EXCEPTION: %s" msg
 
@@ -107,26 +125,46 @@ let pp_verdict ppf = function
    the full trace.  A deliberately broken protocol ([breakage]) may also
    make the run raise — that counts as a failure, not a campaign abort. *)
 let run_case ?(breakage = Config.no_breakage) ?(calls = 60) case =
-  try
-    let config =
-      Config.harden (Config.k_optimistic ~n:case.n ~k:case.k ())
-    in
-    let config =
-      { config with Config.protocol = { config.Config.protocol with breakage } }
-    in
-    let cluster =
-      Cluster.create ~config ~app:App_model.Telecom_app.app ~seed:case.seed
-        ~horizon:1500. ~fault_plan:(plan_of_faults case.faults) ()
-    in
-    let rng = Sim.Rng.create (case.seed * 7919) in
-    Workload.telecom cluster ~rng ~calls ~hops:4 ~start:10. ~rate:1.0;
-    schedule_crashes cluster case.faults;
-    Cluster.run cluster;
-    let oracle = Oracle.check ~k:case.k ~n:case.n (Cluster.trace cluster) in
-    let stats = Some (Cluster.stats cluster) in
-    if Oracle.ok oracle then { verdict = Certified oracle; stats }
-    else { verdict = Violated oracle; stats }
-  with exn -> { verdict = Crashed (Printexc.to_string exn); stats = None }
+  (* Kill directives need real files to die over; the store root lives only
+     for the duration of the run. *)
+  let store_root =
+    if needs_store case.faults then Some (Durable.Temp.fresh_dir ~prefix:"chaos" ())
+    else None
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Durable.Temp.rm_rf store_root)
+    (fun () ->
+      try
+        let config =
+          Config.harden (Config.k_optimistic ~n:case.n ~k:case.k ())
+        in
+        let config =
+          { config with Config.protocol = { config.Config.protocol with breakage } }
+        in
+        let cluster =
+          Cluster.create ~config ~app:App_model.Telecom_app.app ~seed:case.seed
+            ~horizon:1500. ~fault_plan:(plan_of_faults case.faults) ?store_root ()
+        in
+        let rng = Sim.Rng.create (case.seed * 7919) in
+        Workload.telecom cluster ~rng ~calls ~hops:4 ~start:10. ~rate:1.0;
+        schedule_crashes cluster case.faults;
+        Cluster.run cluster;
+        let oracle = Oracle.check ~k:case.k ~n:case.n (Cluster.trace cluster) in
+        let stats = Some (Cluster.stats cluster) in
+        let damage =
+          List.filter_map
+            (fun (pid, time, note, report) ->
+              if note <> "none" || Storage.Stable_store.report_damaged report then
+                Some
+                  (Fmt.str "P%d respawned at %.0f: %s; %a" pid time note
+                     Storage.Stable_store.pp_open_report report)
+              else None)
+            (Cluster.storage_reports cluster)
+        in
+        if Oracle.ok oracle then { verdict = Certified oracle; stats }
+        else if damage <> [] then { verdict = Detected { oracle; damage }; stats }
+        else { verdict = Violated oracle; stats }
+      with exn -> { verdict = Crashed (Printexc.to_string exn); stats = None })
 
 (* ------------------------------------------------------------------ *)
 (* Randomized campaign                                                 *)
@@ -139,8 +177,11 @@ let distinct_pids rng ~n ~count =
 (* One randomized case.  Every case carries loss, duplication and
    reordering; half add a partition; every case has at least one crash
    directive, cycling through the correlated-failure kinds so each kind
-   appears throughout a campaign.  K cycles through {0, 2, N}. *)
-let random_case rng ~index =
+   appears throughout a campaign.  K cycles through {0, 2, N}.  With
+   [storage_faults] every case additionally kills one process — cycling
+   through no damage and the four storage faults — so the campaign also
+   exercises restart-from-disk under file corruption. *)
+let random_case ?(storage_faults = false) rng ~index =
   let n = 4 + Sim.Rng.int rng 5 in
   let k = match index mod 3 with 0 -> 0 | 1 -> Stdlib.min 2 n | _ -> n in
   let seed = 10_000 + index in
@@ -165,11 +206,20 @@ let random_case rng ~index =
   (* Occasionally a second, independent crash late in the run. *)
   if Sim.Rng.bool rng then
     add (Crash { kind = Single (Sim.Rng.int rng n); time = Sim.Rng.uniform rng ~lo:220. ~hi:320. });
+  if storage_faults then begin
+    let storage =
+      match index mod 5 with
+      | 0 -> None
+      | i -> Some (List.nth Durable.Fault.all (i - 1))
+    in
+    add (Kill { pid = Sim.Rng.int rng n; time = crash_time (); storage })
+  end;
   { n; k; seed; faults = List.rev !faults }
 
 type summary = {
   runs : int;
   certified : int;
+  detected : int;  (* storage damage reported instead of silent wrong state *)
   failures : (case * verdict) list;  (* oldest first *)
   total_retransmissions : int;
   total_net_lost : int;
@@ -177,13 +227,15 @@ type summary = {
   max_risk_seen : int;
 }
 
-let campaign ?(breakage = Config.no_breakage) ?progress ~runs ~seed () =
+let campaign ?(breakage = Config.no_breakage) ?(storage_faults = false) ?progress
+    ~runs ~seed () =
   let rng = Sim.Rng.create seed in
   let certified = ref 0 in
+  let detected = ref 0 in
   let failures = ref [] in
   let retrans = ref 0 and lost = ref 0 and dup = ref 0 and risk = ref 0 in
   for index = 0 to runs - 1 do
-    let case = random_case rng ~index in
+    let case = random_case ~storage_faults rng ~index in
     let { verdict; stats } = run_case ~breakage case in
     (match stats with
     | Some s ->
@@ -195,12 +247,14 @@ let campaign ?(breakage = Config.no_breakage) ?progress ~runs ~seed () =
     | Certified r ->
       incr certified;
       risk := Stdlib.max !risk r.Oracle.max_risk
+    | Detected _ -> incr detected
     | Violated _ | Crashed _ -> failures := (case, verdict) :: !failures);
     match progress with Some f -> f (index + 1) | None -> ()
   done;
   {
     runs;
     certified = !certified;
+    detected = !detected;
     failures = List.rev !failures;
     total_retransmissions = !retrans;
     total_net_lost = !lost;

@@ -23,6 +23,10 @@ type fault =
   | Reorder of float * float  (** probability, extra-delay spread *)
   | Partition of { group : int list; from_ : float; until : float; drop : bool }
   | Crash of { kind : crash_kind; time : float }
+  | Kill of { pid : int; time : float; storage : Durable.Fault.t option }
+      (** process death over a durable store, optionally followed by
+          post-mortem file damage; the respawned process recovers solely
+          from disk *)
 
 type case = { n : int; k : int; seed : int; faults : fault list }
 
@@ -36,6 +40,10 @@ val plan_of_faults : fault list -> Netmodel.fault_plan
 
 type verdict =
   | Certified of Oracle.report
+  | Detected of { oracle : Oracle.report; damage : string list }
+      (** the oracle saw violations, but every respawn over injected
+          storage damage reported the loss at reopen — loud, detected data
+          loss rather than silent wrong state *)
   | Violated of Oracle.report
   | Crashed of string  (** the harness or protocol raised *)
 
@@ -51,17 +59,25 @@ val run_case :
     telecom workload, the case's fault plan and crash schedule, then the
     oracle over the full trace.  [breakage] deliberately disables protocol
     safeguards to validate that the oracle (or the harness itself) catches
-    the resulting corruption. *)
+    the resulting corruption.  A case with [Kill] directives runs the
+    cluster over a temporary durable store root (removed afterwards); an
+    oracle violation accompanied by reported storage damage yields
+    [Detected], one without yields [Violated]. *)
 
-val random_case : Sim.Rng.t -> index:int -> case
+val random_case : ?storage_faults:bool -> Sim.Rng.t -> index:int -> case
 (** Randomized case generator: every case carries loss (≤ 10%),
     duplication and reordering; half add a timed partition; crash
     directives cycle through the correlated-failure kinds; K cycles
-    through [{0, 2, N}]. *)
+    through [{0, 2, N}].  With [storage_faults] (default [false]) every
+    case also kills one process, cycling through clean kills and the four
+    storage faults of {!Durable.Fault}. *)
 
 type summary = {
   runs : int;
   certified : int;
+  detected : int;
+      (** runs whose oracle violations were matched by reported storage
+          damage — data loss was injected, detected and reported *)
   failures : (case * verdict) list;  (** oldest first *)
   total_retransmissions : int;
   total_net_lost : int;
@@ -71,6 +87,7 @@ type summary = {
 
 val campaign :
   ?breakage:Recovery.Config.breakage ->
+  ?storage_faults:bool ->
   ?progress:(int -> unit) ->
   runs:int ->
   seed:int ->

@@ -11,10 +11,16 @@ type 'msg event =
   | Perform of { pid : int; effects : 'msg App_model.App_intf.effect list }
   | Crash of int
   | Restart of int
+  | Arm_fsync_failure of int
+  | Kill of { pid : int; fault : Durable.Fault.t option }
+  | Respawn of int
 
 type ('state, 'msg) t = {
   cfg : Config.t;
-  nodes : ('state, 'msg) Node.t array;
+  app : ('state, 'msg) App_model.App_intf.t;
+  store_root : string option;
+  storage_rng : Sim.Rng.t option;
+  mutable nodes : ('state, 'msg) Node.t array; (* slots replaced on kill *)
   queue : 'msg event Sim.Event_queue.t;
   net : Netmodel.t;
   trace_ : Recovery.Trace.t;
@@ -27,6 +33,12 @@ type ('state, 'msg) t = {
   mutable inject_seq : int;
   mutable client_log : (int * int * 'msg) list; (* seq, dst, payload *)
   mutable busy_time : float;
+  mutable dead_metrics : Recovery.Metrics.t list;
+      (* metrics of node handles discarded by kills, so [stats] stays whole *)
+  mutable storage_reports_ :
+    (int * float * string * Storage.Stable_store.open_report) list;
+      (* (pid, respawn time, injected-damage description, report), oldest last *)
+  mutable fault_notes : (int * string) list; (* pid, damage description *)
 }
 
 let n t = Array.length t.nodes
@@ -171,6 +183,47 @@ let handle_event t = function
     t.down.(pid) <- false;
     consume t ~pid (Node.restart t.nodes.(pid) ~now:t.now);
     release_held t ~pid
+  | Arm_fsync_failure pid ->
+    if not t.down.(pid) then Node.arm_storage_fsync_failure t.nodes.(pid)
+  | Kill { pid; fault } ->
+    if not t.down.(pid) then begin
+      t.down.(pid) <- true;
+      t.dead_metrics <- Node.metrics t.nodes.(pid) :: t.dead_metrics;
+      Node.halt t.nodes.(pid) ~now:t.now;
+      (* Post-mortem file damage happens between death and respawn. *)
+      (match (fault, t.store_root, t.storage_rng) with
+      | Some f, Some root, Some rng ->
+        let dir = Filename.concat root (Printf.sprintf "p%d" pid) in
+        let note = Durable.Fault.apply ~dir ~rand:(Sim.Rng.int rng) f in
+        t.fault_notes <- (pid, note) :: t.fault_notes
+      | _ -> ());
+      t.next_free.(pid) <- t.now;
+      schedule t ~time:(t.now +. t.cfg.Config.timing.restart_delay) (Respawn pid)
+    end
+  | Respawn pid ->
+    (* A fresh process over the same store directory: everything it knows,
+       it knows from open-time recovery of the files the kill left behind. *)
+    let dir =
+      match t.store_root with
+      | Some root -> Filename.concat root (Printf.sprintf "p%d" pid)
+      | None -> invalid_arg "Cluster: Respawn without a store root"
+    in
+    let fresh = Node.create ~config:t.cfg ~pid ~app:t.app ~store_dir:dir ~trace:t.trace_ in
+    t.nodes.(pid) <- fresh;
+    (match Node.storage_report fresh with
+    | Some report ->
+      let note =
+        match List.assoc_opt pid t.fault_notes with
+        | Some n ->
+          t.fault_notes <- List.remove_assoc pid t.fault_notes;
+          n
+        | None -> "none"
+      in
+      t.storage_reports_ <- t.storage_reports_ @ [ (pid, t.now, note, report) ]
+    | None -> ());
+    t.down.(pid) <- false;
+    consume t ~pid (Node.restart fresh ~now:t.now);
+    release_held t ~pid
 
 let busy_gate t ev_time pid =
   (* A node processes one event at a time; arrivals during busy periods are
@@ -182,7 +235,8 @@ let event_pid = function
   | Timer { pid; _ } -> Some pid
   | Inject { dst; _ } -> Some dst
   | Perform { pid; _ } -> Some pid
-  | Crash _ | Restart _ -> None (* crashes preempt; restarts are external *)
+  | Crash _ | Restart _ | Arm_fsync_failure _ | Kill _ | Respawn _ ->
+    None (* crashes/kills preempt; restarts are external *)
 
 let step t =
   match Sim.Event_queue.next t.queue with
@@ -216,22 +270,34 @@ let run_until t deadline =
   t.now <- Stdlib.max t.now deadline
 
 let create ~config ~app ?(seed = 42) ?(horizon = 10_000.) ?net_override
-    ?(fault_plan = Netmodel.benign) ?(auto_timers = true) () =
+    ?(fault_plan = Netmodel.benign) ?(auto_timers = true) ?store_root () =
   let config = Config.validate_exn config in
   let n = config.Config.n in
   let rng = Sim.Rng.create seed in
   let trace_ = Recovery.Trace.create () in
+  let node_dir pid =
+    Option.map (fun root -> Filename.concat root (Printf.sprintf "p%d" pid)) store_root
+  in
   let nodes =
-    Array.init n (fun pid -> Node.create ~config ~pid ~app ~trace:trace_)
+    Array.init n (fun pid ->
+        Node.create ~config ~pid ~app ?store_dir:(node_dir pid) ~trace:trace_)
   in
   (* Bind the splits in sequence: the first must be the timing stream (the
      same child the pre-fault-plan model derived, so benign runs reproduce
-     historical tables bit-for-bit); the fault stream is a further split. *)
+     historical tables bit-for-bit); the fault stream is a further split.
+     The storage-fault stream is split only when a store root exists, so
+     in-memory runs keep their historical streams untouched. *)
   let net_rng = Sim.Rng.split rng in
   let fault_rng = Sim.Rng.split rng in
+  let storage_rng =
+    match store_root with None -> None | Some _ -> Some (Sim.Rng.split rng)
+  in
   let t =
     {
       cfg = config;
+      app;
+      store_root;
+      storage_rng;
       nodes;
       queue = Sim.Event_queue.create ();
       net =
@@ -246,6 +312,9 @@ let create ~config ~app ?(seed = 42) ?(horizon = 10_000.) ?net_override
       inject_seq = 0;
       client_log = [];
       busy_time = 0.;
+      dead_metrics = [];
+      storage_reports_ = [];
+      fault_notes = [];
     }
   in
   if auto_timers then
@@ -274,6 +343,29 @@ let inject_at t ~time ~dst payload =
   schedule t ~time (Inject { dst; payload; seq; retry = false })
 
 let crash_at t ~time ~pid = schedule t ~time (Crash pid)
+
+(* --- Process death with durable storage ------------------------------ *)
+
+let kill_at t ~time ~pid ?storage_fault () =
+  if t.store_root = None then
+    invalid_arg "Cluster.kill_at: cluster was created without ~store_root";
+  match storage_fault with
+  | Some Durable.Fault.Failed_fsync ->
+    (* A lying fsync must be armed while the process is alive: the disk
+       starts dropping log writes a couple of flush periods before the
+       death, so stability the node announced in between is false. *)
+    let lead =
+      match t.cfg.Config.timing.flush_interval with
+      | Some p -> 2.5 *. p
+      | None -> 50.
+    in
+    schedule t ~time:(Stdlib.max 0. (time -. lead)) (Arm_fsync_failure pid);
+    (* [Fault.apply] is a no-op for [Failed_fsync]; passing it through the
+       kill records the injected damage in the respawn's report. *)
+    schedule t ~time (Kill { pid; fault = Some Durable.Fault.Failed_fsync })
+  | fault -> schedule t ~time (Kill { pid; fault })
+
+let storage_reports t = t.storage_reports_
 
 (* --- Correlated failure injection ----------------------------------- *)
 
@@ -349,7 +441,7 @@ type stats = {
 }
 
 let stats t =
-  let ms = Array.to_list (Array.map Node.metrics t.nodes) in
+  let ms = t.dead_metrics @ Array.to_list (Array.map Node.metrics t.nodes) in
   let sum f = List.fold_left (fun acc m -> acc + f m) 0 ms in
   let merge f =
     List.fold_left (fun acc m -> Sim.Summary.merge acc (f m)) (Sim.Summary.create ()) ms

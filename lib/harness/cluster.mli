@@ -18,6 +18,7 @@ val create :
   ?net_override:Netmodel.override ->
   ?fault_plan:Netmodel.fault_plan ->
   ?auto_timers:bool ->
+  ?store_root:string ->
   unit ->
   ('state, 'msg) t
 (** [auto_timers] (default [true]) arms the periodic flush / checkpoint /
@@ -38,6 +39,27 @@ val inject_at : ('state, 'msg) t -> time:float -> dst:int -> 'msg -> unit
 
 val crash_at : ('state, 'msg) t -> time:float -> pid:int -> unit
 (** Fail-stop crash; the node restarts [restart_delay] later. *)
+
+val kill_at :
+  ('state, 'msg) t ->
+  time:float ->
+  pid:int ->
+  ?storage_fault:Durable.Fault.t ->
+  unit ->
+  unit
+(** Process death (requires [~store_root]): the node handle is discarded
+    with its store descriptors, the optional storage fault mutates the
+    closed files, and after [restart_delay] a {e fresh} node is created
+    over the same directory — recovering solely from disk — and restarted.
+    [Failed_fsync] is special: it is armed on the live store a couple of
+    flush periods {e before} [time], so the node announces stability for
+    log records the disk never persisted. *)
+
+val storage_reports :
+  ('state, 'msg) t ->
+  (int * float * string * Storage.Stable_store.open_report) list
+(** One entry per respawn, oldest first: (pid, respawn time, description of
+    the injected file damage or ["none"], what open-time recovery found). *)
 
 val crash_group_at : ('state, 'msg) t -> time:float -> pids:int list -> unit
 (** Correlated failure: all listed nodes crash at the same instant. *)

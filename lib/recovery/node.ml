@@ -1232,11 +1232,22 @@ let do_restart t ~now =
 (* ------------------------------------------------------------------ *)
 (* Public driver interface                                             *)
 
-let create ~config ~pid ~app ~trace:tr =
+(* [?store_dir] sits before the labelled [~trace], so it can never be
+   erased by a positional application — warning 16 does not apply to how
+   this function is actually used (every caller passes the argument or
+   forwards [?store_dir:None]). *)
+let[@warning "-16"] create ~config ~pid ~app ?store_dir ~trace:tr =
   let config = Config.validate_exn config in
   let n = config.Config.n in
   if pid < 0 || pid >= n then invalid_arg "Node.create: pid out of range";
   let state = app.App_intf.init ~pid ~n in
+  let store, fresh_store =
+    match store_dir with
+    | None -> (Store.create (), true)
+    | Some dir ->
+      let store, report = Store.open_durable ~dir () in
+      (store, report.Store.fresh)
+  in
   let t =
     {
       cfg = config;
@@ -1245,8 +1256,8 @@ let create ~config ~pid ~app ~trace:tr =
       app;
       trace = tr;
       metrics = Metrics.create ();
-      store = Store.create ();
-      up = true;
+      store;
+      up = fresh_store;
       current = Entry.initial;
       tdv = Dep_vector.create ~n;
       state;
@@ -1276,30 +1287,43 @@ let create ~config ~pid ~app ~trace:tr =
       actions = [];
     }
   in
-  (* "Each process execution can be considered as starting with an initial
-     checkpoint" (Corollary 3): interval (0,1) is stable from the start. *)
-  Store.save_checkpoint t.store
-    {
-      ck_current = t.current;
-      ck_tdv = [];
-      ck_state = state;
-      ck_log_pos = 0;
-      ck_sends = [];
-      ck_outs = [];
-      ck_archive = [];
-    };
-  t.log_tab.(pid) <- Entry_set.insert t.log_tab.(pid) t.current;
-  Trace.add tr ~time:0.
-    (Interval_started
-       {
-         pid;
-         interval = t.current;
-         pred = None;
-         by = None;
-         sender_interval = None;
-         digest = app.App_intf.digest state;
-         replay = false;
-       });
+  (* A damaged store can come back with every checkpoint dropped (e.g. a
+     bit flip in the only checkpoint file).  The loss is already reported
+     by open-time recovery; restart still needs a checkpoint to rebuild
+     from, so re-seed the initial one — replay then reconstructs whatever
+     the surviving log suffix allows. *)
+  let reseed = (not fresh_store) && Store.latest_checkpoint t.store = None in
+  if fresh_store || reseed then
+    (* "Each process execution can be considered as starting with an initial
+       checkpoint" (Corollary 3): interval (0,1) is stable from the start. *)
+    Store.save_checkpoint t.store
+      {
+        ck_current = t.current;
+        ck_tdv = [];
+        ck_state = state;
+        ck_log_pos = Store.log_base t.store;
+        ck_sends = [];
+        ck_outs = [];
+        ck_archive = [];
+      };
+  if fresh_store then begin
+    t.log_tab.(pid) <- Entry_set.insert t.log_tab.(pid) t.current;
+    Trace.add tr ~time:0.
+      (Interval_started
+         {
+           pid;
+           interval = t.current;
+           pred = None;
+           by = None;
+           sender_interval = None;
+           digest = app.App_intf.digest state;
+           replay = false;
+         })
+  end;
+  (* A node reopened over a pre-existing store starts down (the previous
+     incarnation of the process died); the driver brings it back with
+     [restart], which rebuilds everything from the persisted state —
+     Figure 3's Restart, now from real files. *)
   t
 
 let with_cost t f =
@@ -1422,10 +1446,20 @@ let retransmit_tick t ~now =
 
 let crash t ~now = if t.up then do_crash t ~now
 
+let halt t ~now =
+  if not (Store.is_durable t.store) then
+    invalid_arg "Node.halt: only a node with a durable store can be killed";
+  if t.up then do_crash t ~now;
+  Store.kill t.store
+
 let restart t ~now =
   with_cost t (fun () -> if not t.up then do_restart t ~now)
 
 let is_up t = t.up
+
+let storage_report t = Store.storage_report t.store
+
+let arm_storage_fsync_failure t = Store.arm_fsync_failure t.store
 
 (* ------------------------------------------------------------------ *)
 (* Inspection                                                          *)

@@ -7,6 +7,7 @@ type 'msg work =
   | Client of { seq : int; payload : 'msg }
   | Tick of [ `Flush | `Checkpoint | `Notice ]
   | Crash
+  | Kill
   | Stop
 
 type 'msg mailbox = {
@@ -41,9 +42,11 @@ let pending box =
 
 type ('state, 'msg) t = {
   config : Config.t;
+  app : ('state, 'msg) App_model.App_intf.t;
+  store_root : string option;
   time_scale : float;
   start : float;
-  nodes : ('state, 'msg) Node.t array;
+  nodes : ('state, 'msg) Node.t array; (* slots replaced on kill-respawn *)
   boxes : 'msg mailbox array;
   trace_ : Recovery.Trace.t;
   (* One big lock around every node handler call: nodes share the trace,
@@ -91,10 +94,15 @@ let locked t pid f =
   Mutex.unlock t.big_lock;
   match result with Ok v -> v | Error exn -> raise exn
 
+let store_dir t pid =
+  Option.map (fun root -> Filename.concat root (Printf.sprintf "p%d" pid)) t.store_root
+
 let actor_loop t pid =
-  let node = t.nodes.(pid) in
+  (* Re-read the slot on every work item: a Kill replaces the node with a
+     fresh handle recovered from the on-disk store. *)
   let continue = ref true in
   while !continue do
+    let node = t.nodes.(pid) in
     match take t.boxes.(pid) with
     | Stop -> continue := false
     | Packet { packet; _ } ->
@@ -127,6 +135,25 @@ let actor_loop t pid =
       let actions, _cost = locked t pid (fun () -> Node.restart node ~now:(now t)) in
       dispatch t ~src:pid actions;
       t.recovering.(pid) <- false
+    | Kill ->
+      (* Process death: the node handle dies with its store descriptors;
+         un-fsynced bytes are gone from the files.  A *new* handle is
+         created over the same directory — everything it knows, it knows
+         from open-time recovery of those files — and restarted. *)
+      t.recovering.(pid) <- true;
+      locked t pid (fun () -> Node.halt node ~now:(now t));
+      Thread.delay (t.config.Config.timing.restart_delay *. t.time_scale);
+      let actions, _cost =
+        locked t pid (fun () ->
+            let fresh =
+              Node.create ~config:t.config ~pid ~app:t.app
+                ?store_dir:(store_dir t pid) ~trace:t.trace_
+            in
+            t.nodes.(pid) <- fresh;
+            Node.restart fresh ~now:(now t))
+      in
+      dispatch t ~src:pid actions;
+      t.recovering.(pid) <- false
   done
 
 let timer_loop t =
@@ -157,16 +184,23 @@ let timer_loop t =
       timers
   done
 
-let create ~config ~app ?(time_scale = 0.001) () =
+let create ~config ~app ?store_root ?(time_scale = 0.001) () =
   let config = Config.validate_exn config in
   let n = config.Config.n in
   let trace_ = Recovery.Trace.create () in
+  let node_dir pid =
+    Option.map (fun root -> Filename.concat root (Printf.sprintf "p%d" pid)) store_root
+  in
   let t =
     {
       config;
+      app;
+      store_root;
       time_scale;
       start = Unix.gettimeofday ();
-      nodes = Array.init n (fun pid -> Node.create ~config ~pid ~app ~trace:trace_);
+      nodes =
+        Array.init n (fun pid ->
+            Node.create ~config ~pid ~app ?store_dir:(node_dir pid) ~trace:trace_);
       boxes = Array.init n (fun _ -> mailbox ());
       trace_;
       big_lock = Mutex.create ();
@@ -193,6 +227,11 @@ let inject t ~dst payload =
   post t.boxes.(dst) (Client { seq; payload })
 
 let crash t ~pid = post t.boxes.(pid) Crash
+
+let kill t ~pid =
+  if t.store_root = None then
+    invalid_arg "Actor_runtime.kill: runtime was created without ~store_root";
+  post t.boxes.(pid) Kill
 
 let with_node t pid f =
   Mutex.lock t.big_lock;

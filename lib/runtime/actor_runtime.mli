@@ -18,19 +18,34 @@ type ('state, 'msg) t
 val create :
   config:Recovery.Config.t ->
   app:('state, 'msg) App_model.App_intf.t ->
+  ?store_root:string ->
   ?time_scale:float ->
   unit ->
   ('state, 'msg) t
 (** Spawn one actor thread per process plus a timer thread.  [time_scale]
     (default 0.001) converts the configuration's abstract time units to
-    seconds — with the default, a flush interval of 50 means 50 ms. *)
+    seconds — with the default, a flush interval of 50 means 50 ms.
+
+    With [store_root], process [i] keeps a durable file-backed store under
+    [store_root/p<i>] instead of the in-memory model, which enables
+    {!kill}. *)
 
 val inject : ('state, 'msg) t -> dst:int -> 'msg -> unit
 (** Outside-world message; thread-safe. *)
 
 val crash : ('state, 'msg) t -> pid:int -> unit
 (** Ask the actor to fail-stop and recover after the configured restart
-    delay; thread-safe and asynchronous. *)
+    delay; thread-safe and asynchronous.  The node handle survives: only
+    volatile state is lost. *)
+
+val kill : ('state, 'msg) t -> pid:int -> unit
+(** Ask the actor to die as a process: the node handle and its store
+    descriptors are discarded (un-fsynced bytes are lost from the files),
+    and after the restart delay a {e fresh} handle is created over the same
+    store directory and restarted — it recovers solely from what open-time
+    recovery reads back from disk.  Requires [~store_root]; thread-safe and
+    asynchronous.
+    @raise Invalid_argument when the runtime has no store root. *)
 
 val with_node : ('state, 'msg) t -> int -> (('state, 'msg) Recovery.Node.t -> 'a) -> 'a
 (** Run a read-only inspection of a node under the runtime's lock. *)

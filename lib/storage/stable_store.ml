@@ -1,153 +1,260 @@
-type ('ckpt, 'log, 'ann) t = {
-  mutable stable_log : 'log list; (* newest first, positions [base, stable_len) *)
-  mutable stable_len : int;
-  mutable base : int; (* logical position of the oldest retained record *)
-  volatile : 'log Queue.t;
-  mutable ckpts : 'ckpt list; (* newest first *)
-  mutable anns : 'ann list; (* newest first *)
-  mutable inc : int;
-  mutable sync_writes : int;
-  mutable flushes : int;
-}
+(* Two backends behind one interface: the original in-memory model (the
+   simulator's store, byte-for-byte unchanged behaviour) and the durable
+   file-backed store of lib/durable.  Dispatch is a two-constructor match;
+   the in-memory arm never touches the filesystem. *)
 
-let create () =
-  {
-    stable_log = [];
-    stable_len = 0;
-    base = 0;
-    volatile = Queue.create ();
-    ckpts = [];
-    anns = [];
-    inc = 0;
-    sync_writes = 0;
-    flushes = 0;
+module Mem = struct
+  type ('ckpt, 'log, 'ann) t = {
+    mutable stable_log : 'log list; (* newest first, positions [base, stable_len) *)
+    mutable stable_len : int;
+    mutable base : int; (* logical position of the oldest retained record *)
+    volatile : 'log Queue.t;
+    mutable ckpts : 'ckpt list; (* newest first *)
+    mutable anns : 'ann list; (* newest first *)
+    mutable inc : int;
+    mutable sync_writes : int;
+    mutable flushes : int;
   }
 
-let append_volatile t r = Queue.add r t.volatile
+  let create () =
+    {
+      stable_log = [];
+      stable_len = 0;
+      base = 0;
+      volatile = Queue.create ();
+      ckpts = [];
+      anns = [];
+      inc = 0;
+      sync_writes = 0;
+      flushes = 0;
+    }
 
-let flush t =
-  let n = Queue.length t.volatile in
-  if n > 0 then begin
-    Queue.iter (fun r -> t.stable_log <- r :: t.stable_log) t.volatile;
-    Queue.clear t.volatile;
-    t.stable_len <- t.stable_len + n;
-    t.flushes <- t.flushes + 1;
-    t.sync_writes <- t.sync_writes + 1
-  end;
-  n
+  let append_volatile t r = Queue.add r t.volatile
 
-let stable_log_length t = t.stable_len
+  let flush t =
+    let n = Queue.length t.volatile in
+    if n > 0 then begin
+      Queue.iter (fun r -> t.stable_log <- r :: t.stable_log) t.volatile;
+      Queue.clear t.volatile;
+      t.stable_len <- t.stable_len + n;
+      t.flushes <- t.flushes + 1;
+      t.sync_writes <- t.sync_writes + 1
+    end;
+    n
 
-let volatile_length t = Queue.length t.volatile
-
-let volatile_peek t = Queue.peek_opt t.volatile
-
-let stable_log_from t ~pos =
-  if pos < t.base || pos > t.stable_len then
-    invalid_arg "Stable_store.stable_log_from: position out of range";
-  (* stable_log is newest first; take until we reach position [pos]. *)
-  let rec take i acc = function
-    | [] -> acc
-    | r :: rest -> if i < pos then acc else take (i - 1) (r :: acc) rest
-  in
-  take (t.stable_len - 1) [] t.stable_log
-
-let truncate_stable_log t ~keep =
-  if keep < t.base || keep > t.stable_len then
-    invalid_arg "Stable_store.truncate_stable_log: keep out of range";
-  let removed = stable_log_from t ~pos:keep in
-  let rec drop i l = if i = 0 then l else drop (i - 1) (List.tl l) in
-  t.stable_log <- drop (t.stable_len - keep) t.stable_log;
-  t.stable_len <- keep;
-  Queue.clear t.volatile;
-  removed
-
-let discard_log_prefix t ~before =
-  if before > t.stable_len then
-    invalid_arg "Stable_store.discard_log_prefix: position out of range";
-  if before <= t.base then 0
-  else begin
-    (* newest-first: keep the first (stable_len - before) physical cells *)
-    let keep_cells = t.stable_len - before in
-    let rec take i acc l =
-      if i = 0 then List.rev acc
-      else
-        match l with
-        | [] -> List.rev acc
-        | r :: rest -> take (i - 1) (r :: acc) rest
+  let stable_log_from t ~pos =
+    if pos < t.base || pos > t.stable_len then
+      invalid_arg "Stable_store.stable_log_from: position out of range";
+    (* stable_log is newest first; take until we reach position [pos]. *)
+    let rec take i acc = function
+      | [] -> acc
+      | r :: rest -> if i < pos then acc else take (i - 1) (r :: acc) rest
     in
-    let discarded = before - t.base in
-    t.stable_log <- take keep_cells [] t.stable_log;
-    t.base <- before;
-    discarded
-  end
+    take (t.stable_len - 1) [] t.stable_log
 
-let log_base t = t.base
+  let truncate_stable_log t ~keep =
+    if keep < t.base || keep > t.stable_len then
+      invalid_arg "Stable_store.truncate_stable_log: keep out of range";
+    let removed = stable_log_from t ~pos:keep in
+    let rec drop i l = if i = 0 then l else drop (i - 1) (List.tl l) in
+    t.stable_log <- drop (t.stable_len - keep) t.stable_log;
+    t.stable_len <- keep;
+    Queue.clear t.volatile;
+    removed
 
-let live_log_records t = t.stable_len - t.base
+  let discard_log_prefix t ~before =
+    if before > t.stable_len then
+      invalid_arg "Stable_store.discard_log_prefix: position out of range";
+    if before <= t.base then 0
+    else begin
+      (* newest-first: keep the first (stable_len - before) physical cells *)
+      let keep_cells = t.stable_len - before in
+      let rec take i acc l =
+        if i = 0 then List.rev acc
+        else
+          match l with
+          | [] -> List.rev acc
+          | r :: rest -> take (i - 1) (r :: acc) rest
+      in
+      let discarded = before - t.base in
+      t.stable_log <- take keep_cells [] t.stable_log;
+      t.base <- before;
+      discarded
+    end
 
-let save_checkpoint t c =
-  ignore (flush t : int);
-  t.ckpts <- c :: t.ckpts;
-  t.sync_writes <- t.sync_writes + 1
+  let save_checkpoint t c =
+    ignore (flush t : int);
+    t.ckpts <- c :: t.ckpts;
+    t.sync_writes <- t.sync_writes + 1
 
-let latest_checkpoint t =
-  match t.ckpts with [] -> None | c :: _ -> Some c
+  let restore_checkpoint t ~satisfying =
+    let rec find = function
+      | [] -> None
+      | c :: rest -> if satisfying c then Some (c, c :: rest) else find rest
+    in
+    match find t.ckpts with
+    | None -> None
+    | Some (c, kept) ->
+      t.ckpts <- kept;
+      Some c
 
-let checkpoints t = t.ckpts
-
-let restore_checkpoint t ~satisfying =
-  let rec find = function
-    | [] -> None
-    | c :: rest -> if satisfying c then Some (c, c :: rest) else find rest
-  in
-  match find t.ckpts with
-  | None -> None
-  | Some (c, kept) ->
-    t.ckpts <- kept;
-    Some c
-
-let prune_checkpoints t ~keep_latest =
-  if keep_latest < 1 then
-    invalid_arg "Stable_store.prune_checkpoints: must keep at least one";
-  let rec split i acc = function
-    | [] -> (List.rev acc, [])
-    | rest when i = 0 -> (List.rev acc, rest)
-    | c :: rest -> split (i - 1) (c :: acc) rest
-  in
-  let kept, dropped = split keep_latest [] t.ckpts in
-  t.ckpts <- kept;
-  List.length dropped
-
-let prune_checkpoints_older_than t ~anchor =
-  let rec split acc = function
-    | [] -> None
-    | c :: rest when anchor c -> Some (List.rev (c :: acc), rest)
-    | c :: rest -> split (c :: acc) rest
-  in
-  match split [] t.ckpts with
-  | None -> 0
-  | Some (kept, dropped) ->
+  let prune_checkpoints t ~keep_latest =
+    if keep_latest < 1 then
+      invalid_arg "Stable_store.prune_checkpoints: must keep at least one";
+    let rec split i acc = function
+      | [] -> (List.rev acc, [])
+      | rest when i = 0 -> (List.rev acc, rest)
+      | c :: rest -> split (i - 1) (c :: acc) rest
+    in
+    let kept, dropped = split keep_latest [] t.ckpts in
     t.ckpts <- kept;
     List.length dropped
 
-let log_announcement t a =
-  t.anns <- a :: t.anns;
-  t.sync_writes <- t.sync_writes + 1
+  let prune_checkpoints_older_than t ~anchor =
+    let rec split acc = function
+      | [] -> None
+      | c :: rest when anchor c -> Some (List.rev (c :: acc), rest)
+      | c :: rest -> split (c :: acc) rest
+    in
+    match split [] t.ckpts with
+    | None -> 0
+    | Some (kept, dropped) ->
+      t.ckpts <- kept;
+      List.length dropped
 
-let announcements t = List.rev t.anns
+  let log_announcement t a =
+    t.anns <- a :: t.anns;
+    t.sync_writes <- t.sync_writes + 1
+
+  let set_incarnation t i =
+    t.inc <- i;
+    t.sync_writes <- t.sync_writes + 1
+
+  let crash t =
+    let lost = Queue.length t.volatile in
+    Queue.clear t.volatile;
+    lost
+end
+
+module Disk = Durable.Durable_store
+
+type open_report = Disk.open_report = {
+  fresh : bool;
+  recovered_log : int;
+  log_bytes_dropped : int;
+  log_segments_dropped : int;
+  missing_log_records : int;
+  recovered_checkpoints : int;
+  checkpoints_dropped : int;
+  sync_records : int;
+  sync_bytes_dropped : int;
+  sync_area_missing : bool;
+}
+
+let report_damaged = Disk.damaged
+
+let pp_open_report = Disk.pp_open_report
+
+type ('ckpt, 'log, 'ann) t =
+  | Mem of ('ckpt, 'log, 'ann) Mem.t
+  | Disk of ('ckpt, 'log, 'ann) Disk.t
+
+let create () = Mem (Mem.create ())
+
+let open_durable ~dir ?segment_bytes () =
+  let store, report = Disk.open_ ~dir ?segment_bytes () in
+  (Disk store, report)
+
+let is_durable = function Mem _ -> false | Disk _ -> true
+
+let storage_report = function Mem _ -> None | Disk d -> Some (Disk.report d)
+
+let storage_dir = function Mem _ -> None | Disk d -> Some (Disk.dir d)
+
+let append_volatile t r =
+  match t with Mem m -> Mem.append_volatile m r | Disk d -> Disk.append_volatile d r
+
+let flush = function Mem m -> Mem.flush m | Disk d -> Disk.flush d
+
+let stable_log_length = function
+  | Mem m -> m.Mem.stable_len
+  | Disk d -> Disk.stable_log_length d
+
+let volatile_length = function
+  | Mem m -> Queue.length m.Mem.volatile
+  | Disk d -> Disk.volatile_length d
+
+let volatile_peek = function
+  | Mem m -> Queue.peek_opt m.Mem.volatile
+  | Disk d -> Disk.volatile_peek d
+
+let stable_log_from t ~pos =
+  match t with
+  | Mem m -> Mem.stable_log_from m ~pos
+  | Disk d -> Disk.stable_log_from d ~pos
+
+let truncate_stable_log t ~keep =
+  match t with
+  | Mem m -> Mem.truncate_stable_log m ~keep
+  | Disk d -> Disk.truncate_stable_log d ~keep
+
+let discard_log_prefix t ~before =
+  match t with
+  | Mem m -> Mem.discard_log_prefix m ~before
+  | Disk d -> Disk.discard_log_prefix d ~before
+
+let log_base = function Mem m -> m.Mem.base | Disk d -> Disk.log_base d
+
+let live_log_records = function
+  | Mem m -> m.Mem.stable_len - m.Mem.base
+  | Disk d -> Disk.live_log_records d
+
+let save_checkpoint t c =
+  match t with Mem m -> Mem.save_checkpoint m c | Disk d -> Disk.save_checkpoint d c
+
+let latest_checkpoint = function
+  | Mem m -> ( match m.Mem.ckpts with [] -> None | c :: _ -> Some c)
+  | Disk d -> Disk.latest_checkpoint d
+
+let checkpoints = function Mem m -> m.Mem.ckpts | Disk d -> Disk.checkpoints d
+
+let restore_checkpoint t ~satisfying =
+  match t with
+  | Mem m -> Mem.restore_checkpoint m ~satisfying
+  | Disk d -> Disk.restore_checkpoint d ~satisfying
+
+let prune_checkpoints t ~keep_latest =
+  match t with
+  | Mem m -> Mem.prune_checkpoints m ~keep_latest
+  | Disk d -> Disk.prune_checkpoints d ~keep_latest
+
+let prune_checkpoints_older_than t ~anchor =
+  match t with
+  | Mem m -> Mem.prune_checkpoints_older_than m ~anchor
+  | Disk d -> Disk.prune_checkpoints_older_than d ~anchor
+
+let log_announcement t a =
+  match t with Mem m -> Mem.log_announcement m a | Disk d -> Disk.log_announcement d a
+
+let announcements = function
+  | Mem m -> List.rev m.Mem.anns
+  | Disk d -> Disk.announcements d
 
 let set_incarnation t i =
-  t.inc <- i;
-  t.sync_writes <- t.sync_writes + 1
+  match t with Mem m -> Mem.set_incarnation m i | Disk d -> Disk.set_incarnation d i
 
-let incarnation t = t.inc
+let incarnation = function Mem m -> m.Mem.inc | Disk d -> Disk.incarnation d
 
-let crash t =
-  let lost = Queue.length t.volatile in
-  Queue.clear t.volatile;
-  lost
+let crash = function Mem m -> Mem.crash m | Disk d -> Disk.crash d
 
-let sync_writes t = t.sync_writes
+let sync_writes = function Mem m -> m.Mem.sync_writes | Disk d -> Disk.sync_writes d
 
-let flushes t = t.flushes
+let flushes = function Mem m -> m.Mem.flushes | Disk d -> Disk.flushes d
+
+let kill = function
+  | Mem _ -> invalid_arg "Stable_store.kill: in-memory store has no files"
+  | Disk d -> Disk.kill d
+
+let arm_fsync_failure = function
+  | Mem _ -> invalid_arg "Stable_store.arm_fsync_failure: in-memory store"
+  | Disk d -> Disk.arm_fsync_failure d

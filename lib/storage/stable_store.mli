@@ -1,4 +1,4 @@
-(** Simulated per-process stable storage.
+(** Per-process stable storage, in two interchangeable backends.
 
     Models exactly the storage properties the recovery protocol relies on:
 
@@ -18,11 +18,70 @@
     The store is generic in the checkpoint, log-record and announcement
     types so that it carries whatever the recovery layer defines.  It also
     counts synchronous writes and flushes; the simulation engine converts
-    those counts into time via its cost model. *)
+    those counts into time via its cost model.
+
+    Two backends implement this contract:
+
+    - {!create} builds the original {b in-memory model} used by the
+      deterministic simulation (free, instant, survives [crash] but not
+      process death);
+    - {!open_durable} opens a {b file-backed store}
+      ({!Durable.Durable_store}): checksummed segmented log, checkpoint
+      snapshot files and an fsynced synchronous area under one directory.
+      Only this backend survives {!kill} — a new [open_durable] on the
+      same directory recovers everything that was durable at the kill.
+
+    The conformance suite in [test/test_storage.ml] runs the same
+    assertions over both backends so they cannot drift. *)
 
 type ('ckpt, 'log, 'ann) t
 
 val create : unit -> ('ckpt, 'log, 'ann) t
+(** A fresh in-memory store. *)
+
+(** {1 Durable backend} *)
+
+type open_report = Durable.Durable_store.open_report = {
+  fresh : bool;
+  recovered_log : int;
+  log_bytes_dropped : int;
+  log_segments_dropped : int;
+  missing_log_records : int;
+  recovered_checkpoints : int;
+  checkpoints_dropped : int;
+  sync_records : int;
+  sync_bytes_dropped : int;
+  sync_area_missing : bool;
+}
+(** What open-time recovery found; see {!Durable.Durable_store.open_report}
+    for field documentation. *)
+
+val report_damaged : open_report -> bool
+
+val pp_open_report : Format.formatter -> open_report -> unit
+
+val open_durable :
+  dir:string -> ?segment_bytes:int -> unit -> ('ckpt, 'log, 'ann) t * open_report
+(** Open (or create) a file-backed store rooted at [dir]. *)
+
+val is_durable : ('ckpt, 'log, 'ann) t -> bool
+
+val storage_report : ('ckpt, 'log, 'ann) t -> open_report option
+(** The durable backend's open-time recovery report; [None] in memory. *)
+
+val storage_dir : ('ckpt, 'log, 'ann) t -> string option
+
+val kill : ('ckpt, 'log, 'ann) t -> unit
+(** Process death (durable backend only): un-fsynced bytes are lost, all
+    descriptors close, and the handle becomes unusable; recover with a new
+    {!open_durable} on the same directory.  Contrast {!crash}, which only
+    drops the volatile buffer of a handle that stays alive.
+    @raise Invalid_argument on the in-memory backend, which cannot outlive
+    its process. *)
+
+val arm_fsync_failure : ('ckpt, 'log, 'ann) t -> unit
+(** Storage fault injection (durable backend only): from now on the log's
+    fsync lies.  See {!Durable.Durable_store.arm_fsync_failure}. *)
 
 (** {1 Message log} *)
 

@@ -268,6 +268,67 @@ let test_netmodel_duplication_first_arrival =
           | _ -> false)
         steps)
 
+(* Durable record codec: the property open-time recovery rests on.  A
+   reader faced with mutated bytes may lose records (truncation) but must
+   never accept a record that was not written. *)
+
+module Codec = Durable.Codec
+
+let gen_record = QCheck2.Gen.(pair (int_bound 255) (string_size (int_bound 200)))
+
+let test_codec_roundtrip =
+  qtest ~count:500 "codec: decode inverts encode"
+    QCheck2.Gen.(list_size (int_bound 8) gen_record)
+    (fun records ->
+      let buf = Buffer.create 256 in
+      List.iter (fun (kind, payload) -> Codec.encode_into buf ~kind payload) records;
+      let scan = Codec.scan (Buffer.contents buf) in
+      scan.Codec.tail = Codec.Clean
+      && scan.Codec.records = records
+      && scan.Codec.valid_bytes = Buffer.length buf)
+
+let test_codec_single_byte_mutation =
+  qtest ~count:1000 "codec: any single-byte mutation is detected"
+    QCheck2.Gen.(
+      tup4 (int_bound 255) (string_size (int_bound 120)) (int_bound 10_000)
+        (int_range 1 255))
+    (fun (kind, payload, off_seed, xor) ->
+      let frame = Codec.encode ~kind payload in
+      let off = off_seed mod String.length frame in
+      let mutated = Bytes.of_string frame in
+      Bytes.set mutated off (Char.chr (Char.code (Bytes.get mutated off) lxor xor));
+      match Codec.decode (Bytes.to_string mutated) ~pos:0 with
+      | Codec.Corrupt | Codec.Truncated -> true (* caught, or a clean tear *)
+      | Codec.End | Codec.Record _ -> false (* a wrong record was accepted *))
+
+let test_codec_stream_mutation_prefix =
+  qtest ~count:500 "codec: a mutated stream scans to a true prefix"
+    QCheck2.Gen.(
+      tup4
+        (list_size (int_range 1 6) gen_record)
+        (int_bound 10_000) (int_range 1 255) bool)
+    (fun (records, off_seed, xor, tear) ->
+      let buf = Buffer.create 256 in
+      List.iter (fun (kind, payload) -> Codec.encode_into buf ~kind payload) records;
+      let whole = Buffer.contents buf in
+      let damaged =
+        if tear then String.sub whole 0 (off_seed mod String.length whole)
+        else begin
+          let off = off_seed mod String.length whole in
+          let b = Bytes.of_string whole in
+          Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor xor));
+          Bytes.to_string b
+        end
+      in
+      let scan = Codec.scan damaged in
+      let rec is_prefix xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | x :: xs, y :: ys -> x = y && is_prefix xs ys
+        | _ :: _, [] -> false
+      in
+      is_prefix scan.Codec.records records)
+
 let suite =
   [
     test_fuzz_k0;
@@ -275,6 +336,9 @@ let suite =
     test_fuzz_k4;
     test_fuzz_replay;
     test_fuzz_sy;
+    test_codec_roundtrip;
+    test_codec_single_byte_mutation;
+    test_codec_stream_mutation_prefix;
     test_netmodel_zero_plan_equiv;
     test_netmodel_duplication_first_arrival;
   ]

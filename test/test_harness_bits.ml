@@ -198,7 +198,7 @@ let test_experiment_registry () =
     (Harness.Experiments.by_name "figure1" <> None);
   Alcotest.(check bool) "unknown rejected" true
     (Harness.Experiments.by_name "nope" = None);
-  Alcotest.(check int) "thirteen experiments" 13 (List.length Harness.Experiments.names)
+  Alcotest.(check int) "fourteen experiments" 14 (List.length Harness.Experiments.names)
 
 let suite =
   [

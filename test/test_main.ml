@@ -8,6 +8,7 @@ let () =
       ("entry-set", Test_entry_set.suite);
       ("dep-vector", Test_dep_vector.suite);
       ("storage", Test_storage.suite);
+      ("durable", Test_durable.suite);
       ("apps", Test_apps.suite);
       ("node", Test_node.suite);
       ("node-edge", Test_node_edge.suite);

@@ -67,6 +67,55 @@ let test_crash_recovery_threads () =
   Alcotest.(check int) "restart happened" 1
     (Rt.with_node rt 1 (fun nd -> (Node.metrics nd).restarts))
 
+let test_kill_respawn_from_disk () =
+  (* The acceptance case for the durable subsystem on real threads: a node
+     dies as a *process* (handle and store descriptors discarded), a fresh
+     handle is created over the same directory, and it recovers solely from
+     what open-time recovery reads back from disk.  The merged trace of
+     both incarnations must still pass the causality oracle. *)
+  let root = Durable.Temp.fresh_dir ~prefix:"test-rt-kill" () in
+  Fun.protect
+    ~finally:(fun () -> Durable.Temp.rm_rf root)
+    (fun () ->
+      let n = 4 in
+      let config = Config.k_optimistic ~timing ~n ~k:2 () in
+      let rt = Rt.create ~config ~app:Counter.app ~store_root:root () in
+      for i = 1 to 5 do
+        Rt.inject rt ~dst:1 (Counter.Add i)
+      done;
+      ignore
+        (Rt.await rt ~timeout:5. (fun () ->
+             Rt.with_node rt 1 (fun nd ->
+                 (Node.app_state nd : Counter.state).handled >= 5)));
+      Rt.kill rt ~pid:1;
+      for i = 6 to 10 do
+        Rt.inject rt ~dst:1 (Counter.Add i)
+      done;
+      let recovered =
+        Rt.await rt ~timeout:15. (fun () ->
+            Rt.with_node rt 1 (fun nd ->
+                Node.is_up nd && (Node.app_state nd : Counter.state).total = 55))
+      in
+      let disk_recovery_ok =
+        Rt.with_node rt 1 (fun nd ->
+            match Node.storage_report nd with
+            | Some r ->
+              (not r.Storage.Stable_store.fresh)
+              && not (Storage.Stable_store.report_damaged r)
+            | None -> false)
+      in
+      ignore (Rt.await rt ~timeout:10. (fun () -> Rt.idle rt));
+      Thread.delay 0.1;
+      Rt.shutdown rt;
+      Alcotest.(check bool) "all ten additions survive the process death" true
+        recovered;
+      Alcotest.(check bool) "respawned handle recovered from pre-existing files"
+        true disk_recovery_ok;
+      let report = Harness.Oracle.check ~k:2 ~n (Rt.trace rt) in
+      if not (Harness.Oracle.ok report) then
+        Alcotest.failf "oracle on merged kill/respawn trace: %a"
+          Harness.Oracle.pp_report report)
+
 let test_money_conserved_on_threads () =
   let n = 4 in
   let config = Config.k_optimistic ~timing ~n ~k:2 () in
@@ -125,6 +174,7 @@ let suite =
   [
     Alcotest.test_case "basic flow" `Slow test_basic_flow;
     Alcotest.test_case "crash recovery on threads" `Slow test_crash_recovery_threads;
+    Alcotest.test_case "kill + respawn from disk" `Slow test_kill_respawn_from_disk;
     Alcotest.test_case "money conserved on threads" `Slow test_money_conserved_on_threads;
     Alcotest.test_case "oracle on a threaded trace" `Slow test_oracle_on_threaded_trace;
     Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;

@@ -1,134 +1,207 @@
-(* Simulated stable storage: crash semantics, flush, truncation. *)
+(* Stable storage: crash semantics, flush, truncation.
+
+   Every assertion runs as a functor over both backends — the in-memory
+   simulation and the file-backed durable store — so the two implementations
+   of the [Stable_store] contract can never drift apart.  Durable-only
+   behavior (kill, reopen, file damage) lives in [Test_durable]. *)
 
 module Store = Storage.Stable_store
 
-let make () : (string, string, string) Store.t = Store.create ()
+module type BACKEND = sig
+  val name : string
 
-let test_volatile_then_flush () =
-  let s = make () in
-  Store.append_volatile s "a";
-  Store.append_volatile s "b";
-  Alcotest.(check int) "volatile" 2 (Store.volatile_length s);
-  Alcotest.(check int) "stable" 0 (Store.stable_log_length s);
-  Alcotest.(check int) "flush count" 2 (Store.flush s);
-  Alcotest.(check int) "volatile empty" 0 (Store.volatile_length s);
-  Alcotest.(check int) "stable grows" 2 (Store.stable_log_length s);
-  Alcotest.(check (list string)) "order" [ "a"; "b" ] (Store.stable_log_from s ~pos:0)
+  val make : unit -> (string, string, string) Store.t
+end
 
-let test_empty_flush_not_counted () =
-  let s = make () in
-  Alcotest.(check int) "nothing written" 0 (Store.flush s);
-  Alcotest.(check int) "no flush counted" 0 (Store.flushes s);
-  Alcotest.(check int) "no sync write" 0 (Store.sync_writes s)
+module Mem_backend = struct
+  let name = "mem"
 
-let test_crash_drops_volatile_only () =
-  let s = make () in
-  Store.append_volatile s "stable1";
-  ignore (Store.flush s : int);
-  Store.append_volatile s "lost1";
-  Store.append_volatile s "lost2";
-  Alcotest.(check (option string)) "first loss" (Some "lost1") (Store.volatile_peek s);
-  Alcotest.(check int) "two lost" 2 (Store.crash s);
-  Alcotest.(check int) "volatile gone" 0 (Store.volatile_length s);
-  Alcotest.(check (list string)) "stable survives" [ "stable1" ]
-    (Store.stable_log_from s ~pos:0)
+  let make () : (string, string, string) Store.t = Store.create ()
+end
 
-let test_stable_log_from () =
-  let s = make () in
-  List.iter (Store.append_volatile s) [ "a"; "b"; "c"; "d" ];
-  ignore (Store.flush s : int);
-  Alcotest.(check (list string)) "suffix" [ "c"; "d" ] (Store.stable_log_from s ~pos:2);
-  Alcotest.(check (list string)) "whole" [ "a"; "b"; "c"; "d" ]
-    (Store.stable_log_from s ~pos:0);
-  Alcotest.(check (list string)) "empty suffix" [] (Store.stable_log_from s ~pos:4);
-  Alcotest.check_raises "out of range"
-    (Invalid_argument "Stable_store.stable_log_from: position out of range") (fun () ->
-      ignore (Store.stable_log_from s ~pos:5))
+module Disk_backend = struct
+  let name = "disk"
 
-let test_truncate () =
-  let s = make () in
-  List.iter (Store.append_volatile s) [ "a"; "b"; "c"; "d" ];
-  ignore (Store.flush s : int);
-  Store.append_volatile s "volatile";
-  let removed = Store.truncate_stable_log s ~keep:2 in
-  Alcotest.(check (list string)) "removed tail in order" [ "c"; "d" ] removed;
-  Alcotest.(check int) "kept" 2 (Store.stable_log_length s);
-  Alcotest.(check int) "volatile cleared too" 0 (Store.volatile_length s);
-  Alcotest.(check (list string)) "prefix intact" [ "a"; "b" ]
-    (Store.stable_log_from s ~pos:0);
-  (* the log can grow again past the truncation point *)
-  Store.append_volatile s "e";
-  ignore (Store.flush s : int);
-  Alcotest.(check (list string)) "regrown" [ "a"; "b"; "e" ]
-    (Store.stable_log_from s ~pos:0)
+  let dirs : string list ref = ref []
 
-let test_checkpoints () =
-  let s = make () in
-  Store.save_checkpoint s "ck1";
-  Store.append_volatile s "m1";
-  Store.save_checkpoint s "ck2";
-  Alcotest.(check int) "checkpoint flushes" 1 (Store.stable_log_length s);
-  Alcotest.(check (option string)) "latest" (Some "ck2") (Store.latest_checkpoint s);
-  Alcotest.(check (list string)) "newest first" [ "ck2"; "ck1" ] (Store.checkpoints s)
+  let () = at_exit (fun () -> List.iter Durable.Temp.rm_rf !dirs)
 
-let test_restore_checkpoint () =
-  let s = make () in
-  List.iter (Store.save_checkpoint s) [ "ck1"; "ck2"; "ck3" ];
-  let found = Store.restore_checkpoint s ~satisfying:(fun c -> c = "ck2") in
-  Alcotest.(check (option string)) "found" (Some "ck2") found;
-  (* "Discard the checkpoints that follow" (Figure 3). *)
-  Alcotest.(check (list string)) "later ones discarded" [ "ck2"; "ck1" ]
-    (Store.checkpoints s);
-  Alcotest.(check (option string)) "none match" None
-    (Store.restore_checkpoint s ~satisfying:(fun c -> c = "ck3"))
+  let make () : (string, string, string) Store.t =
+    let dir = Durable.Temp.fresh_dir ~prefix:"conformance" () in
+    dirs := dir :: !dirs;
+    let store, report = Store.open_durable ~dir () in
+    Alcotest.(check bool) "fresh store" true report.Store.fresh;
+    store
+end
 
-let test_announcements () =
-  let s = make () in
-  Store.log_announcement s "ann1";
-  Store.log_announcement s "ann2";
-  Alcotest.(check (list string)) "oldest first" [ "ann1"; "ann2" ]
-    (Store.announcements s);
-  ignore (Store.crash s : int);
-  Alcotest.(check (list string)) "survive crash" [ "ann1"; "ann2" ]
-    (Store.announcements s)
+module Conformance (B : BACKEND) = struct
+  let make = B.make
 
-let test_incarnation_counter () =
-  let s = make () in
-  Alcotest.(check int) "initial" 0 (Store.incarnation s);
-  Store.set_incarnation s 3;
-  ignore (Store.crash s : int);
-  Alcotest.(check int) "survives crash" 3 (Store.incarnation s)
+  let test_volatile_then_flush () =
+    let s = make () in
+    Store.append_volatile s "a";
+    Store.append_volatile s "b";
+    Alcotest.(check int) "volatile" 2 (Store.volatile_length s);
+    Alcotest.(check int) "stable" 0 (Store.stable_log_length s);
+    Alcotest.(check int) "flush count" 2 (Store.flush s);
+    Alcotest.(check int) "volatile empty" 0 (Store.volatile_length s);
+    Alcotest.(check int) "stable grows" 2 (Store.stable_log_length s);
+    Alcotest.(check (list string)) "order" [ "a"; "b" ] (Store.stable_log_from s ~pos:0)
 
-let test_sync_write_accounting () =
-  let s = make () in
-  Store.append_volatile s "x";
-  ignore (Store.flush s : int);
-  Store.save_checkpoint s "ck";
-  Store.log_announcement s "ann";
-  Store.set_incarnation s 1;
-  (* flush(1) + checkpoint(1) + announcement(1) + incarnation(1) *)
-  Alcotest.(check int) "sync writes" 4 (Store.sync_writes s);
-  Alcotest.(check int) "flushes" 1 (Store.flushes s)
+  let test_empty_flush_not_counted () =
+    let s = make () in
+    Alcotest.(check int) "nothing written" 0 (Store.flush s);
+    Alcotest.(check int) "no flush counted" 0 (Store.flushes s);
+    Alcotest.(check int) "no sync write" 0 (Store.sync_writes s)
 
-let test_truncate_out_of_range () =
-  let s = make () in
-  Store.append_volatile s "a";
-  ignore (Store.flush s : int);
-  Alcotest.check_raises "keep too large"
-    (Invalid_argument "Stable_store.truncate_stable_log: keep out of range") (fun () ->
-      ignore (Store.truncate_stable_log s ~keep:2))
+  let test_crash_drops_volatile_only () =
+    let s = make () in
+    Store.append_volatile s "stable1";
+    ignore (Store.flush s : int);
+    Store.append_volatile s "lost1";
+    Store.append_volatile s "lost2";
+    Alcotest.(check (option string)) "first loss" (Some "lost1") (Store.volatile_peek s);
+    Alcotest.(check int) "two lost" 2 (Store.crash s);
+    Alcotest.(check int) "volatile gone" 0 (Store.volatile_length s);
+    Alcotest.(check (list string)) "stable survives" [ "stable1" ]
+      (Store.stable_log_from s ~pos:0)
 
-let suite =
-  [
-    Alcotest.test_case "volatile then flush" `Quick test_volatile_then_flush;
-    Alcotest.test_case "empty flush not counted" `Quick test_empty_flush_not_counted;
-    Alcotest.test_case "crash drops volatile only" `Quick test_crash_drops_volatile_only;
-    Alcotest.test_case "stable_log_from" `Quick test_stable_log_from;
-    Alcotest.test_case "truncate" `Quick test_truncate;
-    Alcotest.test_case "checkpoints" `Quick test_checkpoints;
-    Alcotest.test_case "restore_checkpoint discards later" `Quick test_restore_checkpoint;
-    Alcotest.test_case "announcements synchronous" `Quick test_announcements;
-    Alcotest.test_case "incarnation counter" `Quick test_incarnation_counter;
-    Alcotest.test_case "sync write accounting" `Quick test_sync_write_accounting;
-    Alcotest.test_case "truncate out of range" `Quick test_truncate_out_of_range;
-  ]
+  let test_stable_log_from () =
+    let s = make () in
+    List.iter (Store.append_volatile s) [ "a"; "b"; "c"; "d" ];
+    ignore (Store.flush s : int);
+    Alcotest.(check (list string)) "suffix" [ "c"; "d" ] (Store.stable_log_from s ~pos:2);
+    Alcotest.(check (list string)) "whole" [ "a"; "b"; "c"; "d" ]
+      (Store.stable_log_from s ~pos:0);
+    Alcotest.(check (list string)) "empty suffix" [] (Store.stable_log_from s ~pos:4);
+    Alcotest.check_raises "out of range"
+      (Invalid_argument "Stable_store.stable_log_from: position out of range") (fun () ->
+        ignore (Store.stable_log_from s ~pos:5))
+
+  let test_truncate () =
+    let s = make () in
+    List.iter (Store.append_volatile s) [ "a"; "b"; "c"; "d" ];
+    ignore (Store.flush s : int);
+    Store.append_volatile s "volatile";
+    let removed = Store.truncate_stable_log s ~keep:2 in
+    Alcotest.(check (list string)) "removed tail in order" [ "c"; "d" ] removed;
+    Alcotest.(check int) "kept" 2 (Store.stable_log_length s);
+    Alcotest.(check int) "volatile cleared too" 0 (Store.volatile_length s);
+    Alcotest.(check (list string)) "prefix intact" [ "a"; "b" ]
+      (Store.stable_log_from s ~pos:0);
+    (* the log can grow again past the truncation point *)
+    Store.append_volatile s "e";
+    ignore (Store.flush s : int);
+    Alcotest.(check (list string)) "regrown" [ "a"; "b"; "e" ]
+      (Store.stable_log_from s ~pos:0)
+
+  let test_checkpoints () =
+    let s = make () in
+    Store.save_checkpoint s "ck1";
+    Store.append_volatile s "m1";
+    Store.save_checkpoint s "ck2";
+    Alcotest.(check int) "checkpoint flushes" 1 (Store.stable_log_length s);
+    Alcotest.(check (option string)) "latest" (Some "ck2") (Store.latest_checkpoint s);
+    Alcotest.(check (list string)) "newest first" [ "ck2"; "ck1" ] (Store.checkpoints s)
+
+  let test_restore_checkpoint () =
+    let s = make () in
+    List.iter (Store.save_checkpoint s) [ "ck1"; "ck2"; "ck3" ];
+    let found = Store.restore_checkpoint s ~satisfying:(fun c -> c = "ck2") in
+    Alcotest.(check (option string)) "found" (Some "ck2") found;
+    (* "Discard the checkpoints that follow" (Figure 3). *)
+    Alcotest.(check (list string)) "later ones discarded" [ "ck2"; "ck1" ]
+      (Store.checkpoints s);
+    Alcotest.(check (option string)) "none match" None
+      (Store.restore_checkpoint s ~satisfying:(fun c -> c = "ck3"))
+
+  let test_announcements () =
+    let s = make () in
+    Store.log_announcement s "ann1";
+    Store.log_announcement s "ann2";
+    Alcotest.(check (list string)) "oldest first" [ "ann1"; "ann2" ]
+      (Store.announcements s);
+    ignore (Store.crash s : int);
+    Alcotest.(check (list string)) "survive crash" [ "ann1"; "ann2" ]
+      (Store.announcements s)
+
+  let test_incarnation_counter () =
+    let s = make () in
+    Alcotest.(check int) "initial" 0 (Store.incarnation s);
+    Store.set_incarnation s 3;
+    ignore (Store.crash s : int);
+    Alcotest.(check int) "survives crash" 3 (Store.incarnation s)
+
+  let test_sync_write_accounting () =
+    let s = make () in
+    Store.append_volatile s "x";
+    ignore (Store.flush s : int);
+    Store.save_checkpoint s "ck";
+    Store.log_announcement s "ann";
+    Store.set_incarnation s 1;
+    (* flush(1) + checkpoint(1) + announcement(1) + incarnation(1) *)
+    Alcotest.(check int) "sync writes" 4 (Store.sync_writes s);
+    Alcotest.(check int) "flushes" 1 (Store.flushes s)
+
+  let test_truncate_out_of_range () =
+    let s = make () in
+    Store.append_volatile s "a";
+    ignore (Store.flush s : int);
+    Alcotest.check_raises "keep too large"
+      (Invalid_argument "Stable_store.truncate_stable_log: keep out of range") (fun () ->
+        ignore (Store.truncate_stable_log s ~keep:2))
+
+  let test_discard_log_prefix () =
+    let s = make () in
+    List.iter (Store.append_volatile s) [ "a"; "b"; "c"; "d" ];
+    ignore (Store.flush s : int);
+    Alcotest.(check int) "discarded" 2 (Store.discard_log_prefix s ~before:2);
+    Alcotest.(check int) "base moved" 2 (Store.log_base s);
+    Alcotest.(check int) "length unchanged" 4 (Store.stable_log_length s);
+    Alcotest.(check int) "live records" 2 (Store.live_log_records s);
+    Alcotest.(check (list string)) "suffix readable" [ "c"; "d" ]
+      (Store.stable_log_from s ~pos:2)
+
+  let test_prune_checkpoints () =
+    let s = make () in
+    List.iter (Store.save_checkpoint s) [ "ck1"; "ck2"; "ck3"; "ck4" ];
+    Alcotest.(check int) "pruned" 2 (Store.prune_checkpoints s ~keep_latest:2);
+    Alcotest.(check (list string)) "latest survive" [ "ck4"; "ck3" ]
+      (Store.checkpoints s);
+    Alcotest.check_raises "must keep one"
+      (Invalid_argument "Stable_store.prune_checkpoints: must keep at least one")
+      (fun () -> ignore (Store.prune_checkpoints s ~keep_latest:0))
+
+  let test_prune_older_than_anchor () =
+    let s = make () in
+    List.iter (Store.save_checkpoint s) [ "ck1"; "ck2"; "ck3" ];
+    Alcotest.(check int) "older dropped" 1
+      (Store.prune_checkpoints_older_than s ~anchor:(fun c -> c = "ck2"));
+    Alcotest.(check (list string)) "anchor and newer stay" [ "ck3"; "ck2" ]
+      (Store.checkpoints s)
+
+  let suite =
+    List.map
+      (fun (name, f) -> Alcotest.test_case (B.name ^ ": " ^ name) `Quick f)
+      [
+        ("volatile then flush", test_volatile_then_flush);
+        ("empty flush not counted", test_empty_flush_not_counted);
+        ("crash drops volatile only", test_crash_drops_volatile_only);
+        ("stable_log_from", test_stable_log_from);
+        ("truncate", test_truncate);
+        ("checkpoints", test_checkpoints);
+        ("restore_checkpoint discards later", test_restore_checkpoint);
+        ("announcements synchronous", test_announcements);
+        ("incarnation counter", test_incarnation_counter);
+        ("sync write accounting", test_sync_write_accounting);
+        ("truncate out of range", test_truncate_out_of_range);
+        ("discard log prefix", test_discard_log_prefix);
+        ("prune checkpoints", test_prune_checkpoints);
+        ("prune older than anchor", test_prune_older_than_anchor);
+      ]
+end
+
+module Mem_conformance = Conformance (Mem_backend)
+module Disk_conformance = Conformance (Disk_backend)
+
+let suite = Mem_conformance.suite @ Disk_conformance.suite

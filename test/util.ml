@@ -37,9 +37,9 @@ module Driver = struct
     mutable clock : float;
   }
 
-  let make ?(pid = 0) config app =
+  let make ?(pid = 0) ?store_dir config app =
     let trace = Recovery.Trace.create () in
-    let node = Node.create ~config ~pid ~app ~trace in
+    let node = Node.create ~config ~pid ~app ?store_dir ~trace in
     { node; trace; outbox = []; clock = 0. }
 
   let absorb t (actions, _cost) = t.outbox <- List.rev_append actions t.outbox
