@@ -46,6 +46,26 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run $ all $ names)
 
+let breakage_conv =
+  Arg.enum
+    [
+      ("none", Recovery.Config.no_breakage);
+      ("orphan-check", { Recovery.Config.no_breakage with break_orphan_check = true });
+      ( "dup-suppression",
+        { Recovery.Config.no_breakage with break_dup_suppression = true } );
+      ("send-gate", { Recovery.Config.no_breakage with break_send_gate = true });
+    ]
+
+let break_arg =
+  Arg.(
+    value
+    & opt breakage_conv Recovery.Config.no_breakage
+    & info [ "break" ] ~docv:"SAFEGUARD"
+        ~doc:
+          "Deliberately disable a protocol safeguard (orphan-check, \
+           dup-suppression or send-gate) to demonstrate that the oracle catches \
+           the corruption.")
+
 let chaos_cmd =
   let doc =
     "Run an oracle-certified chaos campaign: randomized fault plans (loss, \
@@ -59,26 +79,14 @@ let chaos_cmd =
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign master seed.")
   in
-  let break_ =
-    let breakage_conv =
-      Arg.enum
-        [
-          ("none", Recovery.Config.no_breakage);
-          ( "orphan-check",
-            { Recovery.Config.no_breakage with break_orphan_check = true } );
-          ( "dup-suppression",
-            { Recovery.Config.no_breakage with break_dup_suppression = true } );
-          ("send-gate", { Recovery.Config.no_breakage with break_send_gate = true });
-        ]
-    in
+  let save =
     Arg.(
       value
-      & opt breakage_conv Recovery.Config.no_breakage
-      & info [ "break" ] ~docv:"SAFEGUARD"
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
           ~doc:
-            "Deliberately disable a protocol safeguard (orphan-check, \
-             dup-suppression or send-gate) to demonstrate that the oracle \
-             catches the corruption and the shrinker minimizes it.")
+            "Write the minimized counterexample as a replayable schedule file \
+             (see PROTOCOL.md for the format; replay with $(b,explore --replay)).")
   in
   let storage_faults =
     Arg.(
@@ -91,7 +99,7 @@ let chaos_cmd =
              are matched by storage damage reported at reopen count as \
              detected data loss, not protocol failures.")
   in
-  let run runs seed breakage storage_faults =
+  let run runs seed breakage storage_faults save =
     Fmt.pr "chaos campaign: %d runs, master seed %d%s@." runs seed
       (if storage_faults then " (with storage faults)" else "");
     let progress i = if i mod 25 = 0 then Fmt.pr "  ... %d/%d runs@." i runs in
@@ -115,13 +123,191 @@ let chaos_cmd =
       Fmt.pr "@.shrinking (greedy, 1-minimal) ...@.";
       let minimal = Harness.Chaos.shrink ~breakage case in
       let outcome = Harness.Chaos.run_case ~breakage minimal in
-      Fmt.pr "minimal counterexample:@.%a@.%a@." Harness.Chaos.pp_case minimal
-        Harness.Chaos.pp_verdict outcome.Harness.Chaos.verdict;
+      let sched =
+        Harness.Chaos.to_schedule ~breakage ~name:(Fmt.str "chaos-seed%d-minimal" seed)
+          minimal outcome.Harness.Chaos.verdict
+      in
+      Fmt.pr "minimal counterexample (replayable schedule):@.%a%a@."
+        Harness.Schedule.pp sched Harness.Chaos.pp_verdict
+        outcome.Harness.Chaos.verdict;
+      Option.iter
+        (fun file ->
+          Harness.Schedule.save sched ~file;
+          Fmt.pr "schedule written to %s (replay with `explore --replay %s`)@." file
+            file)
+        save;
       1
   in
-  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ runs $ seed $ break_ $ storage_faults)
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ runs $ seed $ break_arg $ storage_faults $ save)
+
+let explore_cmd =
+  let doc =
+    "Exhaustively model-check a bounded configuration: enumerate every \
+     schedule (up to partial-order equivalence) of a small cluster with all \
+     messages, crashes and flushes enabled from time zero, certifying each \
+     complete execution with the causality oracle and the Theorem-4 K-risk \
+     bound.  Counter-examples are written as replayable schedule files."
+  in
+  let iopt name v d = Arg.(value & opt int v & info [ name ] ~docv:"N" ~doc:d) in
+  let n =
+    Arg.(value & opt int 2 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of processes.")
+  in
+  let k =
+    Arg.(
+      value & opt int 1
+      & info [ "k"; "optimism" ] ~docv:"K" ~doc:"Degree of optimism (0 <= K <= n).")
+  in
+  let messages = iopt "messages" 3 "Client injections (one-hop Forward chains)." in
+  let crashes = iopt "crashes" 1 "Fail-stop crashes, all enabled from time 0." in
+  let flushes = iopt "flushes" 1 "Explicit flush events (stability progress)." in
+  let seed = iopt "seed" 1 "Simulator seed (storage/jitter streams; unused draws)." in
+  let depth =
+    iopt "depth" Harness.Explore.default_bounds.Harness.Explore.max_depth
+      "Schedule-length bound; deeper branches are truncated."
+  in
+  let max_schedules =
+    iopt "max-schedules" Harness.Explore.default_bounds.Harness.Explore.max_schedules
+      "Stop after this many complete executions."
+  in
+  let preemptions =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "preemptions" ] ~docv:"P"
+          ~doc:
+            "Context bound: maximum number of switches away from a process \
+             that still has a runnable event (default: unbounded, i.e. \
+             exhaustive).")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Write the first counter-example schedule to FILE.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Instead of exploring, replay the schedule in FILE and check that \
+             it reproduces its recorded verdict.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Time-capped CI mode: exhaust one small clean configuration \
+             (expecting zero violations) and one with the send gate \
+             deliberately broken (expecting a counter-example that replays to \
+             the same verdict).")
+  in
+  let run_replay file =
+    match Harness.Schedule.load ~file with
+    | Error msg ->
+      Fmt.epr "cannot load %s: %s@." file msg;
+      2
+    | Ok sched ->
+      let verdict = Harness.Explore.replay sched in
+      let matches =
+        Harness.Explore.verdict_matches sched.Harness.Schedule.expect verdict
+      in
+      Fmt.pr "%s: recorded %a, replayed %a -> %s@." sched.Harness.Schedule.name
+        Harness.Schedule.pp_expect sched.Harness.Schedule.expect
+        Harness.Chaos.pp_verdict verdict
+        (if matches then "MATCH" else "MISMATCH");
+      if matches then 0 else 1
+  in
+  let report ?save r =
+    Fmt.pr "%a@." Harness.Explore.pp_result r;
+    match r.Harness.Explore.violations with
+    | [] -> 0
+    | (sched, notes) :: _ as all ->
+      Fmt.pr "@.%d counter-example(s); first:@.%a@.%a@." (List.length all)
+        Harness.Schedule.pp sched
+        Fmt.(list ~sep:cut string)
+        notes;
+      Option.iter
+        (fun file ->
+          Harness.Schedule.save sched ~file;
+          Fmt.pr "schedule written to %s (replay with `explore --replay %s`)@." file
+            file)
+        (Option.join save);
+      1
+  in
+  let run_smoke () =
+    (* Small enough to exhaust in seconds; the cap is a safety net only. *)
+    let p =
+      {
+        Harness.Schedule.n = 2;
+        k = 1;
+        messages = 2;
+        crashes = 1;
+        flushes = 1;
+        seed = 1;
+      }
+    in
+    let bounds =
+      { Harness.Explore.default_bounds with Harness.Explore.max_schedules = 50_000 }
+    in
+    let clean = Harness.Explore.run ~bounds p in
+    Fmt.pr "clean: %a@.@." Harness.Explore.pp_result clean;
+    let breakage = { Recovery.Config.no_breakage with break_send_gate = true } in
+    let broken = Harness.Explore.run ~breakage ~bounds p in
+    Fmt.pr "broken send gate: %a@." Harness.Explore.pp_result broken;
+    if not (Harness.Explore.ok clean) then begin
+      Fmt.epr "FAIL: clean configuration has violations@.";
+      1
+    end
+    else if Harness.Explore.ok broken then begin
+      Fmt.epr "FAIL: broken send gate produced no counter-example@.";
+      1
+    end
+    else begin
+      let sched, _ = List.hd broken.Harness.Explore.violations in
+      let verdict = Harness.Explore.replay sched in
+      if Harness.Explore.verdict_matches sched.Harness.Schedule.expect verdict
+      then begin
+        Fmt.pr "counter-example %s replays to its recorded verdict.@."
+          sched.Harness.Schedule.name;
+        0
+      end
+      else begin
+        Fmt.epr "FAIL: counter-example did not replay to its recorded verdict@.";
+        1
+      end
+    end
+  in
+  let run n k messages crashes flushes seed depth max_schedules preemptions
+      breakage save replay smoke =
+    match replay with
+    | Some file -> run_replay file
+    | None ->
+      if smoke then run_smoke ()
+      else begin
+        let p =
+          { Harness.Schedule.n; k; messages; crashes; flushes; seed }
+        in
+        let bounds =
+          {
+            Harness.Explore.max_depth = depth;
+            max_schedules;
+            preemptions;
+          }
+        in
+        report ~save (Harness.Explore.run ~breakage ~bounds p)
+      end
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const run $ n $ k $ messages $ crashes $ flushes $ seed $ depth
+      $ max_schedules $ preemptions $ break_arg $ save $ replay $ smoke)
 
 let () =
   let doc = "K-optimistic logging experiment suite (ICDCS '97 reproduction)" in
   let info = Cmd.info "experiments" ~version:"1.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd; chaos_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd; chaos_cmd; explore_cmd ]))

@@ -3,15 +3,16 @@ module Config = Recovery.Config
 (* A fault directive: one removable unit of adversity.  A campaign case is
    a list of directives; the shrinker minimizes a failing case by dropping
    directives one at a time, so each directive must be independently
-   removable. *)
-type crash_kind =
+   removable.  The types live in {!Schedule} (which serializes them) and
+   are re-exported here so existing campaign code is unaffected. *)
+type crash_kind = Schedule.crash_kind =
   | Single of int
   | Group of int list
   | Cascade of int list
   | In_checkpoint of int
   | In_flush of int
 
-type fault =
+type fault = Schedule.fault =
   | Loss of float
   | Duplication of float
   | Reorder of float * float  (* probability, spread *)
@@ -19,7 +20,7 @@ type fault =
   | Crash of { kind : crash_kind; time : float }
   | Kill of { pid : int; time : float; storage : Durable.Fault.t option }
 
-type case = { n : int; k : int; seed : int; faults : fault list }
+type case = Schedule.case = { n : int; k : int; seed : int; faults : fault list }
 
 let pp_pids = Fmt.(brackets (list ~sep:comma int))
 
@@ -282,3 +283,23 @@ let shrink ?(breakage = Config.no_breakage) case =
     match try_drop 0 with Some faults' -> fixpoint faults' | None -> faults
   in
   { case with faults = fixpoint case.faults }
+
+(* ------------------------------------------------------------------ *)
+(* Bridge to the serialized schedule format *)
+
+let expect_of_verdict = function
+  | Certified _ -> Schedule.Certified
+  | Detected _ -> Schedule.Detected
+  | Violated _ -> Schedule.Violated
+  | Crashed _ -> Schedule.Crashed
+
+let to_schedule ?(breakage = Config.no_breakage) ?(calls = 60) ~name case verdict =
+  {
+    Schedule.name;
+    expect = expect_of_verdict verdict;
+    breakage;
+    scenario = Schedule.Chaos { case; calls };
+    (* The timed simulator is deterministic given the case's seeds; there
+       are no recorded choice points to replay. *)
+    choices = [];
+  }

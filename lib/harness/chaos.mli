@@ -8,7 +8,7 @@
     exception), a greedy delta-debugging shrinker minimizes the fault list
     to a 1-minimal counterexample. *)
 
-type crash_kind =
+type crash_kind = Schedule.crash_kind =
   | Single of int
   | Group of int list  (** simultaneous multi-node crash *)
   | Cascade of int list  (** staggered crashes, each while the previous victim is down *)
@@ -16,8 +16,9 @@ type crash_kind =
   | In_flush of int  (** crash mid-flush *)
 
 (** One removable unit of adversity.  The shrinker minimizes a failing case
-    by dropping directives one at a time. *)
-type fault =
+    by dropping directives one at a time.  (Defined in {!Schedule}, which
+    serializes cases to disk; re-exported here unchanged.) *)
+type fault = Schedule.fault =
   | Loss of float  (** per-packet loss probability *)
   | Duplication of float
   | Reorder of float * float  (** probability, extra-delay spread *)
@@ -28,7 +29,7 @@ type fault =
           post-mortem file damage; the respawned process recovers solely
           from disk *)
 
-type case = { n : int; k : int; seed : int; faults : fault list }
+type case = Schedule.case = { n : int; k : int; seed : int; faults : fault list }
 
 val pp_fault : Format.formatter -> fault -> unit
 
@@ -97,3 +98,17 @@ val campaign :
 val shrink : ?breakage:Recovery.Config.breakage -> case -> case
 (** Greedy 1-minimal shrink of a failing case: the result still fails, and
     removing any single remaining directive makes it pass. *)
+
+val expect_of_verdict : verdict -> Schedule.expect
+(** The verdict class, for recording in a schedule. *)
+
+val to_schedule :
+  ?breakage:Recovery.Config.breakage ->
+  ?calls:int ->
+  name:string ->
+  case ->
+  verdict ->
+  Schedule.t
+(** Wrap a (typically shrunk) case and the verdict it reproduces as a
+    serialized schedule; {!Explore.replay} re-runs it through
+    {!run_case}. *)

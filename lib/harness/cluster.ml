@@ -20,6 +20,7 @@ type ('state, 'msg) t = {
   app : ('state, 'msg) App_model.App_intf.t;
   store_root : string option;
   storage_rng : Sim.Rng.t option;
+  sched : Sim.Scheduler.t option;
   mutable nodes : ('state, 'msg) Node.t array; (* slots replaced on kill *)
   queue : 'msg event Sim.Event_queue.t;
   net : Netmodel.t;
@@ -238,21 +239,89 @@ let event_pid = function
   | Crash _ | Restart _ | Arm_fsync_failure _ | Kill _ | Respawn _ ->
     None (* crashes/kills preempt; restarts are external *)
 
+let exec_cell t (time, ev) =
+  t.now <- Stdlib.max t.now time;
+  match event_pid ev with
+  | Some pid when not (t.down.(pid)) -> (
+    match busy_gate t time pid with
+    | Some free_at -> schedule t ~time:free_at ev
+    | None -> handle_event t ev)
+  | Some _ | None -> handle_event t ev
+
 let step t =
-  match Sim.Event_queue.next t.queue with
+  let cell =
+    match t.sched with
+    | None -> Sim.Event_queue.next t.queue
+    | Some sched ->
+      let pending = Sim.Event_queue.length t.queue in
+      if pending = 0 then None
+      else Sim.Event_queue.remove_nth t.queue (Sim.Scheduler.pick sched ~n_enabled:pending)
+  in
+  match cell with
   | None -> false
   | Some (time, ev) ->
     if time > t.horizon then false
     else begin
-      t.now <- Stdlib.max t.now time;
-      (match event_pid ev with
-      | Some pid when not (t.down.(pid)) -> (
-        match busy_gate t time pid with
-        | Some free_at -> schedule t ~time:free_at ev
-        | None -> handle_event t ev)
-      | Some _ | None -> handle_event t ev);
+      exec_cell t (time, ev);
       true
     end
+
+(* --- Explicit scheduling choice points (model checker interface) ------ *)
+
+type enabled = {
+  key : int;  (* Event_queue sequence number: stable identity *)
+  at : float;
+  pid : int option;
+  blocked : bool;
+  label : string;
+  log_write : bool;
+  log_read : bool;
+}
+
+let describe_event = function
+  | Packet { src; dst; packet } ->
+    Fmt.str "packet %s P%d->P%d" (Wire.packet_kind packet) src dst
+  | Timer { pid; kind; _ } ->
+    Fmt.str "timer %s P%d"
+      (match kind with
+      | Flush_timer -> "flush"
+      | Checkpoint_timer -> "checkpoint"
+      | Notice_timer -> "notice"
+      | Retransmit_timer -> "retransmit")
+      pid
+  | Inject { dst; seq; retry; _ } ->
+    Fmt.str "inject #%d->P%d%s" seq dst (if retry then " (retry)" else "")
+  | Perform { pid; _ } -> Fmt.str "perform P%d" pid
+  | Crash pid -> Fmt.str "crash P%d" pid
+  | Restart pid -> Fmt.str "restart P%d" pid
+  | Arm_fsync_failure pid -> Fmt.str "arm-fsync-failure P%d" pid
+  | Kill { pid; _ } -> Fmt.str "kill P%d" pid
+  | Respawn pid -> Fmt.str "respawn P%d" pid
+
+let enabled_events t =
+  List.map
+    (fun (key, at, ev) ->
+      let pid = event_pid ev in
+      {
+        key;
+        at;
+        pid;
+        blocked = (match pid with Some p -> t.down.(p) | None -> false);
+        label = describe_event ev;
+        log_write = (match ev with Inject { retry = false; _ } -> true | _ -> false);
+        log_read =
+          (match ev with
+          | Packet { packet = Wire.Ann a; _ } -> a.Wire.failure
+          | _ -> false);
+      })
+    (Sim.Event_queue.pending t.queue)
+
+let step_nth t i =
+  match Sim.Event_queue.remove_nth t.queue i with
+  | None -> false
+  | Some cell ->
+    exec_cell t cell;
+    true
 
 let run t = while step t do () done
 
@@ -270,7 +339,7 @@ let run_until t deadline =
   t.now <- Stdlib.max t.now deadline
 
 let create ~config ~app ?(seed = 42) ?(horizon = 10_000.) ?net_override
-    ?(fault_plan = Netmodel.benign) ?(auto_timers = true) ?store_root () =
+    ?(fault_plan = Netmodel.benign) ?(auto_timers = true) ?store_root ?scheduler () =
   let config = Config.validate_exn config in
   let n = config.Config.n in
   let rng = Sim.Rng.create seed in
@@ -298,6 +367,7 @@ let create ~config ~app ?(seed = 42) ?(horizon = 10_000.) ?net_override
       app;
       store_root;
       storage_rng;
+      sched = scheduler;
       nodes;
       queue = Sim.Event_queue.create ();
       net =

@@ -19,9 +19,13 @@ val create :
   ?fault_plan:Netmodel.fault_plan ->
   ?auto_timers:bool ->
   ?store_root:string ->
+  ?scheduler:Sim.Scheduler.t ->
   unit ->
   ('state, 'msg) t
-(** [auto_timers] (default [true]) arms the periodic flush / checkpoint /
+(** [scheduler] replaces the earliest-time execution order: at every step
+    it picks which pending event runs next (see {!Sim.Scheduler}).  The
+    default is exactly earliest-time order, so runs without a scheduler
+    are bit-for-bit unchanged.  [auto_timers] (default [true]) arms the periodic flush / checkpoint /
     notice timers from the configured intervals (plus the retransmission
     timer when {!Recovery.Config.timing.retransmit_interval} is set);
     scripted scenarios turn it off and drive those actions explicitly.
@@ -99,6 +103,43 @@ val run : ('state, 'msg) t -> unit
 
 val run_until : ('state, 'msg) t -> float -> unit
 (** Process every event scheduled strictly before the given time. *)
+
+(** {1 Explicit scheduling choice points}
+
+    The model checker ({!Explore}) does not run the cluster to completion;
+    it inspects the pending events, chooses one, executes it, and repeats —
+    enumerating interleavings instead of following the clock. *)
+
+(** One pending event, as seen from a scheduling choice point. *)
+type enabled = {
+  key : int;
+      (** event-queue sequence number: a stable identity for this event
+          across inspections (sleep sets are keyed on it) *)
+  at : float;  (** scheduled simulation time *)
+  pid : int option;
+      (** the process whose state the event touches; [None] for failure
+          injection and restart events, which the model checker treats as
+          dependent on everything *)
+  blocked : bool;  (** target process is currently down *)
+  label : string;  (** canonical human-readable description *)
+  log_write : bool;
+      (** appends the outside world's request log (a fresh client
+          injection) *)
+  log_read : bool;
+      (** reads that log (a failure announcement triggers client
+          retransmission) — reads and writes do not commute *)
+}
+
+val enabled_events : ('state, 'msg) t -> enabled list
+(** All pending events in canonical pop order (ascending [(time, seq)]).
+    Positions in this list are the choice indices {!step_nth} accepts and
+    {!Harness.Schedule} records. *)
+
+val step_nth : ('state, 'msg) t -> int -> bool
+(** Execute the [i]-th pending event of the canonical order ([step_nth t 0]
+    follows earliest-time order).  Unlike {!run}, no horizon check is
+    applied: the caller chose this event explicitly.  [false] if [i] is
+    out of range (in particular, when nothing is pending). *)
 
 (** {1 Inspection} *)
 

@@ -824,6 +824,64 @@ let durability ?(n = 6) ?(seeds = default_seeds) () =
     "One process is killed at t=60 over a real file-backed store and its      files damaged before the respawn; every run either recovers to an      oracle-certified state (torn tails truncated, lost records replayed or      retransmitted) or reports the loss at reopen (missing records against      the stable-length witness, dropped checkpoints).  No run may combine an      oracle violation with a clean storage report.";
   t
 
+(* E13 certifies small configurations exhaustively: the model checker
+   enumerates every schedule up to partial-order equivalence and runs the
+   oracle (including the Theorem-4 K-risk bound) on each complete
+   execution.  Where E1-E12 sample the schedule space with seeds, E13
+   closes it — for configurations small enough to close. *)
+let exhaustive () =
+  let t =
+    Report.create
+      ~title:"E13: exhaustive schedule certification (sleep-set POR model checker)"
+      ~columns:
+        [
+          "config";
+          "schedules";
+          "slept";
+          "pruned subtrees";
+          "transitions";
+          "replayed";
+          "max depth";
+          "max risk";
+          "K ok";
+          "exhausted";
+        ]
+  in
+  let row (p : Schedule.explore_params) =
+    let r = Explore.run p in
+    (match r.Explore.violations with
+    | [] -> ()
+    | (sched, notes) :: _ ->
+      failwith
+        (Fmt.str "E13: %s violates the oracle: %s" sched.Schedule.name
+           (String.concat "; " notes)));
+    Report.add_row t
+      [
+        Fmt.str "n=%d K=%d m=%d c=%d f=%d" p.Schedule.n p.Schedule.k
+          p.Schedule.messages p.Schedule.crashes p.Schedule.flushes;
+        Report.cell_i r.Explore.schedules;
+        Report.cell_i r.Explore.sleep_pruned;
+        Report.cell_i r.Explore.sleep_terminals;
+        Report.cell_i r.Explore.transitions;
+        Report.cell_i r.Explore.replayed_transitions;
+        Report.cell_i r.Explore.max_depth_seen;
+        Report.cell_i r.Explore.max_risk;
+        (if r.Explore.max_risk <= p.Schedule.k then "yes" else "NO");
+        (if r.Explore.complete then "yes" else "NO");
+      ]
+  in
+  List.iter row
+    [
+      { Schedule.n = 2; k = 0; messages = 2; crashes = 1; flushes = 1; seed = 1 };
+      { Schedule.n = 2; k = 1; messages = 2; crashes = 1; flushes = 1; seed = 1 };
+      { Schedule.n = 2; k = 2; messages = 2; crashes = 1; flushes = 1; seed = 1 };
+      { Schedule.n = 2; k = 1; messages = 3; crashes = 1; flushes = 0; seed = 1 };
+      { Schedule.n = 3; k = 3; messages = 3; crashes = 1; flushes = 0; seed = 1 };
+    ];
+  Report.note t
+    "Every schedule of each bounded configuration (messages, crashes and      flushes all enabled from time zero) enumerated by the stateless      sleep-set model checker and certified by the causality oracle; 'slept'      counts interleavings proved equivalent to an explored one and skipped.      Max observed Theorem-4 risk stays within K in every configuration,      including the K=0 (risk 0, pessimistic) and K=N boundaries.";
+  t
+
 let table =
   [
     ("figure1", figure1);
@@ -840,6 +898,7 @@ let table =
     ("adversarial_network", fun () -> adversarial_network ());
     ("correlated_failures", fun () -> correlated_failures ());
     ("durability", fun () -> durability ());
+    ("exhaustive", exhaustive);
   ]
 
 let names = List.map fst table

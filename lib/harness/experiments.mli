@@ -67,6 +67,12 @@ val correlated_failures : ?n:int -> ?seeds:int list -> unit -> Report.t
     cascades, crash-during-checkpoint/flush, partition + crash) over a
     lossy network at K=2; every run oracle-certified. *)
 
+val exhaustive : unit -> Report.t
+(** E13: every schedule of a set of bounded configurations enumerated by
+    the sleep-set model checker ({!Explore.run}) and certified by the
+    oracle; aborts with [Failure] on any violation.  Covers the K=0 and
+    K=N boundaries. *)
+
 val all : unit -> Report.t list
 (** Every table, in EXPERIMENTS.md order. *)
 

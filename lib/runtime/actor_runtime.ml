@@ -25,12 +25,28 @@ let post box work =
   Condition.signal box.nonempty;
   Mutex.unlock box.mutex
 
-let take box =
+(* Remove the [i]-th element (FIFO order) of a queue; caller holds the
+   mailbox mutex and guarantees the queue is non-empty. *)
+let take_nth queue i =
+  let items = List.of_seq (Queue.to_seq queue) in
+  Queue.clear queue;
+  List.iteri (fun j item -> if j <> i then Queue.add item queue) items;
+  List.nth items i
+
+let take ?scheduler box =
   Mutex.lock box.mutex;
   while Queue.is_empty box.queue do
     Condition.wait box.nonempty box.mutex
   done;
-  let work = Queue.pop box.queue in
+  let work =
+    match scheduler with
+    | None -> Queue.pop box.queue
+    | Some (sched, lock) ->
+      Mutex.lock lock;
+      let i = Sim.Scheduler.pick sched ~n_enabled:(Queue.length box.queue) in
+      Mutex.unlock lock;
+      take_nth box.queue i
+  in
   Mutex.unlock box.mutex;
   work
 
@@ -44,6 +60,8 @@ type ('state, 'msg) t = {
   config : Config.t;
   app : ('state, 'msg) App_model.App_intf.t;
   store_root : string option;
+  sched : Sim.Scheduler.t option;
+  sched_lock : Mutex.t; (* Scheduler.t is not thread-safe; picks serialize here *)
   time_scale : float;
   start : float;
   nodes : ('state, 'msg) Node.t array; (* slots replaced on kill-respawn *)
@@ -101,9 +119,10 @@ let actor_loop t pid =
   (* Re-read the slot on every work item: a Kill replaces the node with a
      fresh handle recovered from the on-disk store. *)
   let continue = ref true in
+  let scheduler = Option.map (fun s -> (s, t.sched_lock)) t.sched in
   while !continue do
     let node = t.nodes.(pid) in
-    match take t.boxes.(pid) with
+    match take ?scheduler t.boxes.(pid) with
     | Stop -> continue := false
     | Packet { packet; _ } ->
       let actions, _cost =
@@ -184,7 +203,7 @@ let timer_loop t =
       timers
   done
 
-let create ~config ~app ?store_root ?(time_scale = 0.001) () =
+let create ~config ~app ?store_root ?scheduler ?(time_scale = 0.001) () =
   let config = Config.validate_exn config in
   let n = config.Config.n in
   let trace_ = Recovery.Trace.create () in
@@ -196,6 +215,8 @@ let create ~config ~app ?store_root ?(time_scale = 0.001) () =
       config;
       app;
       store_root;
+      sched = scheduler;
+      sched_lock = Mutex.create ();
       time_scale;
       start = Unix.gettimeofday ();
       nodes =

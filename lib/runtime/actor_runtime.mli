@@ -19,6 +19,7 @@ val create :
   config:Recovery.Config.t ->
   app:('state, 'msg) App_model.App_intf.t ->
   ?store_root:string ->
+  ?scheduler:Sim.Scheduler.t ->
   ?time_scale:float ->
   unit ->
   ('state, 'msg) t
@@ -28,7 +29,16 @@ val create :
 
     With [store_root], process [i] keeps a durable file-backed store under
     [store_root/p<i>] instead of the in-memory model, which enables
-    {!kill}. *)
+    {!kill}.
+
+    [scheduler] perturbs every mailbox's service order: instead of FIFO,
+    each actor asks the scheduler which of its queued work items to take
+    next (see {!Sim.Scheduler}).  All actors share the one scheduler
+    (picks are serialized internally), so a stateful policy sees an
+    arbitrary thread interleaving — use pure [Sim.Scheduler.of_fun]
+    policies (e.g. LIFO) for meaningful stress orders.  Protocol
+    correctness must hold under any service order; the oracle checks the
+    merged trace as usual. *)
 
 val inject : ('state, 'msg) t -> dst:int -> 'msg -> unit
 (** Outside-world message; thread-safe. *)

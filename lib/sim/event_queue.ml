@@ -31,6 +31,21 @@ let is_empty t = Heap.is_empty t.heap
 
 let length t = Heap.length t.heap
 
+let sorted_cells t = List.sort cmp (Heap.to_list t.heap)
+
+let pending t = List.map (fun c -> (c.seq, c.time, c.payload)) (sorted_cells t)
+
+let remove_nth t i =
+  if i = 0 then next t
+  else if i < 0 || i >= Heap.length t.heap then None
+  else begin
+    let cells = sorted_cells t in
+    let victim = List.nth cells i in
+    Heap.clear t.heap;
+    List.iteri (fun j c -> if j <> i then Heap.push t.heap c) cells;
+    Some (victim.time, victim.payload)
+  end
+
 let drain t ~keep =
   let cells = Heap.to_list t.heap in
   Heap.clear t.heap;

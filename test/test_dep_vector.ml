@@ -90,6 +90,62 @@ let test_elide_stable () =
   Alcotest.(check (option entry)) "1 kept" (Some (e ~inc:0 ~sii:7)) (Dep_vector.get v 1);
   Alcotest.(check (option entry)) "2 gone" None (Dep_vector.get v 2)
 
+(* Theorem 2's actual claim, as a law: eliding entries on known-stable
+   intervals never changes any later orphan-detection verdict.  Stability
+   comes from per-process logging-progress frontiers; the incarnation end
+   table is constrained to be *consistent* with them — an interval
+   announced stable is never revoked (stable intervals are recoverable, so
+   no failure rolls them back; that consistency is what the protocol and
+   oracle guarantee, and what the theorem presupposes). *)
+let gen_theorem2 =
+  let n = 4 in
+  QCheck2.Gen.(
+    let gen_process =
+      (* (stable frontier, raw iet entries) for one process *)
+      pair gen_entry (list_size (int_bound 4) gen_entry)
+    in
+    pair (gen_vec ~n) (list_repeat n gen_process))
+
+let test_elide_preserves_orphan_verdicts =
+  qtest "Theorem 2: elision never changes orphan verdicts" gen_theorem2
+    (fun (v, processes) ->
+      let rows =
+        List.map
+          (fun ((frontier : Entry.t), raw_iet) ->
+            let log = Entry_set.insert Entry_set.empty frontier in
+            (* Consistency: a rollback announcement by an incarnation >=
+               the frontier's must end at or beyond the frontier index,
+               otherwise it would revoke a stable interval. *)
+            let iet =
+              List.fold_left
+                (fun iet (e : Entry.t) ->
+                  let e =
+                    if e.Entry.inc >= frontier.Entry.inc
+                       && e.Entry.sii < frontier.Entry.sii
+                    then Entry.make ~inc:e.Entry.inc ~sii:frontier.Entry.sii
+                    else e
+                  in
+                  Entry_set.insert iet e)
+                Entry_set.empty raw_iet
+            in
+            (log, iet))
+          processes
+      in
+      let log j = fst (List.nth rows j) in
+      let iet j = snd (List.nth rows j) in
+      (* The verdict the protocol derives from a vector: does any entry
+         witness a dependency on a revoked interval? (Check_orphan.) *)
+      let orphaned vec =
+        List.exists (fun (j, e) -> Entry_set.orphans (iet j) e)
+          (Dep_vector.non_null vec)
+      in
+      let before = orphaned v in
+      let elided = Dep_vector.copy v in
+      ignore
+        (Dep_vector.elide_stable elided ~stable:(fun j e ->
+             Entry_set.covers (log j) e));
+      orphaned elided = before)
+
 let test_clear () =
   let v = Dep_vector.create ~n:2 in
   Dep_vector.set v 1 (Some (e ~inc:0 ~sii:1));
@@ -156,6 +212,7 @@ let suite =
     test_merge_commutative;
     test_merge_associative;
     test_merge_idempotent;
+    test_elide_preserves_orphan_verdicts;
     test_merge_null_identity;
     test_wire_roundtrip;
     test_non_null_sorted;

@@ -198,7 +198,9 @@ let test_experiment_registry () =
     (Harness.Experiments.by_name "figure1" <> None);
   Alcotest.(check bool) "unknown rejected" true
     (Harness.Experiments.by_name "nope" = None);
-  Alcotest.(check int) "fourteen experiments" 14 (List.length Harness.Experiments.names)
+  Alcotest.(check bool) "exhaustive registered" true
+    (Harness.Experiments.by_name "exhaustive" <> None);
+  Alcotest.(check int) "fifteen experiments" 15 (List.length Harness.Experiments.names)
 
 let suite =
   [

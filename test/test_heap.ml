@@ -134,6 +134,84 @@ let test_queue_drain () =
   Alcotest.(check (option (pair (float 0.0) int)))
     "order preserved" (Some (4., 4)) (Sim.Event_queue.next q)
 
+(* Canonical pending order and positional removal: the scheduling choice
+   points the model checker builds on. *)
+
+let gen_feed =
+  (* Times drawn from a tiny range so ties are common. *)
+  QCheck2.Gen.(list_size (int_bound 40) (int_bound 3))
+
+let feed q xs = List.iteri (fun i t -> Sim.Event_queue.schedule q ~time:(float_of_int t) i) xs
+
+let pops q =
+  let rec go acc =
+    match Sim.Event_queue.next q with
+    | None -> List.rev acc
+    | Some cell -> go (cell :: acc)
+  in
+  go []
+
+let test_pending_matches_pop_order =
+  Util.qtest "pending lists exactly the pop order" gen_feed (fun xs ->
+      let q = Sim.Event_queue.create () in
+      let q' = Sim.Event_queue.create () in
+      feed q xs;
+      feed q' xs;
+      List.map (fun (_, t, v) -> (t, v)) (Sim.Event_queue.pending q) = pops q')
+
+let test_remove_nth_zero_is_next =
+  Util.qtest "remove_nth 0 = next" gen_feed (fun xs ->
+      let q = Sim.Event_queue.create () in
+      let q' = Sim.Event_queue.create () in
+      feed q xs;
+      feed q' xs;
+      let rec go () =
+        let a = Sim.Event_queue.remove_nth q 0 in
+        let b = Sim.Event_queue.next q' in
+        a = b && (a = None || go ())
+      in
+      go ())
+
+let test_remove_nth_middle () =
+  let q = Sim.Event_queue.create () in
+  feed q [ 2; 1; 1; 0 ];
+  (* canonical order: (0.,3) (1.,1) (1.,2) (2.,0) *)
+  Alcotest.(check (option (pair (float 0.0) int)))
+    "removes the i-th of canonical order" (Some (1., 2))
+    (Sim.Event_queue.remove_nth q 2);
+  Alcotest.(check bool) "out of range" true (Sim.Event_queue.remove_nth q 3 = None);
+  Alcotest.(check bool) "negative" true (Sim.Event_queue.remove_nth q (-1) = None);
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "remaining order intact"
+    [ (0., 3); (1., 1); (2., 0) ]
+    (pops q)
+
+(* Sequence numbers are the stable event identity the model checker keys
+   its sleep sets on: they must survive both [drain] and positional
+   removal, and identical feeds must assign identical numbers. *)
+let test_seq_stable_identity () =
+  let q = Sim.Event_queue.create () in
+  feed q [ 1; 1; 1; 1; 1 ];
+  let seq_of v =
+    List.filter_map
+      (fun (s, _, v') -> if v = v' then Some s else None)
+      (Sim.Event_queue.pending q)
+  in
+  let before2 = seq_of 2 and before4 = seq_of 4 in
+  Sim.Event_queue.drain q ~keep:(fun (_, v) -> v mod 2 = 0);
+  Alcotest.(check (list int)) "seq survives drain" before2 (seq_of 2);
+  ignore (Sim.Event_queue.remove_nth q 0);
+  Alcotest.(check (list int)) "seq survives remove_nth" before4 (seq_of 4)
+
+let test_identical_feeds_identical_schedules =
+  Util.qtest "identical feeds give identical (seq, time, payload) tables" gen_feed
+    (fun xs ->
+      let q = Sim.Event_queue.create () in
+      let q' = Sim.Event_queue.create () in
+      feed q xs;
+      feed q' xs;
+      Sim.Event_queue.pending q = Sim.Event_queue.pending q')
+
 let test_queue_peek_time () =
   let q = Sim.Event_queue.create () in
   Alcotest.(check (option (float 0.0))) "empty" None (Sim.Event_queue.peek_time q);
@@ -157,4 +235,11 @@ let suite =
     Alcotest.test_case "queue rejects bad times" `Quick test_queue_rejects_bad_times;
     Alcotest.test_case "queue drain" `Quick test_queue_drain;
     Alcotest.test_case "queue peek_time" `Quick test_queue_peek_time;
+    test_pending_matches_pop_order;
+    test_remove_nth_zero_is_next;
+    Alcotest.test_case "remove_nth picks canonical position" `Quick
+      test_remove_nth_middle;
+    Alcotest.test_case "seq numbers survive drain and removal" `Quick
+      test_seq_stable_identity;
+    test_identical_feeds_identical_schedules;
   ]

@@ -22,5 +22,7 @@ let () =
       ("oracle", Test_oracle.suite);
       ("cluster", Test_cluster.suite);
       ("figure1", Test_figure1.suite);
+      ("explore", Test_explore.suite);
+      ("corpus", Test_corpus.suite);
       ("integration", Test_integration.suite);
     ]

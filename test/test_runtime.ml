@@ -164,6 +164,24 @@ let test_oracle_on_threaded_trace () =
   if not (Harness.Oracle.ok report) then
     Alcotest.failf "oracle on threaded run: %a" Harness.Oracle.pp_report report
 
+let test_lifo_scheduler_still_correct () =
+  (* A perverse mailbox service order (always newest message first) must
+     not break the protocol: delivery conditions and the send gate are
+     order-independent, and the oracle certifies the trace. *)
+  let n = 3 in
+  let config = Config.k_optimistic ~timing ~n ~k:1 () in
+  let lifo = Sim.Scheduler.of_fun (fun ~n_enabled -> n_enabled - 1) in
+  let rt = Rt.create ~config ~app:Counter.app ~scheduler:lifo () in
+  for i = 1 to 10 do
+    Rt.inject rt ~dst:(i mod n) (Counter.Forward { dst = (i + 1) mod n; amount = i })
+  done;
+  ignore (Rt.await rt ~timeout:15. (fun () -> Rt.idle rt));
+  Thread.delay 0.1;
+  Rt.shutdown rt;
+  let report = Harness.Oracle.check ~k:1 ~n (Rt.trace rt) in
+  if not (Harness.Oracle.ok report) then
+    Alcotest.failf "oracle under LIFO scheduling: %a" Harness.Oracle.pp_report report
+
 let test_shutdown_idempotent () =
   let config = Config.k_optimistic ~timing ~n:2 ~k:1 () in
   let rt = Rt.create ~config ~app:Counter.app () in
@@ -177,5 +195,7 @@ let suite =
     Alcotest.test_case "kill + respawn from disk" `Slow test_kill_respawn_from_disk;
     Alcotest.test_case "money conserved on threads" `Slow test_money_conserved_on_threads;
     Alcotest.test_case "oracle on a threaded trace" `Slow test_oracle_on_threaded_trace;
+    Alcotest.test_case "LIFO mailbox scheduling stays correct" `Slow
+      test_lifo_scheduler_still_correct;
     Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
   ]
