@@ -248,6 +248,127 @@ let run_micro () =
   Fmt.pr "@.wrote BENCH_micro.json@.@."
 
 (* ------------------------------------------------------------------ *)
+(* Network benchmarks (B10/B11) -> BENCH_net.json                      *)
+
+(* B10: the TCP wire codec — encode+decode of a representative app packet
+   (8 dependency entries, 128-byte payload) through the full frame path
+   (header, CRC, payload codec), 64 packets per run. *)
+let bench_wire_codec () =
+  let swf = App_model.App_intf.string_wire_format in
+  let packet =
+    Recovery.Wire.App
+      {
+        Recovery.Wire.id =
+          { Recovery.Wire.origin = 3; origin_interval = e ~inc:1 ~sii:42; idx = 2 };
+        src = 3;
+        dst = 5;
+        send_interval = e ~inc:1 ~sii:42;
+        dep = List.init 8 (fun j -> (j, e ~inc:(j mod 3) ~sii:(10 + j)));
+        payload = String.init 128 (fun i -> Char.chr ((i * 17) land 0xff));
+      }
+  in
+  Bechamel.Test.make ~name:"B10 wire codec: encode+decode 64 app packets"
+    (Bechamel.Staged.stage (fun () ->
+         for _ = 1 to 64 do
+           let frame = Net.Wire_codec.encode_packet swf packet in
+           match Net.Wire_codec.decode_packet swf frame with
+           | Ok _ -> ()
+           | Error err -> failwith ("B10: decode failed: " ^ err)
+         done))
+
+let run_b10 rows =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance (Benchmark.all cfg [ instance ] (bench_wire_codec ())) in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] ->
+        Fmt.pr "%-45s %12.1f ns/run@." name est;
+        rows := (name, est) :: !rows
+      | Some _ | None -> ())
+    results
+
+(* B11: real loopback deployment — delivered-message throughput and mean
+   output-commit latency as a function of K, benign network (the proxy and
+   kill costs are E14's subject; this is the failure-free wire price). *)
+let parse_output_latency path =
+  (* "summary output_latency <count> <total> <max>" from the daemon's
+     metrics file; mean = total/count, in abstract units (ms at the
+     default time scale). *)
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let rec loop acc =
+      match input_line ic with
+      | line -> (
+        match String.split_on_char ' ' line with
+        | [ "summary"; "output_latency"; count; total; _max ] ->
+          loop (Some (int_of_string count, float_of_string total))
+        | _ -> loop acc)
+      | exception End_of_file -> acc
+    in
+    let acc = loop None in
+    close_in ic;
+    acc
+  end
+
+let run_b11 rows =
+  let n = 3 in
+  let ops = 150 in
+  List.iter
+    (fun k ->
+      let t = Net.Deployment.launch ~n ~k ~seed:(50 + k) () in
+      let t0 = Unix.gettimeofday () in
+      Net.Deployment.run_workload t ~ops ~seed:21;
+      ignore (Net.Deployment.settle t : bool);
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let outcome = Net.Deployment.finish t in
+      if outcome.Net.Deployment.oracle.Harness.Oracle.violations <> [] then
+        failwith "B11: oracle violations in a benign run";
+      let delivs =
+        try List.assoc "deliveries" outcome.Net.Deployment.counters
+        with Not_found -> 0
+      in
+      let lat_count, lat_total =
+        List.fold_left
+          (fun (c, tot) pid ->
+            match
+              parse_output_latency
+                (Filename.concat (Net.Deployment.root t) (Fmt.str "metrics-%d.txt" pid))
+            with
+            | Some (c', tot') -> (c + c', tot +. tot')
+            | None -> (c, tot))
+          (0, 0.) (List.init n Fun.id)
+      in
+      let throughput = float_of_int delivs /. elapsed in
+      Fmt.pr "B11 k=%d: %d deliveries in %.2f s (%.0f delivs/s)" k delivs elapsed
+        throughput;
+      rows := (Fmt.str "B11 loopback delivs/s k=%d n=%d" k n, throughput) :: !rows;
+      if lat_count > 0 then begin
+        let mean = lat_total /. float_of_int lat_count in
+        Fmt.pr ", output commit %.1f ms mean" mean;
+        rows := (Fmt.str "B11 output commit latency ms k=%d n=%d" k n, mean) :: !rows
+      end;
+      Fmt.pr "@.";
+      Durable.Temp.rm_rf (Net.Deployment.root t))
+    [ 0; 1; n ]
+
+let run_net () =
+  Fmt.pr "== Network benchmarks (B10 wire codec, B11 loopback cluster) ==@.";
+  let rows = ref [] in
+  run_b10 rows;
+  run_b11 rows;
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
+  let oc = open_out "BENCH_net.json" in
+  let field (name, v) = Fmt.str "  %S: %.1f" name v in
+  output_string oc ("{\n" ^ String.concat ",\n" (List.map field rows) ^ "\n}\n");
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_net.json@.@."
+
+(* ------------------------------------------------------------------ *)
 
 let run_macro () = List.iter Harness.Report.print (Harness.Experiments.all ())
 
@@ -256,6 +377,8 @@ let () =
   match mode with
   | "micro" -> run_micro ()
   | "macro" -> run_macro ()
+  | "net" -> run_net ()
   | _ ->
     run_macro ();
-    run_micro ()
+    run_micro ();
+    run_net ()

@@ -15,6 +15,24 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Also write the produced tables (title, columns, rows, notes — \
+           cells exactly as rendered) as a JSON array to $(docv).")
+
+let write_json json reports =
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      output_string oc (Harness.Report.json_of_reports reports);
+      close_out oc;
+      Fmt.pr "json written to %s@." file)
+    json
+
 let run_cmd =
   let doc = "Run one experiment (or --all) and print its table." in
   let all =
@@ -23,28 +41,63 @@ let run_cmd =
   let names =
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment names.")
   in
-  let run all names =
+  let run all names json =
     if all then begin
-      List.iter Harness.Report.print (Harness.Experiments.all ());
+      let reports = Harness.Experiments.all () in
+      List.iter Harness.Report.print reports;
+      write_json json reports;
       0
     end
     else if names = [] then begin
       prerr_endline "no experiment given; try `list` or `run --all`";
       2
     end
-    else
-      List.fold_left
-        (fun code name ->
-          match Harness.Experiments.by_name name with
-          | Some f ->
-            Harness.Report.print (f ());
-            code
-          | None ->
-            Fmt.epr "unknown experiment %S (see `list`)@." name;
-            2)
-        0 names
+    else begin
+      let code, reports =
+        List.fold_left
+          (fun (code, reports) name ->
+            match Harness.Experiments.by_name name with
+            | Some f ->
+              let r = f () in
+              Harness.Report.print r;
+              (code, r :: reports)
+            | None ->
+              Fmt.epr "unknown experiment %S (see `list`)@." name;
+              (2, reports))
+          (0, []) names
+      in
+      write_json json (List.rev reports);
+      code
+    end
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ all $ names)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ all $ names $ json_arg)
+
+let net_cmd =
+  let doc =
+    "Run E14: a real multi-process cluster on loopback TCP — forked koptnode \
+     daemons over durable stores, SIGKILLed and respawned mid-workload, all \
+     traffic through the fault-injecting proxy; per-process trace files are \
+     merged and certified by the causality oracle."
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Time-capped CI mode: one small cluster, one SIGKILL, oracle must \
+             certify the merged trace.")
+  in
+  let run smoke json =
+    match Net.Deployment.experiment ~smoke () with
+    | report ->
+      Harness.Report.print report;
+      write_json json [ report ];
+      0
+    | exception Failure msg ->
+      Fmt.epr "FAIL: %s@." msg;
+      1
+  in
+  Cmd.v (Cmd.info "net" ~doc) Term.(const run $ smoke $ json_arg)
 
 let breakage_conv =
   Arg.enum
@@ -310,4 +363,6 @@ let explore_cmd =
 let () =
   let doc = "K-optimistic logging experiment suite (ICDCS '97 reproduction)" in
   let info = Cmd.info "experiments" ~version:"1.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd; chaos_cmd; explore_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ list_cmd; run_cmd; chaos_cmd; explore_cmd; net_cmd ]))

@@ -1,0 +1,391 @@
+(* koptnode: one recovery-protocol process as a real OS daemon.
+
+   Wires together a [Recovery.Node] over the durable file-backed store, the
+   loopback TCP transport, and a control socket the deployment driver uses
+   to inject client messages, poll status and request a graceful drain.
+   The kvstore application is the workload (its multi-hop Put -> Replica
+   chains exercise cross-process causality over the real network).
+
+   Single-ownership design: one main-loop thread owns the node; transport
+   reader threads, timer threads and control-connection threads only append
+   events to a mailbox.  After every protocol step the trace file is synced
+   (write + flush), so a SIGKILL loses at most the event being formatted —
+   the deployment's merge step truncates any torn tail and synthesises the
+   missing [Crashed] event from the successor's [Restarted]. *)
+
+module Node = Recovery.Node
+module Trace = Recovery.Trace
+module Config = Recovery.Config
+module Wire_codec = Net.Wire_codec
+module Trace_codec = Net.Trace_codec
+module App = App_model.Kvstore_app
+
+type event =
+  | From_net of App.msg Recovery.Wire.packet
+  | Control of App.msg Wire_codec.control * Unix.file_descr
+  | Timer of [ `Flush | `Checkpoint | `Notice | `Retransmit ]
+
+type mailbox = {
+  q : event Queue.t;
+  mu : Mutex.t;
+  cond : Condition.t;
+}
+
+let mailbox () = { q = Queue.create (); mu = Mutex.create (); cond = Condition.create () }
+
+let post mb ev =
+  Mutex.lock mb.mu;
+  Queue.add ev mb.q;
+  Condition.signal mb.cond;
+  Mutex.unlock mb.mu
+
+let take mb =
+  Mutex.lock mb.mu;
+  while Queue.is_empty mb.q do
+    Condition.wait mb.cond mb.mu
+  done;
+  let ev = Queue.pop mb.q in
+  Mutex.unlock mb.mu;
+  ev
+
+let pending mb =
+  Mutex.lock mb.mu;
+  let n = Queue.length mb.q in
+  Mutex.unlock mb.mu;
+  n
+
+let write_all fd s =
+  let buf = Bytes.unsafe_of_string s in
+  let n = Bytes.length buf in
+  let rec loop off =
+    if off = n then true
+    else
+      match Unix.write fd buf off (n - off) with
+      | 0 -> false
+      | k -> loop (off + k)
+      | exception Unix.Unix_error _ -> false
+  in
+  loop 0
+
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec loop off =
+    if off = n then Some (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> None
+      | k -> loop (off + k)
+      | exception Unix.Unix_error _ -> None
+  in
+  loop 0
+
+(* Read one control frame off a connection. *)
+let read_control fd =
+  match read_exact fd Wire_codec.header_bytes with
+  | None -> None
+  | Some header -> (
+    match Wire_codec.parse_header header ~pos:0 with
+    | Error _ -> None
+    | Ok (kind, len) -> (
+      match if len = 0 then Some "" else read_exact fd len with
+      | None -> None
+      | Some payload -> (
+        match Wire_codec.check_frame ~header ~payload with
+        | Error _ -> None
+        | Ok () -> (
+          match Wire_codec.decode_control_body App.wire ~kind payload with
+          | Error _ -> None
+          | Ok ctl -> Some ctl))))
+
+let metrics_lines (m : Recovery.Metrics.t) =
+  let counter name v = Fmt.str "counter %s %d" name v in
+  let summary name s =
+    Fmt.str "summary %s %d %.9g %.9g" name (Sim.Summary.count s)
+      (Sim.Summary.total s)
+      (let v = Sim.Summary.max s in
+       if Float.is_nan v then 0. else v)
+  in
+  [
+    counter "deliveries" m.deliveries;
+    counter "sends" m.sends;
+    counter "releases" m.releases;
+    counter "orphans_discarded" m.orphans_discarded;
+    counter "duplicates_dropped" m.duplicates_dropped;
+    counter "cancelled_sends" m.cancelled_sends;
+    counter "induced_rollbacks" m.induced_rollbacks;
+    counter "restarts" m.restarts;
+    counter "undone_intervals" m.undone_intervals;
+    counter "lost_intervals" m.lost_intervals;
+    counter "replayed" m.replayed;
+    counter "outputs_committed" m.outputs_committed;
+    counter "notices" m.notices;
+    counter "announcements_sent" m.announcements_sent;
+    counter "acks_sent" m.acks_sent;
+    counter "retransmissions" m.retransmissions;
+    summary "blocked_time" m.blocked_time;
+    summary "release_dep_entries" m.release_dep_entries;
+    summary "delivery_delay" m.delivery_delay;
+    summary "output_latency" m.output_latency;
+  ]
+
+let run ~pid ~n ~k ~listen_port ~peers ~control_port ~store_dir ~trace_file
+    ~metrics_file ~epoch ~time_scale ~retransmit =
+  let config =
+    Config.harden ?retransmit_interval:retransmit
+      (Config.k_optimistic ~n ~k ())
+  in
+  let now () = (Unix.gettimeofday () -. epoch) /. time_scale in
+  let trace = Trace.create () in
+  let writer = Trace_codec.open_writer trace_file in
+  let mb = mailbox () in
+  let node = ref (Node.create ~config ~pid ~app:App.app ~store_dir ~trace) in
+
+  (* Transport: frames from peers become mailbox events; decode failures
+     are reported on stderr (and counted by the transport), never lost. *)
+  let on_error msg = Fmt.epr "[koptnode %d] %s@." pid msg in
+  let on_frame ~src:_ ~kind ~body =
+    match Wire_codec.decode_packet_body App.wire ~kind body with
+    | Ok packet -> post mb (From_net packet)
+    | Error e -> on_error (Fmt.str "undecodable packet (kind %d): %s" kind e)
+  in
+  let transport =
+    Net.Transport.create ~self:pid ~listen_port ~peers ~on_frame ~on_error ()
+  in
+  let dispatch actions =
+    List.iter
+      (fun action ->
+        match (action : App.msg Node.action) with
+        | Node.Unicast { dst; packet } ->
+          Net.Transport.send transport ~dst
+            (Wire_codec.encode_packet App.wire packet)
+        | Node.Broadcast packet ->
+          Net.Transport.broadcast transport
+            (Wire_codec.encode_packet App.wire packet))
+      actions
+  in
+
+  (* Timers, one thread per configured period (abstract units scaled to
+     wall clock). *)
+  let stopping = ref false in
+  let timer kind interval =
+    match interval with
+    | None -> ()
+    | Some period ->
+      let delay = period *. time_scale in
+      ignore
+        (Thread.create
+           (fun () ->
+             while not !stopping do
+               Thread.delay delay;
+               if not !stopping then post mb (Timer kind)
+             done)
+           ()
+          : Thread.t)
+  in
+  timer `Flush config.Config.timing.Config.flush_interval;
+  timer `Checkpoint config.Config.timing.Config.checkpoint_interval;
+  timer `Notice config.Config.timing.Config.notice_interval;
+  timer `Retransmit config.Config.timing.Config.retransmit_interval;
+
+  (* Control socket: each accepted connection feeds control frames into the
+     mailbox; replies are written by the main loop. *)
+  let control_sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt control_sock Unix.SO_REUSEADDR true;
+  Unix.bind control_sock (Unix.ADDR_INET (Unix.inet_addr_loopback, control_port));
+  Unix.listen control_sock 16;
+  let control_conn fd =
+    let rec loop () =
+      match read_control fd with
+      | None -> (try Unix.close fd with Unix.Unix_error _ -> ())
+      | Some ctl ->
+        post mb (Control (ctl, fd));
+        loop ()
+    in
+    loop ()
+  in
+  ignore
+    (Thread.create
+       (fun () ->
+         let rec loop () =
+           match Unix.accept control_sock with
+           | fd, _ ->
+             ignore (Thread.create control_conn fd : Thread.t);
+             loop ()
+           | exception Unix.Unix_error _ -> ()
+         in
+         loop ())
+       ()
+      : Thread.t);
+
+  (* Boot: a pre-existing store means we are the successor of a killed
+     incarnation — run Figure 3's Restart from disk before serving. *)
+  if not (Node.is_up !node) then dispatch (fst (Node.restart !node ~now:(now ())));
+  Trace_codec.sync writer trace;
+
+  let reply fd ctl =
+    ignore (write_all fd (Wire_codec.encode_control App.wire ctl) : bool)
+  in
+  let finish () =
+    stopping := true;
+    Trace_codec.sync writer trace;
+    Trace_codec.close_writer writer;
+    let oc = open_out metrics_file in
+    List.iter (fun l -> output_string oc (l ^ "\n")) (metrics_lines (Node.metrics !node));
+    close_out oc;
+    Net.Transport.close transport;
+    (try Unix.close control_sock with Unix.Unix_error _ -> ())
+  in
+  let rec main_loop () =
+    let ev = take mb in
+    let continue =
+      match ev with
+      | From_net packet ->
+        if Node.is_up !node then
+          dispatch (fst (Node.handle_packet !node ~now:(now ()) packet));
+        true
+      | Timer kind ->
+        (if Node.is_up !node then
+           let step =
+             match kind with
+             | `Flush -> Node.flush
+             | `Checkpoint -> Node.checkpoint
+             | `Notice -> Node.broadcast_notice
+             | `Retransmit -> Node.retransmit_tick
+           in
+           dispatch (fst (step !node ~now:(now ()))));
+        true
+      | Control (ctl, fd) -> (
+        match ctl with
+        | Wire_codec.Inject { seq; payload } ->
+          if Node.is_up !node then
+            dispatch (fst (Node.inject !node ~now:(now ()) ~seq payload));
+          true
+        | Wire_codec.Tick t ->
+          (if Node.is_up !node then
+             let step =
+               match t with
+               | `Flush -> Node.flush
+               | `Checkpoint -> Node.checkpoint
+               | `Notice -> Node.broadcast_notice
+             in
+             dispatch (fst (step !node ~now:(now ()))));
+          true
+        | Wire_codec.Crash ->
+          (* Soft fail-stop: same recovery path as a SIGKILL + respawn,
+             without losing the OS process. *)
+          Node.halt !node ~now:(now ());
+          Trace_codec.sync writer trace;
+          Thread.delay (Config.real_restart_delay ~time_scale config.Config.timing);
+          node := Node.create ~config ~pid ~app:App.app ~store_dir ~trace;
+          dispatch (fst (Node.restart !node ~now:(now ())));
+          true
+        | Wire_codec.Status_req ->
+          let m = Node.metrics !node in
+          reply fd
+            (Wire_codec.Status
+               {
+                 st_up = Node.is_up !node;
+                 st_pending = pending mb;
+                 st_send_buf = Node.send_buffer_size !node;
+                 st_recv_buf = Node.receive_buffer_size !node;
+                 st_out_buf = Node.output_buffer_size !node;
+                 st_deliveries = m.Recovery.Metrics.deliveries;
+                 st_trace_len = Trace.length trace;
+                 st_current = Node.current !node;
+               });
+          true
+        | Wire_codec.Quit ->
+          finish ();
+          reply fd Wire_codec.Bye;
+          false
+        | Wire_codec.Hello _ | Wire_codec.Status _ | Wire_codec.Bye -> true)
+    in
+    Trace_codec.sync writer trace;
+    if continue then main_loop ()
+  in
+  main_loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+
+open Cmdliner
+
+let peers_conv =
+  let parse s =
+    try
+      Ok
+        (String.split_on_char ',' s
+        |> List.filter (fun s -> s <> "")
+        |> List.map (fun kv ->
+               match String.split_on_char ':' kv with
+               | [ pid; port ] -> (int_of_string pid, int_of_string port)
+               | _ -> failwith "bad"))
+    with _ -> Error (`Msg "expected PID:PORT[,PID:PORT...]")
+  in
+  let print ppf peers =
+    Fmt.pf ppf "%a"
+      (Fmt.list ~sep:(Fmt.any ",") (fun ppf (p, q) -> Fmt.pf ppf "%d:%d" p q))
+      peers
+  in
+  Arg.conv (parse, print)
+
+let cmd =
+  let pid = Arg.(required & opt (some int) None & info [ "pid" ] ~doc:"Process id.") in
+  let n =
+    Arg.(required & opt (some int) None & info [ "nodes" ] ~doc:"Cluster size.")
+  in
+  let k =
+    Arg.(required & opt (some int) None & info [ "optimism" ] ~doc:"Degree of optimism.")
+  in
+  let listen_port =
+    Arg.(required & opt (some int) None & info [ "listen" ] ~doc:"Data port to listen on.")
+  in
+  let peers =
+    Arg.(
+      value & opt peers_conv []
+      & info [ "peers" ] ~doc:"Peer data ports as PID:PORT,... (proxy ports under faults).")
+  in
+  let control_port =
+    Arg.(required & opt (some int) None & info [ "control" ] ~doc:"Control port.")
+  in
+  let store_dir =
+    Arg.(
+      required & opt (some string) None
+      & info [ "store-dir" ] ~doc:"Durable store directory (survives SIGKILL).")
+  in
+  let trace_file =
+    Arg.(required & opt (some string) None & info [ "trace-file" ] ~doc:"Trace output file.")
+  in
+  let metrics_file =
+    Arg.(
+      required & opt (some string) None
+      & info [ "metrics-file" ] ~doc:"Metrics output file (written on Quit).")
+  in
+  let epoch =
+    Arg.(
+      value & opt float 0.
+      & info [ "epoch" ] ~doc:"Shared wall-clock origin (Unix time) for trace timestamps.")
+  in
+  let time_scale =
+    Arg.(
+      value
+      & opt float Config.default_time_scale
+      & info [ "time-scale" ] ~doc:"Seconds per abstract time unit.")
+  in
+  let retransmit =
+    Arg.(
+      value & opt (some float) None
+      & info [ "retransmit" ] ~doc:"Retransmission period (abstract units).")
+  in
+  let run' pid n k listen_port peers control_port store_dir trace_file metrics_file
+      epoch time_scale retransmit =
+    run ~pid ~n ~k ~listen_port ~peers ~control_port ~store_dir ~trace_file
+      ~metrics_file ~epoch ~time_scale ~retransmit
+  in
+  Cmd.v
+    (Cmd.info "koptnode" ~doc:"K-optimistic logging daemon (one cluster process).")
+    Term.(
+      const run' $ pid $ n $ k $ listen_port $ peers $ control_port $ store_dir
+      $ trace_file $ metrics_file $ epoch $ time_scale $ retransmit)
+
+let () = exit (Cmd.eval cmd)

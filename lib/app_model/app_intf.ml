@@ -32,6 +32,21 @@ type ('state, 'msg) t = {
   pp_msg : 'msg Fmt.t;
 }
 
+(** Byte-level payload serialization, supplied by applications that want to
+    run over a real network ([Net.Wire_codec] is parameterized over this).
+    [read] must invert [write]; it returns [Error] — never a wrong value —
+    on bytes it does not recognise, so transport-level corruption that
+    slips past the frame checksum still cannot inject a fabricated
+    message. *)
+type 'msg wire_format = {
+  write : 'msg -> string;
+  read : string -> ('msg, string) result;
+}
+
+(** Strings go on the wire verbatim — the format for label/bytes payloads
+    ({!Script_app}, tests). *)
+let string_wire_format = { write = Fun.id; read = (fun s -> Ok s) }
+
 let outside_world = -1
 
 let send ?k dst msg = Send { dst; msg; k }

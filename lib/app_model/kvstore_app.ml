@@ -31,6 +31,82 @@ let lookup state key = Str_map.find_opt key state.store
 let apply state key value version =
   { state with store = Str_map.add key (value, version) state.store }
 
+(* Byte-level payload format for the TCP deployment: a tag byte, then
+   int64-LE integers and u32-length-prefixed strings.  [read] never guesses:
+   unknown tags and short buffers are errors, and the trailing-bytes check
+   means no encoded message is a proper prefix of another. *)
+let wire : msg App_intf.wire_format =
+  let put_int b v =
+    let s = Bytes.create 8 in
+    Bytes.set_int64_le s 0 (Int64.of_int v);
+    Buffer.add_bytes b s
+  in
+  let put_str b s =
+    put_int b (String.length s);
+    Buffer.add_string b s
+  in
+  let write msg =
+    let b = Buffer.create 32 in
+    (match msg with
+    | Put { key; value } ->
+      Buffer.add_char b '\x01';
+      put_str b key;
+      put_int b value
+    | Replica { key; value; version } ->
+      Buffer.add_char b '\x02';
+      put_str b key;
+      put_int b value;
+      put_int b version
+    | Get key ->
+      Buffer.add_char b '\x03';
+      put_str b key);
+    Buffer.contents b
+  in
+  let read s =
+    let pos = ref 0 in
+    let need n =
+      if !pos + n > String.length s then failwith "kvstore wire: short buffer"
+    in
+    let get_int () =
+      need 8;
+      let v = Int64.to_int (String.get_int64_le s !pos) in
+      pos := !pos + 8;
+      v
+    in
+    let get_str () =
+      let len = get_int () in
+      if len < 0 then failwith "kvstore wire: negative length";
+      need len;
+      let v = String.sub s !pos len in
+      pos := !pos + len;
+      v
+    in
+    match
+      if String.length s = 0 then Error "kvstore wire: empty payload"
+      else begin
+        let tag = s.[0] in
+        pos := 1;
+        let msg =
+          match tag with
+          | '\x01' ->
+            let key = get_str () in
+            Put { key; value = get_int () }
+          | '\x02' ->
+            let key = get_str () in
+            let value = get_int () in
+            Replica { key; value; version = get_int () }
+          | '\x03' -> Get (get_str ())
+          | c -> failwith (Fmt.str "kvstore wire: unknown tag %#x" (Char.code c))
+        in
+        if !pos <> String.length s then failwith "kvstore wire: trailing bytes";
+        Ok msg
+      end
+    with
+    | result -> result
+    | exception Failure e -> Error e
+  in
+  { App_intf.write; read }
+
 let app : (state, msg) App_intf.t =
   {
     name = "kvstore";

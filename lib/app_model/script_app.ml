@@ -23,6 +23,9 @@ let make_plan bindings =
     bindings;
   plan
 
+(* Labels are strings; they cross the network verbatim. *)
+let wire : msg App_intf.wire_format = App_intf.string_wire_format
+
 let app plan : (state, msg) App_intf.t =
   {
     name = "script";

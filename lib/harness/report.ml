@@ -37,6 +37,40 @@ let pp ppf t =
 
 let print t = Fmt.pr "%a@\n@\n" pp t
 
+(* Machine-readable dump (the experiments CLI's --json flag).  Hand-rolled
+   like bench/main.ml: the only JSON we emit is strings, and escaping the
+   JSON control set is enough for the cell/note vocabulary we produce. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json t =
+  let str s = "\"" ^ json_escape s ^ "\"" in
+  let arr items = "[" ^ String.concat ", " items ^ "]" in
+  let rows =
+    List.rev_map (fun row -> arr (List.map str row)) t.rows |> String.concat ",\n      "
+  in
+  Fmt.str
+    "{\n    \"title\": %s,\n    \"columns\": %s,\n    \"rows\": [\n      \
+     %s\n    ],\n    \"notes\": %s\n  }"
+    (str t.title)
+    (arr (List.map str t.columns))
+    rows
+    (arr (List.rev_map str t.notes))
+
+let json_of_reports reports =
+  "[\n  " ^ String.concat ",\n  " (List.map to_json reports) ^ "\n]\n"
+
 let cell_f v = if Float.is_nan v then "-" else Fmt.str "%.2f" v
 
 let cell_i = string_of_int

@@ -19,6 +19,13 @@ val pp : t Fmt.t
 val print : t -> unit
 (** [pp] to stdout, followed by a blank line. *)
 
+val to_json : t -> string
+(** The table as a JSON object ([title], [columns], [rows], [notes]; every
+    cell a string, exactly as rendered). *)
+
+val json_of_reports : t list -> string
+(** JSON array of {!to_json} objects — what [experiments --json] writes. *)
+
 (** {1 Cell formatting helpers} *)
 
 val cell_f : float -> string

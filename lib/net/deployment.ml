@@ -1,0 +1,652 @@
+module Config = Recovery.Config
+module Trace = Recovery.Trace
+module Wire = Recovery.Wire
+module App = App_model.Kvstore_app
+
+type node = {
+  pid : int;
+  data_port : int;
+  proxy_port : int option;  (** what peers dial instead, under faults *)
+  control_port : int;
+  store_dir : string;
+  trace_file : string;
+  metrics_file : string;
+  log_file : string;
+  mutable os_pid : int;
+  mutable ctl : Unix.file_descr option;
+}
+
+type t = {
+  n : int;
+  k : int;
+  config : Config.t;
+  time_scale : float;
+  epoch : float;
+  root : string;
+  exe : string;
+  nodes : node array;
+  proxy : Proxy.t option;
+  mutable seq : int;  (** outside-world injection sequence numbers *)
+  mutable alive : bool;
+}
+
+let n t = t.n
+
+let config t = t.config
+
+let root t = t.root
+
+(* ------------------------------------------------------------------ *)
+(* Plumbing                                                            *)
+
+let find_exe = function
+  | Some exe -> exe
+  | None -> (
+    match Sys.getenv_opt "KOPTNODE_EXE" with
+    | Some exe -> exe
+    | None ->
+      let candidates =
+        [
+          Filename.concat (Filename.dirname Sys.executable_name) "koptnode.exe";
+          Filename.concat
+            (Filename.dirname Sys.executable_name)
+            "../bin/koptnode.exe";
+          "_build/default/bin/koptnode.exe";
+        ]
+      in
+      (match List.find_opt Sys.file_exists candidates with
+      | Some exe -> exe
+      | None ->
+        invalid_arg
+          "Deployment.launch: koptnode.exe not found (set KOPTNODE_EXE)"))
+
+let free_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, port) -> port
+    | _ -> assert false
+  in
+  Unix.close fd;
+  port
+
+let write_all fd s =
+  let buf = Bytes.unsafe_of_string s in
+  let len = Bytes.length buf in
+  let rec loop off =
+    if off = len then true
+    else
+      match Unix.write fd buf off (len - off) with
+      | 0 -> false
+      | k -> loop (off + k)
+      | exception Unix.Unix_error _ -> false
+  in
+  loop 0
+
+let read_exact fd len =
+  let buf = Bytes.create len in
+  let rec loop off =
+    if off = len then Some (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> None
+      | k -> loop (off + k)
+      | exception Unix.Unix_error _ -> None
+  in
+  loop 0
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Daemon lifecycle                                                    *)
+
+let spawn t node =
+  let peers =
+    Array.to_list t.nodes
+    |> List.filter (fun p -> p.pid <> node.pid)
+    |> List.map (fun p ->
+           Fmt.str "%d:%d" p.pid
+             (match p.proxy_port with Some pp -> pp | None -> p.data_port))
+    |> String.concat ","
+  in
+  let retransmit =
+    match t.config.Config.timing.Config.retransmit_interval with
+    | Some r -> [ "--retransmit"; Fmt.str "%g" r ]
+    | None -> []
+  in
+  let argv =
+    [
+      t.exe; "--pid"; string_of_int node.pid; "--nodes"; string_of_int t.n;
+      "--optimism"; string_of_int t.k; "--listen"; string_of_int node.data_port;
+      "--control";
+      string_of_int node.control_port; "--peers"; peers; "--store-dir";
+      node.store_dir; "--trace-file"; node.trace_file; "--metrics-file";
+      node.metrics_file; "--epoch"; Fmt.str "%.6f" t.epoch; "--time-scale";
+      Fmt.str "%g" t.time_scale;
+    ]
+    @ retransmit
+  in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let log =
+    Unix.openfile node.log_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  let os_pid = Unix.create_process t.exe (Array.of_list argv) devnull log log in
+  Unix.close devnull;
+  Unix.close log;
+  node.os_pid <- os_pid
+
+(* Control connection: one persistent TCP connection per daemon, re-dialled
+   lazily after a kill. *)
+let rec ctl_fd ?(attempts = 100) node =
+  match node.ctl with
+  | Some fd -> Some fd
+  | None ->
+    if attempts = 0 then None
+    else begin
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, node.control_port));
+        Unix.setsockopt fd Unix.TCP_NODELAY true
+      with
+      | () ->
+        node.ctl <- Some fd;
+        Some fd
+      | exception Unix.Unix_error _ ->
+        close_quiet fd;
+        Thread.delay 0.05;
+        ctl_fd ~attempts:(attempts - 1) node
+    end
+
+let ctl_drop node =
+  match node.ctl with
+  | Some fd ->
+    close_quiet fd;
+    node.ctl <- None
+  | None -> ()
+
+let ctl_send node ctl =
+  match ctl_fd node with
+  | None -> false
+  | Some fd ->
+    let ok = write_all fd (Wire_codec.encode_control App.wire ctl) in
+    if not ok then ctl_drop node;
+    ok
+
+let read_reply fd =
+  match read_exact fd Wire_codec.header_bytes with
+  | None -> None
+  | Some header -> (
+    match Wire_codec.parse_header header ~pos:0 with
+    | Error _ -> None
+    | Ok (kind, len) -> (
+      match if len = 0 then Some "" else read_exact fd len with
+      | None -> None
+      | Some payload -> (
+        match Wire_codec.check_frame ~header ~payload with
+        | Error _ -> None
+        | Ok () ->
+          Result.to_option (Wire_codec.decode_control_body App.wire ~kind payload))))
+
+let ctl_rpc node ctl =
+  if not (ctl_send node ctl) then None
+  else
+    match node.ctl with
+    | None -> None
+    | Some fd -> (
+      match read_reply fd with
+      | Some r -> Some r
+      | None ->
+        ctl_drop node;
+        None)
+
+(* ------------------------------------------------------------------ *)
+(* Launch                                                              *)
+
+let launch ~n ~k ?retransmit ?(time_scale = Config.default_time_scale) ?plan
+    ?(seed = 0) ?root ?exe () =
+  (* Control writes race daemon SIGKILLs; a broken pipe must be an error on
+     the write, not a fatal signal. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let exe = find_exe exe in
+  let config = Config.harden ?retransmit_interval:retransmit (Config.k_optimistic ~n ~k ()) in
+  let root =
+    match root with
+    | Some r ->
+      Durable.Temp.mkdir_p r;
+      r
+    | None -> Durable.Temp.fresh_dir ~prefix:"koptnet" ()
+  in
+  let use_proxy = plan <> None in
+  let nodes =
+    Array.init n (fun pid ->
+        {
+          pid;
+          data_port = free_port ();
+          proxy_port = (if use_proxy then Some (free_port ()) else None);
+          control_port = free_port ();
+          store_dir = Filename.concat root (Fmt.str "store-%d" pid);
+          trace_file = Filename.concat root (Fmt.str "trace-%d.bin" pid);
+          metrics_file = Filename.concat root (Fmt.str "metrics-%d.txt" pid);
+          log_file = Filename.concat root (Fmt.str "daemon-%d.log" pid);
+          os_pid = -1;
+          ctl = None;
+        })
+  in
+  let proxy =
+    match plan with
+    | None -> None
+    | Some plan ->
+      let routes =
+        Array.to_list nodes
+        |> List.map (fun node ->
+               ( node.pid,
+                 (match node.proxy_port with Some p -> p | None -> assert false),
+                 node.data_port ))
+      in
+      Some (Proxy.start ~routes ~plan ~seed ~time_scale ())
+  in
+  let t =
+    {
+      n;
+      k;
+      config;
+      time_scale;
+      epoch = Unix.gettimeofday ();
+      root;
+      exe;
+      nodes;
+      proxy;
+      seq = 0;
+      alive = true;
+    }
+  in
+  Array.iter (fun node -> spawn t node) nodes;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Driving                                                             *)
+
+let inject t ~dst msg =
+  t.seq <- t.seq + 1;
+  ignore (ctl_send t.nodes.(dst) (Wire_codec.Inject { seq = t.seq; payload = msg }) : bool)
+
+let tick t ~dst kind = ignore (ctl_send t.nodes.(dst) (Wire_codec.Tick kind) : bool)
+
+let status t ~dst =
+  match ctl_rpc t.nodes.(dst) Wire_codec.Status_req with
+  | Some (Wire_codec.Status s) -> Some s
+  | _ -> None
+
+let kill t ~dst =
+  let node = t.nodes.(dst) in
+  ctl_drop node;
+  (try Unix.kill node.os_pid Sys.sigkill with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] node.os_pid : int * Unix.process_status)
+   with Unix.Unix_error _ -> ());
+  node.os_pid <- -1;
+  (* The detection + reboot outage of the cost model, in wall-clock terms —
+     the same constant the threaded actor runtime sleeps (Config.real_restart_delay). *)
+  Thread.delay (Config.real_restart_delay ~time_scale:t.time_scale t.config.Config.timing);
+  spawn t node
+
+let run_workload t ~ops ~seed =
+  let rng = Sim.Rng.create seed in
+  for i = 0 to ops - 1 do
+    let dst = Sim.Rng.int rng t.n in
+    let key = Fmt.str "key%d" (Sim.Rng.int rng 17) in
+    let msg =
+      if i mod 5 = 4 then App.Get key
+      else App.Put { key; value = (i * 37) + Sim.Rng.int rng 100 }
+    in
+    inject t ~dst msg;
+    if i mod 8 = 7 then Thread.delay 0.002
+  done
+
+let settle ?(timeout = 30.) t =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let prev_deliveries = ref (-1) in
+  let rec loop () =
+    if Unix.gettimeofday () > deadline then false
+    else begin
+      let statuses = List.init t.n (fun pid -> status t ~dst:pid) in
+      let all_ok =
+        List.for_all
+          (function
+            | Some s ->
+              s.Wire_codec.st_up
+              && s.Wire_codec.st_pending = 0
+              && s.Wire_codec.st_send_buf = 0
+              && s.Wire_codec.st_recv_buf = 0
+              && s.Wire_codec.st_out_buf = 0
+            | None -> false)
+          statuses
+      in
+      let deliveries =
+        List.fold_left
+          (fun acc -> function
+            | Some s -> acc + s.Wire_codec.st_deliveries
+            | None -> acc)
+          0 statuses
+      in
+      if all_ok && deliveries = !prev_deliveries then true
+      else begin
+        prev_deliveries := deliveries;
+        Thread.delay 0.1;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Merge + certify                                                     *)
+
+(* A SIGKILLed incarnation never wrote its own [Crashed] event; reconstruct
+   it from the successor's [Restarted]: the failure announcement pins the
+   crashed incarnation's last stable interval, and the successor's first
+   interval (replay frontier + 1) pins the first lost index.  An in-process
+   crash (the [Crash] control, or a future graceful failure path) does
+   write [Crashed], so we only synthesise when none is pending. *)
+let synthesize_crashes entries =
+  let crashed = Hashtbl.create 8 in
+  let count = ref 0 in
+  let out =
+    List.concat_map
+      (fun (e : Trace.entry) ->
+        match e.ev with
+        | Trace.Crashed { pid; _ } ->
+          Hashtbl.replace crashed pid true;
+          [ e ]
+        | Trace.Restarted { pid; announced; new_current } ->
+          let pending = Hashtbl.mem crashed pid in
+          Hashtbl.remove crashed pid;
+          if pending then [ e ]
+          else begin
+            incr count;
+            let first_lost =
+              Some
+                (Depend.Entry.make ~inc:announced.Wire.ending.Depend.Entry.inc
+                   ~sii:new_current.Depend.Entry.sii)
+            in
+            [
+              { e with ev = Trace.Crashed { pid; first_lost } };
+              e;
+            ]
+          end
+        | _ -> [ e ])
+      entries
+  in
+  (out, !count)
+
+let merge_traces t =
+  let damage = ref [] in
+  let tagged =
+    Array.to_list t.nodes
+    |> List.concat_map (fun node ->
+           match Trace_codec.load_file node.trace_file with
+           | Error e ->
+             damage := Fmt.str "pid %d: %s" node.pid e :: !damage;
+             []
+           | Ok { Trace_codec.entries; damage = d } ->
+             (match d with
+             | Some d -> damage := Fmt.str "pid %d: %s" node.pid d :: !damage
+             | None -> ());
+             List.mapi (fun i e -> (e.Trace.time, node.pid, i, e)) entries)
+  in
+  let sorted =
+    List.stable_sort
+      (fun (ta, pa, ia, _) (tb, pb, ib, _) ->
+        match Float.compare ta tb with
+        | 0 -> ( match Int.compare pa pb with 0 -> Int.compare ia ib | c -> c)
+        | c -> c)
+      tagged
+  in
+  let entries = List.map (fun (_, _, _, e) -> e) sorted in
+  let entries, synthesized = synthesize_crashes entries in
+  let trace = Trace.create () in
+  List.iter (fun (e : Trace.entry) -> Trace.add trace ~time:e.time e.ev) entries;
+  (trace, List.rev !damage, synthesized)
+
+let parse_metrics_file path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rec loop acc =
+      match input_line ic with
+      | line -> (
+        match String.split_on_char ' ' line with
+        | "counter" :: name :: v :: _ -> (
+          match int_of_string_opt v with
+          | Some v -> loop ((name, v) :: acc)
+          | None -> loop acc)
+        | _ -> loop acc)
+      | exception End_of_file -> acc
+    in
+    let acc = loop [] in
+    close_in ic;
+    List.rev acc
+  end
+
+let sum_counters per_node =
+  List.fold_left
+    (fun acc kvs ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let cur = try List.assoc k acc with Not_found -> 0 in
+          (k, cur + v) :: List.remove_assoc k acc)
+        acc kvs)
+    [] per_node
+  |> List.sort compare
+
+let contains line sub =
+  let nl = String.length line and ns = String.length sub in
+  let rec at i = i + ns <= nl && (String.sub line i ns = sub || at (i + 1)) in
+  at 0
+
+let count_log_errors t =
+  Array.to_list t.nodes
+  |> List.fold_left
+       (fun acc node ->
+         if not (Sys.file_exists node.log_file) then acc
+         else begin
+           let ic = open_in node.log_file in
+           let rec loop n =
+             match input_line ic with
+             | line ->
+               loop
+                 (if contains line "undecodable" || contains line "inbound frame"
+                  then n + 1
+                  else n)
+             | exception End_of_file -> n
+           in
+           let n = loop 0 in
+           close_in ic;
+           acc + n
+         end)
+       0
+
+type outcome = {
+  trace : Trace.t;
+  damage : string list;
+  synthesized_crashes : int;
+  oracle : Harness.Oracle.report;
+  counters : (string * int) list;
+  proxy : Proxy.stats option;
+  transport_drops : int;
+}
+
+let reap node =
+  if node.os_pid > 0 then begin
+    (try Unix.kill node.os_pid Sys.sigkill with Unix.Unix_error _ -> ());
+    (try ignore (Unix.waitpid [] node.os_pid : int * Unix.process_status)
+     with Unix.Unix_error _ -> ());
+    node.os_pid <- -1
+  end
+
+let quit_node node =
+  match ctl_fd ~attempts:10 node with
+  | None -> reap node
+  | Some fd ->
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+    (match ctl_rpc node Wire_codec.Quit with
+    | Some Wire_codec.Bye | Some _ | None -> ());
+    ctl_drop node;
+    (* The daemon exits by itself after Bye; reap, falling back to SIGKILL
+       only if it wedges. *)
+    if node.os_pid > 0 then begin
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec wait () =
+        match Unix.waitpid [ Unix.WNOHANG ] node.os_pid with
+        | 0, _ ->
+          if Unix.gettimeofday () > deadline then reap node
+          else begin
+            Thread.delay 0.02;
+            wait ()
+          end
+        | _ -> node.os_pid <- -1
+        | exception Unix.Unix_error _ -> node.os_pid <- -1
+      in
+      wait ()
+    end
+
+let finish t =
+  if not t.alive then invalid_arg "Deployment.finish: already finished";
+  t.alive <- false;
+  Array.iter quit_node t.nodes;
+  (match t.proxy with Some p -> Proxy.close p | None -> ());
+  let trace, damage, synthesized_crashes = merge_traces t in
+  let counters =
+    sum_counters
+      (Array.to_list t.nodes |> List.map (fun n -> parse_metrics_file n.metrics_file))
+  in
+  let oracle = Harness.Oracle.check ~k:t.k ~n:t.n trace in
+  {
+    trace;
+    damage;
+    synthesized_crashes;
+    oracle;
+    counters;
+    proxy = Option.map Proxy.stats t.proxy;
+    transport_drops = count_log_errors t;
+  }
+
+let destroy t =
+  Array.iter
+    (fun node ->
+      ctl_drop node;
+      reap node)
+    t.nodes;
+  (match t.proxy with Some p -> Proxy.close p | None -> ());
+  t.alive <- false;
+  Durable.Temp.rm_rf t.root
+
+(* ------------------------------------------------------------------ *)
+(* E14                                                                 *)
+
+let counter counters name = try List.assoc name counters with Not_found -> 0
+
+let fault_plan ~with_partition =
+  {
+    Harness.Netmodel.loss = 0.05;
+    duplicate = 0.05;
+    reorder = 0.10;
+    reorder_spread = 5.;
+    partitions =
+      (if with_partition then
+         [
+           {
+             Harness.Netmodel.group = [ 0 ];
+             from_ = 250.;
+             until = 450.;
+             mode = Harness.Netmodel.Drop_packets;
+           };
+         ]
+       else []);
+  }
+
+let one_run ~n ~k ~ops ~kills ~plan ~seed report =
+  let t = launch ~n ~k ~plan ~seed () in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> if t.alive then Array.iter reap t.nodes)
+      (fun () ->
+        run_workload t ~ops:(ops / 2) ~seed;
+        List.iter
+          (fun victim ->
+            kill t ~dst:victim;
+            run_workload t ~ops:(ops / (2 * List.length kills)) ~seed:(seed + victim))
+          kills;
+        let settled = settle t in
+        let outcome = finish t in
+        if not settled then
+          Harness.Report.note report (Fmt.str "K=%d: settle timed out" k);
+        outcome)
+  in
+  let o = outcome.oracle in
+  if o.Harness.Oracle.violations <> [] then
+    failwith
+      (Fmt.str "E14: oracle violations at K=%d:@.%a" k
+         (Fmt.list ~sep:Fmt.cut Fmt.string)
+         o.Harness.Oracle.violations);
+  List.iter
+    (fun d -> Harness.Report.note report (Fmt.str "K=%d trace damage: %s" k d))
+    outcome.damage;
+  (match outcome.proxy with
+  | Some p ->
+    Harness.Report.note report
+      (Fmt.str
+         "K=%d proxy: %d forwarded, %d dropped, %d duplicated, %d delayed, %d severed"
+         k p.Proxy.forwarded p.Proxy.dropped p.Proxy.duplicated p.Proxy.delayed
+         p.Proxy.severed)
+  | None -> ());
+  Harness.Report.add_row report
+    [
+      string_of_int k;
+      string_of_int (List.length kills);
+      string_of_int (counter outcome.counters "deliveries");
+      string_of_int (counter outcome.counters "releases");
+      string_of_int (counter outcome.counters "restarts");
+      string_of_int outcome.synthesized_crashes;
+      string_of_int (counter outcome.counters "orphans_discarded");
+      string_of_int (counter outcome.counters "duplicates_dropped");
+      string_of_int (counter outcome.counters "retransmissions");
+      string_of_int (counter outcome.counters "outputs_committed");
+      string_of_int o.Harness.Oracle.lost;
+      string_of_int o.Harness.Oracle.undone;
+      string_of_int o.Harness.Oracle.max_risk;
+      string_of_int (List.length o.Harness.Oracle.violations);
+    ];
+  Durable.Temp.rm_rf t.root
+
+let experiment ?(smoke = false) () =
+  let report =
+    Harness.Report.create
+      ~title:
+        (if smoke then "E14-smoke: multi-process deployment (loopback TCP)"
+         else "E14: multi-process deployment (loopback TCP, SIGKILL + proxy faults)")
+      ~columns:
+        [
+          "K"; "kills"; "delivs"; "released"; "restarts"; "synth"; "orphans";
+          "dups"; "retrans"; "outputs"; "lost"; "undone"; "risk"; "violations";
+        ]
+  in
+  if smoke then
+    one_run ~n:3 ~k:1 ~ops:48 ~kills:[ 1 ]
+      ~plan:(fault_plan ~with_partition:false)
+      ~seed:7 report
+  else begin
+    let n = 4 in
+    List.iter
+      (fun k ->
+        one_run ~n ~k ~ops:120 ~kills:[ 1 ]
+          ~plan:(fault_plan ~with_partition:true)
+          ~seed:(100 + k) report)
+      [ 0; 2; n ]
+  end;
+  Harness.Report.note report
+    "every run: real OS processes on loopback TCP, durable stores, \
+     SIGKILL mid-workload, all traffic through the fault proxy; merged \
+     trace certified by the causality oracle";
+  report

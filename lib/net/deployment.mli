@@ -1,0 +1,96 @@
+(** Multi-process deployment: real daemons on loopback TCP.
+
+    Forks N [koptnode] daemons (the kvstore application over the durable
+    store), drives a workload through their control sockets, SIGKILLs and
+    respawns processes mid-run, optionally routes all traffic through the
+    fault-injecting {!Proxy}, then merges the per-process trace files and
+    certifies the merged trace with {!Harness.Oracle} — the same
+    end-to-end correctness argument the simulator uses, now across real
+    process boundaries, real sockets and real kills.
+
+    Trace merging: per-process files are concatenated and sorted by
+    (wall-clock time, pid, file position); the daemons share one epoch
+    ([--epoch]) so timestamps are comparable, and a causal successor is
+    always later than its cause because a real network message takes
+    strictly positive time.  A SIGKILLed daemon never wrote its
+    [Trace.Crashed] event, so the merge {e synthesises} it in front of the
+    successor incarnation's [Restarted]: the announcement in that event
+    pins the crashed incarnation, and the replay frontier pins the first
+    lost interval.  DESIGN.md §E14 spells out why this reconstruction is
+    exact. *)
+
+type t
+
+val launch :
+  n:int ->
+  k:int ->
+  ?retransmit:float ->
+  ?time_scale:float ->
+  ?plan:Harness.Netmodel.fault_plan ->
+  ?seed:int ->
+  ?root:string ->
+  ?exe:string ->
+  unit ->
+  t
+(** Start [n] daemons with degree of optimism [k] on free loopback ports.
+    With [plan], every inter-daemon connection is routed through a
+    {!Proxy} applying it.  [root] (default: a fresh temp dir) holds the
+    per-process store dirs, trace files, metrics files and daemon logs.
+    [exe] overrides daemon binary discovery ([$KOPTNODE_EXE], the build
+    tree, or a sibling of the running executable). *)
+
+val n : t -> int
+
+val config : t -> Recovery.Config.t
+(** The (hardened) configuration every daemon runs. *)
+
+val root : t -> string
+
+val inject : t -> dst:int -> App_model.Kvstore_app.msg -> unit
+(** Deliver a client message to daemon [dst] (a fresh outside-world
+    sequence number is assigned). *)
+
+val tick : t -> dst:int -> [ `Flush | `Checkpoint | `Notice ] -> unit
+
+val status : t -> dst:int -> Wire_codec.status option
+(** Poll a daemon's control socket; [None] if it cannot be reached. *)
+
+val kill : t -> dst:int -> unit
+(** SIGKILL daemon [dst], wait {!Recovery.Config.real_restart_delay}, and
+    respawn it over the same store directory — the successor incarnation
+    recovers from whatever the killed one had made durable. *)
+
+val run_workload : t -> ops:int -> seed:int -> unit
+(** Inject a deterministic kvstore workload (Puts with interleaved Gets)
+    round-robin across the cluster. *)
+
+val settle : ?timeout:float -> t -> bool
+(** Poll until every daemon is up with empty protocol buffers, an idle
+    mailbox and a delivery count stable across consecutive polls; [false]
+    on [timeout] (default 30 s). *)
+
+type outcome = {
+  trace : Recovery.Trace.t;  (** merged, globally ordered *)
+  damage : string list;  (** torn-tail reports from trace-file loads *)
+  synthesized_crashes : int;  (** [Crashed] events reconstructed at merge *)
+  oracle : Harness.Oracle.report;
+  counters : (string * int) list;  (** summed daemon metrics counters *)
+  proxy : Proxy.stats option;
+  transport_drops : int;  (** frames daemons reported undecodable (from logs) *)
+}
+
+val finish : t -> outcome
+(** Drain every daemon (Quit → metrics + final trace sync), reap the
+    processes, stop the proxy, merge and certify.  The deployment is dead
+    afterwards; its [root] is left on disk for inspection. *)
+
+val destroy : t -> unit
+(** Force-kill anything still running and delete [root]. *)
+
+(** {1 Experiment / smoke entry points} *)
+
+val experiment : ?smoke:bool -> unit -> Harness.Report.t
+(** E14: oracle-certified multi-process runs across K, with a mid-run
+    SIGKILL and a proxy fault plan.  [smoke] shrinks it to one small
+    oracle-certified run (one kill) for CI.
+    @raise Failure on any oracle violation. *)

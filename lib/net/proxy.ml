@@ -1,0 +1,295 @@
+type stats = {
+  forwarded : int;
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  severed : int;
+}
+
+type route = { dst : int; listen_port : int; target_port : int }
+
+type t = {
+  routes : route list;
+  plan : Harness.Netmodel.fault_plan;
+  rng : Sim.Rng.t;
+  rng_mutex : Mutex.t;
+  time_scale : float;
+  epoch : float;
+  listeners : Unix.file_descr list;
+  mutable conns : Unix.file_descr list;
+  conns_mutex : Mutex.t;
+  counters : int array; (* forwarded, dropped, duplicated, delayed, severed *)
+  counters_mutex : Mutex.t;
+  mutable stopping : bool;
+}
+
+let c_forwarded = 0
+
+let c_dropped = 1
+
+let c_duplicated = 2
+
+let c_delayed = 3
+
+let c_severed = 4
+
+let bump t i =
+  Mutex.lock t.counters_mutex;
+  t.counters.(i) <- t.counters.(i) + 1;
+  Mutex.unlock t.counters_mutex
+
+let draw t f =
+  Mutex.lock t.rng_mutex;
+  let v = f t.rng in
+  Mutex.unlock t.rng_mutex;
+  v
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let track t fd =
+  Mutex.lock t.conns_mutex;
+  t.conns <- fd :: t.conns;
+  Mutex.unlock t.conns_mutex
+
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec loop off =
+    if off = n then Some (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> None
+      | k -> loop (off + k)
+      | exception Unix.Unix_error _ -> None
+  in
+  loop 0
+
+let write_all fd s =
+  let buf = Bytes.unsafe_of_string s in
+  let n = Bytes.length buf in
+  let rec loop off =
+    if off = n then true
+    else
+      match Unix.write fd buf off (n - off) with
+      | 0 -> false
+      | k -> loop (off + k)
+      | exception Unix.Unix_error _ -> false
+  in
+  loop 0
+
+(* Abstract-time clock shared with the fault plan's partition windows. *)
+let abstract_now t = (Unix.gettimeofday () -. t.epoch) /. t.time_scale
+
+(* The partition (if any) currently cutting src from dst. *)
+let active_partition t ~src ~dst =
+  let now = abstract_now t in
+  List.find_opt
+    (fun (p : Harness.Netmodel.partition) ->
+      p.from_ <= now && now < p.until
+      && List.mem src p.group <> List.mem dst p.group)
+    t.plan.partitions
+
+let read_frame fd =
+  match read_exact fd Wire_codec.header_bytes with
+  | None -> None
+  | Some header -> (
+    match Wire_codec.parse_header header ~pos:0 with
+    | Error _ -> None
+    | Ok (_, len) -> (
+      match if len = 0 then Some "" else read_exact fd len with
+      | None -> None
+      | Some payload ->
+        (* Forward verbatim; the endpoint's CRC check is the arbiter of
+           integrity, the proxy only needs the framing to cut the stream
+           into faultable units. *)
+        Some (header ^ payload)))
+
+(* Relay frames client -> server, applying per-frame faults. *)
+let pump_frames t ~src ~dst ~client ~server =
+  let rec loop () =
+    if t.stopping then ()
+    else
+      match read_frame client with
+      | None ->
+        close_quiet client;
+        close_quiet server
+      | Some frame ->
+        let forward =
+          match active_partition t ~src ~dst with
+          | Some { mode = Harness.Netmodel.Drop_packets; _ } ->
+            bump t c_dropped;
+            false
+          | Some ({ mode = Harness.Netmodel.Queue_packets; _ } as p) ->
+            (* Hold the frame (and hence the whole stream suffix) until
+               the partition heals, then deliver. *)
+            let heal = t.epoch +. (p.until *. t.time_scale) in
+            let wait = heal -. Unix.gettimeofday () in
+            if wait > 0. then Thread.delay wait;
+            bump t c_delayed;
+            true
+          | None ->
+            if draw t (fun rng -> Sim.Rng.bernoulli rng ~p:t.plan.loss) then begin
+              bump t c_dropped;
+              false
+            end
+            else begin
+              (if t.plan.reorder > 0.
+               && draw t (fun rng -> Sim.Rng.bernoulli rng ~p:t.plan.reorder)
+              then begin
+                let d =
+                  draw t (fun rng ->
+                      Sim.Rng.float rng
+                        (Float.max 1e-9 (t.plan.reorder_spread *. t.time_scale)))
+                in
+                bump t c_delayed;
+                Thread.delay d
+              end);
+              true
+            end
+        in
+        if forward then begin
+          let dup =
+            t.plan.duplicate > 0.
+            && draw t (fun rng -> Sim.Rng.bernoulli rng ~p:t.plan.duplicate)
+          in
+          if dup then bump t c_duplicated;
+          let payload = if dup then frame ^ frame else frame in
+          if write_all server payload then begin
+            bump t c_forwarded;
+            loop ()
+          end
+          else begin
+            close_quiet client;
+            close_quiet server
+          end
+        end
+        else loop ()
+  in
+  loop ()
+
+(* Drain server -> client bytes (the acceptor side of a transport
+   connection never writes, but a relay must not wedge if it does). *)
+let pump_raw client server =
+  let buf = Bytes.create 4096 in
+  let rec loop () =
+    match Unix.read server buf 0 4096 with
+    | 0 | (exception Unix.Unix_error _) ->
+      close_quiet client;
+      close_quiet server
+    | n -> if write_all client (Bytes.sub_string buf 0 n) then loop ()
+  in
+  loop ()
+
+let handle_conn t route client =
+  track t client;
+  match read_frame client with
+  | Some frame
+    when String.length frame > Wire_codec.header_bytes
+         && Char.code frame.[3] = Wire_codec.hello_kind -> (
+    let body =
+      String.sub frame Wire_codec.header_bytes
+        (String.length frame - Wire_codec.header_bytes)
+    in
+    match Wire_codec.Prim.run Wire_codec.Prim.get_int body with
+    | Error _ -> close_quiet client
+    | Ok src -> (
+      (* A connection attempted across an active dropping partition is
+         severed at the hello; the dialer's backoff keeps retrying until
+         the window closes. *)
+      match active_partition t ~src ~dst:route.dst with
+      | Some { mode = Harness.Netmodel.Drop_packets; _ } ->
+        bump t c_severed;
+        close_quiet client
+      | _ -> (
+        let server = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        match
+          Unix.connect server
+            (Unix.ADDR_INET (Unix.inet_addr_loopback, route.target_port));
+          Unix.setsockopt server Unix.TCP_NODELAY true
+        with
+        | () ->
+          track t server;
+          if write_all server frame then begin
+            ignore (Thread.create (fun () -> pump_raw client server) () : Thread.t);
+            pump_frames t ~src ~dst:route.dst ~client ~server
+          end
+          else begin
+            close_quiet client;
+            close_quiet server
+          end
+        | exception Unix.Unix_error _ ->
+          close_quiet server;
+          close_quiet client)))
+  | _ -> close_quiet client (* not a transport stream: refuse *)
+
+let accept_loop t route listener =
+  let rec loop () =
+    match Unix.accept listener with
+    | fd, _ ->
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      ignore (Thread.create (fun () -> handle_conn t route fd) () : Thread.t);
+      loop ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ()
+
+let start ~routes ?(plan = Harness.Netmodel.benign) ?(seed = 0)
+    ?(time_scale = Recovery.Config.default_time_scale) () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let routes =
+    List.map
+      (fun (dst, listen_port, target_port) -> { dst; listen_port; target_port })
+      routes
+  in
+  let listeners =
+    List.map
+      (fun r ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, r.listen_port));
+        Unix.listen fd 64;
+        fd)
+      routes
+  in
+  let t =
+    {
+      routes;
+      plan;
+      rng = Sim.Rng.create seed;
+      rng_mutex = Mutex.create ();
+      time_scale;
+      epoch = Unix.gettimeofday ();
+      listeners;
+      conns = [];
+      conns_mutex = Mutex.create ();
+      counters = Array.make 5 0;
+      counters_mutex = Mutex.create ();
+      stopping = false;
+    }
+  in
+  List.iter2
+    (fun route listener ->
+      ignore (Thread.create (fun () -> accept_loop t route listener) () : Thread.t))
+    t.routes listeners;
+  t
+
+let stats t =
+  Mutex.lock t.counters_mutex;
+  let s =
+    {
+      forwarded = t.counters.(c_forwarded);
+      dropped = t.counters.(c_dropped);
+      duplicated = t.counters.(c_duplicated);
+      delayed = t.counters.(c_delayed);
+      severed = t.counters.(c_severed);
+    }
+  in
+  Mutex.unlock t.counters_mutex;
+  s
+
+let close t =
+  t.stopping <- true;
+  List.iter close_quiet t.listeners;
+  Mutex.lock t.conns_mutex;
+  List.iter close_quiet t.conns;
+  t.conns <- [];
+  Mutex.unlock t.conns_mutex

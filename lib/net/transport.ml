@@ -1,0 +1,289 @@
+type stats = {
+  frames_sent : int;
+  frames_dropped : int;
+  frames_received : int;
+  decode_errors : int;
+  reconnects : int;
+}
+
+type peer = {
+  pid : int;
+  port : int;
+  queue : string Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable sock : Unix.file_descr option;
+}
+
+type t = {
+  self : int;
+  listen_sock : Unix.file_descr;
+  peers : peer list;
+  on_frame : src:int -> kind:int -> body:string -> unit;
+  on_error : string -> unit;
+  max_queue : int;
+  backoff_base : float;
+  backoff_cap : float;
+  mutable stopping : bool;
+  counters : int array; (* sent, dropped, received, decode_errors, reconnects *)
+  counters_mutex : Mutex.t;
+}
+
+let c_sent = 0
+
+let c_dropped = 1
+
+let c_received = 2
+
+let c_decode_errors = 3
+
+let c_reconnects = 4
+
+let bump t i =
+  Mutex.lock t.counters_mutex;
+  t.counters.(i) <- t.counters.(i) + 1;
+  Mutex.unlock t.counters_mutex
+
+let loopback port = Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+(* Read exactly [n] bytes; [None] on EOF or any socket error (the
+   connection is finished either way). *)
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec loop off =
+    if off = n then Some (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> None
+      | k -> loop (off + k)
+      | exception Unix.Unix_error _ -> None
+  in
+  loop 0
+
+let write_all fd s =
+  let buf = Bytes.unsafe_of_string s in
+  let n = Bytes.length buf in
+  let rec loop off =
+    if off = n then true
+    else
+      match Unix.write fd buf off (n - off) with
+      | 0 -> false
+      | k -> loop (off + k)
+      | exception Unix.Unix_error _ -> false
+  in
+  loop 0
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* One inbound connection: a Hello frame naming the dialer, then a stream
+   of frames.  Any framing or checksum error is reported and kills the
+   connection — the dialer's backoff loop brings up a fresh one. *)
+let read_frame t fd =
+  match read_exact fd Wire_codec.header_bytes with
+  | None -> None
+  | Some header -> (
+    match Wire_codec.parse_header header ~pos:0 with
+    | Error e ->
+      bump t c_decode_errors;
+      t.on_error (Fmt.str "inbound frame header: %s" e);
+      None
+    | Ok (kind, len) -> (
+      match if len = 0 then Some "" else read_exact fd len with
+      | None -> None
+      | Some payload -> (
+        match Wire_codec.check_frame ~header ~payload with
+        | Error e ->
+          bump t c_decode_errors;
+          t.on_error (Fmt.str "inbound frame: %s" e);
+          None
+        | Ok () -> Some (kind, payload))))
+
+let reader_loop t fd =
+  let src =
+    match read_frame t fd with
+    | Some (kind, payload) when kind = Wire_codec.hello_kind ->
+      (* The hello payload is a bare pid (see Wire_codec.encode_control). *)
+      Result.to_option
+        (Wire_codec.Prim.run Wire_codec.Prim.get_int payload)
+    | Some _ ->
+      bump t c_decode_errors;
+      t.on_error "inbound connection did not start with Hello";
+      None
+    | None -> None
+  in
+  match src with
+  | None -> close_quiet fd
+  | Some src ->
+    let rec loop () =
+      match read_frame t fd with
+      | None -> close_quiet fd
+      | Some (kind, body) ->
+        bump t c_received;
+        (try t.on_frame ~src ~kind ~body
+         with exn ->
+           t.on_error (Fmt.str "frame handler raised: %s" (Printexc.to_string exn)));
+        loop ()
+    in
+    loop ()
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listen_sock with
+    | fd, _ ->
+      ignore (Thread.create (reader_loop t) fd : Thread.t);
+      loop ()
+    | exception Unix.Unix_error _ -> () (* listener closed: shutting down *)
+  in
+  loop ()
+
+let hello_frame self =
+  Wire_codec.encode_control App_model.App_intf.string_wire_format
+    (Wire_codec.Hello { pid = self })
+
+(* Dial with exponential backoff until connected or shutdown. *)
+let rec dial t peer ~backoff ~first =
+  if t.stopping then None
+  else begin
+    if not first then bump t c_reconnects;
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match
+      Unix.connect fd (loopback peer.port);
+      Unix.setsockopt fd Unix.TCP_NODELAY true
+    with
+    | () ->
+      if write_all fd (hello_frame t.self) then Some fd
+      else begin
+        close_quiet fd;
+        Thread.delay backoff;
+        dial t peer ~backoff:(Float.min (2. *. backoff) t.backoff_cap) ~first:false
+      end
+    | exception Unix.Unix_error _ ->
+      close_quiet fd;
+      Thread.delay backoff;
+      dial t peer ~backoff:(Float.min (2. *. backoff) t.backoff_cap) ~first:false
+  end
+
+let writer_loop t peer =
+  let first = ref true in
+  let rec loop () =
+    Mutex.lock peer.mutex;
+    while Queue.is_empty peer.queue && not t.stopping do
+      Condition.wait peer.nonempty peer.mutex
+    done;
+    if t.stopping then Mutex.unlock peer.mutex
+    else begin
+      let frame = Queue.pop peer.queue in
+      Mutex.unlock peer.mutex;
+      let rec send_one attempts =
+        if t.stopping then ()
+        else
+          match peer.sock with
+          | Some fd ->
+            if write_all fd frame then bump t c_sent
+            else begin
+              (* Broken connection: drop it and retry the frame once over a
+                 fresh one; a frame cut mid-write is discarded by the
+                 receiver's checksum, so the retry can at worst duplicate —
+                 which the protocol suppresses by identity. *)
+              close_quiet fd;
+              peer.sock <- None;
+              if attempts < 2 then send_one (attempts + 1)
+              else bump t c_dropped
+            end
+          | None -> (
+            match dial t peer ~backoff:t.backoff_base ~first:!first with
+            | None -> bump t c_dropped (* shutdown *)
+            | Some fd ->
+              first := false;
+              peer.sock <- Some fd;
+              send_one attempts)
+      in
+      send_one 0;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~self ~listen_port ~peers ~on_frame ?(on_error = fun _ -> ())
+    ?(max_queue = 1024) ?(backoff_base = 0.05) ?(backoff_cap = 2.) () =
+  (* A peer SIGKILLed mid-write must surface as EPIPE (handled per write),
+     not kill this process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_sock Unix.SO_REUSEADDR true;
+  Unix.bind listen_sock (loopback listen_port);
+  Unix.listen listen_sock 64;
+  let peers =
+    List.map
+      (fun (pid, port) ->
+        {
+          pid;
+          port;
+          queue = Queue.create ();
+          mutex = Mutex.create ();
+          nonempty = Condition.create ();
+          sock = None;
+        })
+      peers
+  in
+  let t =
+    {
+      self;
+      listen_sock;
+      peers;
+      on_frame;
+      on_error;
+      max_queue;
+      backoff_base;
+      backoff_cap;
+      stopping = false;
+      counters = Array.make 5 0;
+      counters_mutex = Mutex.create ();
+    }
+  in
+  ignore (Thread.create accept_loop t : Thread.t);
+  List.iter (fun peer -> ignore (Thread.create (writer_loop t) peer : Thread.t)) peers;
+  t
+
+let send t ~dst frame =
+  match List.find_opt (fun p -> p.pid = dst) t.peers with
+  | None -> bump t c_dropped
+  | Some peer ->
+    Mutex.lock peer.mutex;
+    if Queue.length peer.queue >= t.max_queue then bump t c_dropped
+    else begin
+      Queue.add frame peer.queue;
+      Condition.signal peer.nonempty
+    end;
+    Mutex.unlock peer.mutex
+
+let broadcast t frame = List.iter (fun p -> send t ~dst:p.pid frame) t.peers
+
+let stats t =
+  Mutex.lock t.counters_mutex;
+  let s =
+    {
+      frames_sent = t.counters.(c_sent);
+      frames_dropped = t.counters.(c_dropped);
+      frames_received = t.counters.(c_received);
+      decode_errors = t.counters.(c_decode_errors);
+      reconnects = t.counters.(c_reconnects);
+    }
+  in
+  Mutex.unlock t.counters_mutex;
+  s
+
+let close t =
+  t.stopping <- true;
+  close_quiet t.listen_sock;
+  List.iter
+    (fun peer ->
+      Mutex.lock peer.mutex;
+      (match peer.sock with
+      | Some fd ->
+        close_quiet fd;
+        peer.sock <- None
+      | None -> ());
+      Condition.broadcast peer.nonempty;
+      Mutex.unlock peer.mutex)
+    t.peers

@@ -1,0 +1,62 @@
+(** Loopback TCP transport between recovery daemons.
+
+    One listening socket per process; for each peer the transport keeps a
+    single {e outbound} connection (dialer writes, acceptor reads), so an
+    N-process cluster carries at most N·(N−1) connections.  The first
+    frame on every connection is a [Hello] identifying the dialer.
+
+    Reliability model: the K-optimistic protocol needs {e no} FIFO
+    channels and tolerates loss and duplication (duplicates are suppressed
+    by identity, loss is healed by the sender's retransmission timer), so
+    the transport is allowed to be simple and lossy at the edges —
+    per-peer outbound queues are bounded (overflow drops the newest frame
+    and counts it), a dead peer is re-dialled with exponential backoff,
+    and frames queued across a reconnect are delivered late, i.e.
+    {e reconnection reorders traffic}.  PROTOCOL.md documents why all of
+    this is legal.
+
+    Decode and checksum failures on inbound frames are counted and
+    reported through [on_error]; the damaged connection is closed (the
+    dialer re-establishes it) — a corrupt frame is never delivered and
+    never silently swallowed. *)
+
+type stats = {
+  frames_sent : int;
+  frames_dropped : int;  (** outbound queue overflow *)
+  frames_received : int;
+  decode_errors : int;
+  reconnects : int;  (** dial attempts after the first per peer *)
+}
+
+type t
+
+val create :
+  self:int ->
+  listen_port:int ->
+  peers:(int * int) list ->
+  on_frame:(src:int -> kind:int -> body:string -> unit) ->
+  ?on_error:(string -> unit) ->
+  ?max_queue:int ->
+  ?backoff_base:float ->
+  ?backoff_cap:float ->
+  unit ->
+  t
+(** [peers] maps peer pid to the TCP port to dial (the peer's own listen
+    port, or a fault proxy standing in front of it).  [on_frame] is called
+    from reader threads — the callback must be thread-safe.  [max_queue]
+    (default 1024) bounds each peer's outbound queue.  Backoff starts at
+    [backoff_base] (default 0.05 s) and doubles to [backoff_cap] (default
+    2 s). *)
+
+val send : t -> dst:int -> string -> unit
+(** Enqueue a full frame for [dst]; drops (and counts) on overflow or
+    unknown destination. *)
+
+val broadcast : t -> string -> unit
+(** [send] to every peer. *)
+
+val stats : t -> stats
+
+val close : t -> unit
+(** Stop accepting, close every socket and wake the writer threads.
+    Reader threads exit as their sockets die. *)

@@ -1,0 +1,512 @@
+open Depend
+module Wire = Recovery.Wire
+module App_intf = App_model.App_intf
+
+let version = 1
+
+let header_bytes = 12
+
+let max_frame_payload = 16 * 1024 * 1024
+
+let magic0 = 'K'
+
+let magic1 = 'W'
+
+(* ------------------------------------------------------------------ *)
+(* Primitives                                                          *)
+
+module Prim = struct
+  let put_int b v =
+    let s = Bytes.create 8 in
+    Bytes.set_int64_le s 0 (Int64.of_int v);
+    Buffer.add_bytes b s
+
+  let put_float b v =
+    let s = Bytes.create 8 in
+    Bytes.set_int64_le s 0 (Int64.bits_of_float v);
+    Buffer.add_bytes b s
+
+  let put_string b s =
+    put_int b (String.length s);
+    Buffer.add_string b s
+
+  let put_bool b v = Buffer.add_char b (if v then '\x01' else '\x00')
+
+  let put_entry b (e : Entry.t) =
+    put_int b e.Entry.inc;
+    put_int b e.Entry.sii
+
+  let put_list b put xs =
+    put_int b (List.length xs);
+    List.iter (put b) xs
+
+  let put_option b put = function
+    | None -> put_bool b false
+    | Some v ->
+      put_bool b true;
+      put b v
+
+  let put_identity b (id : Wire.identity) =
+    put_int b id.Wire.origin;
+    put_entry b id.Wire.origin_interval;
+    put_int b id.Wire.idx
+
+  let put_announcement b (a : Wire.announcement) =
+    put_int b a.Wire.from_;
+    put_entry b a.Wire.ending;
+    put_bool b a.Wire.failure
+
+  let put_output_id b (o : Wire.output_id) =
+    put_entry b o.Wire.out_interval;
+    put_int b o.Wire.out_idx
+
+  type cursor = { s : string; mutable pos : int }
+
+  let cursor s = { s; pos = 0 }
+
+  let finished c = c.pos = String.length c.s
+
+  let fail _c msg = failwith msg
+
+  let need c n =
+    if c.pos + n > String.length c.s then
+      failwith (Fmt.str "short payload: need %d bytes at offset %d of %d" n c.pos
+                  (String.length c.s))
+
+  let get_int c =
+    need c 8;
+    let v = Int64.to_int (String.get_int64_le c.s c.pos) in
+    c.pos <- c.pos + 8;
+    v
+
+  let get_float c =
+    need c 8;
+    let v = Int64.float_of_bits (String.get_int64_le c.s c.pos) in
+    c.pos <- c.pos + 8;
+    v
+
+  let get_string c =
+    let len = get_int c in
+    if len < 0 then failwith "negative string length";
+    need c len;
+    let v = String.sub c.s c.pos len in
+    c.pos <- c.pos + len;
+    v
+
+  let get_u8 c =
+    need c 1;
+    let v = Char.code c.s.[c.pos] in
+    c.pos <- c.pos + 1;
+    v
+
+  let get_bool c =
+    need c 1;
+    let v =
+      match c.s.[c.pos] with
+      | '\x00' -> false
+      | '\x01' -> true
+      | ch -> failwith (Fmt.str "bad bool byte %#x" (Char.code ch))
+    in
+    c.pos <- c.pos + 1;
+    v
+
+  let get_entry c =
+    let inc = get_int c in
+    let sii = get_int c in
+    Entry.make ~inc ~sii
+
+  let get_list c get =
+    let n = get_int c in
+    if n < 0 || n > max_frame_payload then failwith "bad list length";
+    List.init n (fun _ -> get c)
+
+  let get_option c get = if get_bool c then Some (get c) else None
+
+  let get_identity c =
+    let origin = get_int c in
+    let origin_interval = get_entry c in
+    let idx = get_int c in
+    { Wire.origin; origin_interval; idx }
+
+  let get_announcement c =
+    let from_ = get_int c in
+    let ending = get_entry c in
+    let failure = get_bool c in
+    { Wire.from_; ending; failure }
+
+  let get_output_id c =
+    let out_interval = get_entry c in
+    let out_idx = get_int c in
+    { Wire.out_interval; out_idx }
+
+  let run reader s =
+    match
+      let c = cursor s in
+      let v = reader c in
+      if not (finished c) then
+        failwith (Fmt.str "trailing bytes: %d consumed of %d" c.pos
+                    (String.length s));
+      v
+    with
+    | v -> Ok v
+    | exception Failure msg -> Error msg
+end
+
+open Prim
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+
+let frame ~kind payload =
+  if kind < 0 || kind > 0xFF then invalid_arg "Wire_codec.frame: kind out of range";
+  let len = String.length payload in
+  if len > max_frame_payload then invalid_arg "Wire_codec.frame: payload too large";
+  let head = Bytes.create header_bytes in
+  Bytes.set head 0 magic0;
+  Bytes.set head 1 magic1;
+  Bytes.set head 2 (Char.chr version);
+  Bytes.set head 3 (Char.chr kind);
+  Bytes.set_int32_le head 4 (Int32.of_int len);
+  let crc =
+    Durable.Codec.crc32
+      ~init:(Durable.Codec.crc32 (Bytes.unsafe_to_string head) ~pos:2 ~len:6)
+      payload ~pos:0 ~len
+  in
+  Bytes.set_int32_le head 8 (Int32.of_int crc);
+  Bytes.unsafe_to_string head ^ payload
+
+let get_le32 s pos = Int32.to_int (String.get_int32_le s pos) land 0xFFFFFFFF
+
+let parse_header s ~pos =
+  if pos < 0 || pos + header_bytes > String.length s then Error "short frame header"
+  else if s.[pos] <> magic0 || s.[pos + 1] <> magic1 then
+    Error
+      (Fmt.str "bad frame magic %#x %#x" (Char.code s.[pos]) (Char.code s.[pos + 1]))
+  else if Char.code s.[pos + 2] <> version then
+    Error (Fmt.str "unsupported wire version %d (want %d)" (Char.code s.[pos + 2])
+             version)
+  else begin
+    let kind = Char.code s.[pos + 3] in
+    let len = get_le32 s (pos + 4) in
+    if len > max_frame_payload then Error (Fmt.str "frame payload length %d too large" len)
+    else Ok (kind, len)
+  end
+
+let frame_crc ~header ~pos ~payload =
+  Durable.Codec.crc32
+    ~init:(Durable.Codec.crc32 header ~pos:(pos + 2) ~len:6)
+    payload ~pos:0 ~len:(String.length payload)
+
+let check_frame ~header ~payload =
+  match parse_header header ~pos:0 with
+  | Error _ as e -> e
+  | Ok (_, len) ->
+    if len <> String.length payload then Error "frame length mismatch"
+    else begin
+      let expect = get_le32 header 8 in
+      if frame_crc ~header ~pos:0 ~payload <> expect then
+        Error "frame checksum mismatch"
+      else Ok ()
+    end
+
+let decode_frame s ~pos =
+  match parse_header s ~pos with
+  | Error _ as e -> e
+  | Ok (kind, len) ->
+    if pos + header_bytes + len > String.length s then Error "truncated frame"
+    else begin
+      let payload = String.sub s (pos + header_bytes) len in
+      let expect = get_le32 s (pos + 8) in
+      if frame_crc ~header:s ~pos ~payload <> expect then
+        Error "frame checksum mismatch"
+      else Ok (kind, payload, pos + header_bytes + len)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Protocol packets                                                    *)
+
+let k_hello = 1
+
+let k_app = 2
+
+let k_ann = 3
+
+let k_notice = 4
+
+let k_ack = 5
+
+let k_flush_request = 6
+
+let k_dep_query = 7
+
+let k_dep_reply = 8
+
+let k_inject = 16
+
+let k_tick_flush = 17
+
+let k_tick_checkpoint = 18
+
+let k_tick_notice = 19
+
+let k_crash = 20
+
+let k_status_req = 21
+
+let k_status = 22
+
+let k_quit = 23
+
+let k_bye = 24
+
+let hello_kind = k_hello
+
+let is_packet_kind k = k >= k_app && k <= k_dep_reply
+
+let is_control_kind k = k = k_hello || (k >= k_inject && k <= k_bye)
+
+let packet_kind_code : type msg. msg Wire.packet -> int = function
+  | Wire.App _ -> k_app
+  | Wire.Ann _ -> k_ann
+  | Wire.Notice _ -> k_notice
+  | Wire.Ack _ -> k_ack
+  | Wire.Flush_request _ -> k_flush_request
+  | Wire.Dep_query _ -> k_dep_query
+  | Wire.Dep_reply _ -> k_dep_reply
+
+let put_dep b (pid, entry) =
+  put_int b pid;
+  put_entry b entry
+
+let get_dep c =
+  let pid = get_int c in
+  let entry = get_entry c in
+  (pid, entry)
+
+let put_dep_info b = function
+  | Wire.Gone -> put_bool b false
+  | Wire.Info { stable; parents } ->
+    put_bool b true;
+    put_bool b stable;
+    put_list b put_dep parents
+
+let get_dep_info c =
+  if not (get_bool c) then Wire.Gone
+  else begin
+    let stable = get_bool c in
+    let parents = get_list c get_dep in
+    Wire.Info { stable; parents }
+  end
+
+let encode_packet (wf : 'msg App_intf.wire_format) (p : 'msg Wire.packet) =
+  let b = Buffer.create 64 in
+  (match p with
+  | Wire.App m ->
+    put_identity b m.Wire.id;
+    put_int b m.Wire.src;
+    put_int b m.Wire.dst;
+    put_entry b m.Wire.send_interval;
+    put_list b put_dep m.Wire.dep;
+    put_string b (wf.App_intf.write m.Wire.payload)
+  | Wire.Ann a -> put_announcement b a
+  | Wire.Notice n ->
+    put_int b n.Wire.from_;
+    put_list b
+      (fun b (pid, entries) ->
+        put_int b pid;
+        put_list b put_entry entries)
+      n.Wire.rows;
+    put_list b put_announcement n.Wire.anns
+  | Wire.Ack a ->
+    put_int b a.Wire.from_;
+    put_int b a.Wire.to_;
+    put_list b put_identity a.Wire.ids
+  | Wire.Flush_request { from_ } -> put_int b from_
+  | Wire.Dep_query { from_; intervals } ->
+    put_int b from_;
+    put_list b put_entry intervals
+  | Wire.Dep_reply { from_; infos } ->
+    put_int b from_;
+    put_list b
+      (fun b (interval, info) ->
+        put_entry b interval;
+        put_dep_info b info)
+      infos);
+  frame ~kind:(packet_kind_code p) (Buffer.contents b)
+
+let decode_packet_body (wf : 'msg App_intf.wire_format) ~kind body =
+  if kind = k_app then
+    (* Two layers can reject an app message: the generic reader and the
+       application's own payload format.  Both surface as [Error]. *)
+    Result.bind
+      (run
+         (fun c ->
+           let id = get_identity c in
+           let src = get_int c in
+           let dst = get_int c in
+           let send_interval = get_entry c in
+           let dep = get_list c get_dep in
+           let payload = get_string c in
+           (id, src, dst, send_interval, dep, payload))
+         body)
+      (fun (id, src, dst, send_interval, dep, payload) ->
+        match wf.App_intf.read payload with
+        | Error e -> Error (Fmt.str "app payload: %s" e)
+        | Ok payload ->
+          Ok (Wire.App { Wire.id; src; dst; send_interval; dep; payload }))
+  else
+    run
+      (fun c ->
+        if kind = k_ann then Wire.Ann (get_announcement c)
+        else if kind = k_notice then begin
+          let from_ = get_int c in
+          let rows =
+            get_list c (fun c ->
+                let pid = get_int c in
+                let entries = get_list c get_entry in
+                (pid, entries))
+          in
+          let anns = get_list c get_announcement in
+          Wire.Notice { Wire.from_; rows; anns }
+        end
+        else if kind = k_ack then begin
+          let from_ = get_int c in
+          let to_ = get_int c in
+          let ids = get_list c get_identity in
+          Wire.Ack { Wire.from_; to_; ids }
+        end
+        else if kind = k_flush_request then Wire.Flush_request { from_ = get_int c }
+        else if kind = k_dep_query then begin
+          let from_ = get_int c in
+          let intervals = get_list c get_entry in
+          Wire.Dep_query { from_; intervals }
+        end
+        else if kind = k_dep_reply then begin
+          let from_ = get_int c in
+          let infos =
+            get_list c (fun c ->
+                let interval = get_entry c in
+                let info = get_dep_info c in
+                (interval, info))
+          in
+          Wire.Dep_reply { from_; infos }
+        end
+        else fail c (Fmt.str "unknown packet kind %d" kind))
+      body
+
+let decode_packet wf s =
+  match decode_frame s ~pos:0 with
+  | Error _ as e -> e
+  | Ok (kind, body, next) ->
+    if next <> String.length s then Error "trailing bytes after frame"
+    else decode_packet_body wf ~kind body
+
+(* ------------------------------------------------------------------ *)
+(* Control channel                                                     *)
+
+type status = {
+  st_up : bool;
+  st_pending : int;
+  st_send_buf : int;
+  st_recv_buf : int;
+  st_out_buf : int;
+  st_deliveries : int;
+  st_trace_len : int;
+  st_current : Entry.t;
+}
+
+type 'msg control =
+  | Hello of { pid : int }
+  | Inject of { seq : int; payload : 'msg }
+  | Tick of [ `Flush | `Checkpoint | `Notice ]
+  | Crash
+  | Status_req
+  | Status of status
+  | Quit
+  | Bye
+
+let control_kind_code : type msg. msg control -> int = function
+  | Hello _ -> k_hello
+  | Inject _ -> k_inject
+  | Tick `Flush -> k_tick_flush
+  | Tick `Checkpoint -> k_tick_checkpoint
+  | Tick `Notice -> k_tick_notice
+  | Crash -> k_crash
+  | Status_req -> k_status_req
+  | Status _ -> k_status
+  | Quit -> k_quit
+  | Bye -> k_bye
+
+let encode_control (wf : 'msg App_intf.wire_format) (c : 'msg control) =
+  let b = Buffer.create 32 in
+  (match c with
+  | Hello { pid } -> put_int b pid
+  | Inject { seq; payload } ->
+    put_int b seq;
+    put_string b (wf.App_intf.write payload)
+  | Tick _ | Crash | Status_req | Quit | Bye -> ()
+  | Status s ->
+    put_bool b s.st_up;
+    put_int b s.st_pending;
+    put_int b s.st_send_buf;
+    put_int b s.st_recv_buf;
+    put_int b s.st_out_buf;
+    put_int b s.st_deliveries;
+    put_int b s.st_trace_len;
+    put_entry b s.st_current);
+  frame ~kind:(control_kind_code c) (Buffer.contents b)
+
+let decode_control_body (wf : 'msg App_intf.wire_format) ~kind body =
+  if kind = k_inject then
+    Result.bind
+      (run
+         (fun c ->
+           let seq = get_int c in
+           let payload = get_string c in
+           (seq, payload))
+         body)
+      (fun (seq, payload) ->
+        match wf.App_intf.read payload with
+        | Error e -> Error (Fmt.str "inject payload: %s" e)
+        | Ok payload -> Ok (Inject { seq; payload }))
+  else
+    run
+      (fun c ->
+        if kind = k_hello then Hello { pid = get_int c }
+        else if kind = k_tick_flush then Tick `Flush
+        else if kind = k_tick_checkpoint then Tick `Checkpoint
+        else if kind = k_tick_notice then Tick `Notice
+        else if kind = k_crash then Crash
+        else if kind = k_status_req then Status_req
+        else if kind = k_status then begin
+          let st_up = get_bool c in
+          let st_pending = get_int c in
+          let st_send_buf = get_int c in
+          let st_recv_buf = get_int c in
+          let st_out_buf = get_int c in
+          let st_deliveries = get_int c in
+          let st_trace_len = get_int c in
+          let st_current = get_entry c in
+          Status
+            {
+              st_up;
+              st_pending;
+              st_send_buf;
+              st_recv_buf;
+              st_out_buf;
+              st_deliveries;
+              st_trace_len;
+              st_current;
+            }
+        end
+        else if kind = k_quit then Quit
+        else if kind = k_bye then Bye
+        else fail c (Fmt.str "unknown control kind %d" kind))
+      body
+
+let decode_control wf s =
+  match decode_frame s ~pos:0 with
+  | Error _ as e -> e
+  | Ok (kind, body, next) ->
+    if next <> String.length s then Error "trailing bytes after frame"
+    else decode_control_body wf ~kind body

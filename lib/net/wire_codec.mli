@@ -1,0 +1,188 @@
+(** Byte-level wire format of the networking subsystem.
+
+    Everything that crosses a socket — protocol packets between daemons,
+    control traffic between the deployment driver and a daemon, and the
+    trace entries a daemon appends to its trace file — is one {e frame}:
+
+    {v
+      offset  size  field
+      0       2     magic "KW"
+      2       1     version (currently 1)
+      3       1     kind
+      4       4     payload length, u32 LE
+      8       4     CRC32 (IEEE, reflected), u32 LE,
+                    over bytes 2..7 and the payload
+      12      len   payload
+    v}
+
+    The checksum covers the version, kind and length fields as well as the
+    payload, so no single mutated byte can re-frame a message (the QCheck
+    suite pins this, mirroring the durable-store codec).  Decode failures
+    are {e reported} — every decoding function returns a [result], and the
+    transport counts and surfaces them — never silently dropped.
+
+    Integers inside payloads are int64 LE; strings are u32-length-prefixed
+    bytes; application payloads go through the {!App_model.App_intf.wire_format}
+    the application provides.  Per-packet layouts are specified in
+    PROTOCOL.md §Wire format. *)
+
+val version : int
+
+val header_bytes : int
+(** 12: fixed frame header size. *)
+
+val max_frame_payload : int
+(** Upper bound a reader enforces on the advertised payload length (16 MiB)
+    so a corrupt length field cannot make it allocate unboundedly. *)
+
+(** {1 Frames} *)
+
+val frame : kind:int -> string -> string
+(** Wrap a payload into a full frame. *)
+
+val parse_header : string -> pos:int -> (int * int, string) result
+(** [parse_header s ~pos] validates magic, version and length bound of the
+    12 header bytes at [pos] and returns [(kind, payload_length)].  The CRC
+    is checked by {!check_frame} once the payload is available. *)
+
+val check_frame : header:string -> payload:string -> (unit, string) result
+(** Verify the CRC of a reassembled frame ([header] is exactly the 12
+    header bytes). *)
+
+val decode_frame : string -> pos:int -> (int * string * int, string) result
+(** Decode one frame from a buffer: [(kind, payload, next_pos)]. *)
+
+(** {1 Protocol packets} *)
+
+val packet_kind_code : 'msg Recovery.Wire.packet -> int
+
+val encode_packet :
+  'msg App_model.App_intf.wire_format -> 'msg Recovery.Wire.packet -> string
+(** Full frame for a protocol packet. *)
+
+val decode_packet_body :
+  'msg App_model.App_intf.wire_format ->
+  kind:int ->
+  string ->
+  ('msg Recovery.Wire.packet, string) result
+(** Decode a checked frame payload back into a packet. *)
+
+val decode_packet :
+  'msg App_model.App_intf.wire_format ->
+  string ->
+  ('msg Recovery.Wire.packet, string) result
+(** [decode_frame] + [decode_packet_body] on a single whole-frame string;
+    trailing bytes are an error.  (The QCheck properties round-trip through
+    this.) *)
+
+(** {1 Control channel}
+
+    The deployment driver speaks this over a daemon's control socket. *)
+
+type status = {
+  st_up : bool;
+  st_pending : int;  (** mailbox backlog *)
+  st_send_buf : int;
+  st_recv_buf : int;
+  st_out_buf : int;
+  st_deliveries : int;
+  st_trace_len : int;
+  st_current : Depend.Entry.t;
+}
+
+type 'msg control =
+  | Hello of { pid : int }
+      (** first frame on every data connection: identifies the dialer *)
+  | Inject of { seq : int; payload : 'msg }
+  | Tick of [ `Flush | `Checkpoint | `Notice ]
+  | Crash  (** soft fail-stop: lose volatile state, restart in-process *)
+  | Status_req
+  | Status of status
+  | Quit  (** drain: persist trace + metrics files and exit cleanly *)
+  | Bye
+
+val control_kind_code : 'msg control -> int
+
+val hello_kind : int
+(** Kind code of [Hello], exposed so the transport and the proxy can
+    recognise the connection preamble without a payload codec. *)
+
+val encode_control :
+  'msg App_model.App_intf.wire_format -> 'msg control -> string
+
+val decode_control_body :
+  'msg App_model.App_intf.wire_format ->
+  kind:int ->
+  string ->
+  ('msg control, string) result
+
+val decode_control :
+  'msg App_model.App_intf.wire_format ->
+  string ->
+  ('msg control, string) result
+
+val is_packet_kind : int -> bool
+
+val is_control_kind : int -> bool
+
+(** {1 Primitive readers/writers}
+
+    Shared with {!Trace_codec}; exposed for it and for tests. *)
+
+module Prim : sig
+  val put_int : Buffer.t -> int -> unit
+
+  val put_float : Buffer.t -> float -> unit
+
+  val put_string : Buffer.t -> string -> unit
+
+  val put_bool : Buffer.t -> bool -> unit
+
+  val put_entry : Buffer.t -> Depend.Entry.t -> unit
+
+  val put_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+
+  val put_option : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a option -> unit
+
+  val put_identity : Buffer.t -> Recovery.Wire.identity -> unit
+
+  val put_announcement : Buffer.t -> Recovery.Wire.announcement -> unit
+
+  val put_output_id : Buffer.t -> Recovery.Wire.output_id -> unit
+
+  (** A cursor over a payload string.  Readers raise [Failure] on
+      malformed input; the [decode_*] entry points catch it and return
+      [Error]. *)
+  type cursor
+
+  val cursor : string -> cursor
+
+  val finished : cursor -> bool
+
+  val fail : cursor -> string -> 'a
+
+  val get_u8 : cursor -> int
+
+  val get_int : cursor -> int
+
+  val get_float : cursor -> float
+
+  val get_string : cursor -> string
+
+  val get_bool : cursor -> bool
+
+  val get_entry : cursor -> Depend.Entry.t
+
+  val get_list : cursor -> (cursor -> 'a) -> 'a list
+
+  val get_option : cursor -> (cursor -> 'a) -> 'a option
+
+  val get_identity : cursor -> Recovery.Wire.identity
+
+  val get_announcement : cursor -> Recovery.Wire.announcement
+
+  val get_output_id : cursor -> Recovery.Wire.output_id
+
+  val run : (cursor -> 'a) -> string -> ('a, string) result
+  (** Apply a reader to a whole payload; trailing bytes are an error. *)
+end

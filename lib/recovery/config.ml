@@ -149,6 +149,14 @@ let damani_garg ?(timing = default_timing) ~n () =
   validate_exn
     { n; protocol = { (base_protocol ~k:n) with commit_tracking = false }; timing }
 
+(* One scale, one formula, two real runtimes (threads and processes):
+   the outage between a kill and the recovery attempt must not depend on
+   which deployment style injected the kill. *)
+let default_time_scale = 0.001
+
+let real_restart_delay ?(time_scale = default_time_scale) timing =
+  timing.restart_delay *. time_scale
+
 (* Turn on the reliability machinery needed to survive a lossy network:
    a periodic retransmission timer on every sender's archive, and
    announcement gossip so a dropped failure announcement is eventually

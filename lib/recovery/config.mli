@@ -154,6 +154,22 @@ val damani_garg : ?timing:timing -> n:int -> unit -> t
     incarnations per process; this preset approximates it within the
     single-entry-per-process engine — see DESIGN.md.) *)
 
+val default_time_scale : float
+(** Seconds per abstract time unit when a configuration drives {e real}
+    processes (the threaded actor runtime and the [koptnode] daemon):
+    [0.001], i.e. abstract time units are interpreted as milliseconds.
+    Both real deployments share this one constant so that a kill in the
+    actor runtime and a [SIGKILL] of a daemon observe the same outage
+    duration for the same configuration. *)
+
+val real_restart_delay : ?time_scale:float -> timing -> float
+(** Wall-clock seconds a dead process stays down before it is recovered:
+    [timing.restart_delay] scaled by [time_scale] (default
+    {!default_time_scale}).  This is the single source of the
+    restart-backoff used by [Runtime.Actor_runtime] (crash and kill) and
+    by the multi-process deployment's respawn path ([Net.Deployment]);
+    neither carries its own magic number. *)
+
 val harden : ?retransmit_interval:float -> t -> t
 (** Enable the reliability machinery required on a lossy network:
     periodic sender retransmission and announcement gossip.  Leaves every

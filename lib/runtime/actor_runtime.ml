@@ -150,7 +150,8 @@ let actor_loop t pid =
          checks) honest for the whole outage. *)
       t.recovering.(pid) <- true;
       locked t pid (fun () -> Node.crash node ~now:(now t));
-      Thread.delay (t.config.Config.timing.restart_delay *. t.time_scale);
+      Thread.delay
+        (Config.real_restart_delay ~time_scale:t.time_scale t.config.Config.timing);
       let actions, _cost = locked t pid (fun () -> Node.restart node ~now:(now t)) in
       dispatch t ~src:pid actions;
       t.recovering.(pid) <- false
@@ -161,7 +162,8 @@ let actor_loop t pid =
          from open-time recovery of those files — and restarted. *)
       t.recovering.(pid) <- true;
       locked t pid (fun () -> Node.halt node ~now:(now t));
-      Thread.delay (t.config.Config.timing.restart_delay *. t.time_scale);
+      Thread.delay
+        (Config.real_restart_delay ~time_scale:t.time_scale t.config.Config.timing);
       let actions, _cost =
         locked t pid (fun () ->
             let fresh =
@@ -203,7 +205,8 @@ let timer_loop t =
       timers
   done
 
-let create ~config ~app ?store_root ?scheduler ?(time_scale = 0.001) () =
+let create ~config ~app ?store_root ?scheduler
+    ?(time_scale = Config.default_time_scale) () =
   let config = Config.validate_exn config in
   let n = config.Config.n in
   let trace_ = Recovery.Trace.create () in

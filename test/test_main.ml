@@ -25,4 +25,6 @@ let () =
       ("explore", Test_explore.suite);
       ("corpus", Test_corpus.suite);
       ("integration", Test_integration.suite);
+      ("net-codec", Test_net_codec.suite);
+      ("net-deployment", Test_net.suite);
     ]

@@ -1,0 +1,73 @@
+(* Multi-process deployment over real loopback TCP: fork koptnode daemons,
+   drive a workload, SIGKILL one mid-run, and certify the merged trace with
+   the causality oracle — the subsystem's end-to-end argument, exercised
+   from the test suite at a small scale. *)
+
+module Deployment = Net.Deployment
+module App = App_model.Kvstore_app
+
+let counter outcome name =
+  try List.assoc name outcome.Deployment.counters with Not_found -> 0
+
+(* Benign network (no proxy): the transport's own framing/reconnect path. *)
+let test_cluster_benign () =
+  let t = Deployment.launch ~n:3 ~k:1 ~seed:11 () in
+  Deployment.run_workload t ~ops:30 ~seed:3;
+  Alcotest.(check bool) "settles" true (Deployment.settle t);
+  let outcome = Deployment.finish t in
+  Alcotest.(check (list string)) "no trace damage" [] outcome.Deployment.damage;
+  Alcotest.(check (list string))
+    "oracle certifies" []
+    outcome.Deployment.oracle.Harness.Oracle.violations;
+  Alcotest.(check bool) "work happened" true (counter outcome "deliveries" > 0);
+  Alcotest.(check int) "no crash synthesized" 0 outcome.Deployment.synthesized_crashes;
+  Durable.Temp.rm_rf (Deployment.root t)
+
+(* SIGKILL one daemon mid-workload; the respawned incarnation must recover
+   from its durable store and the merge must synthesize the Crashed event
+   the killed incarnation never wrote. *)
+let test_cluster_kill () =
+  let t = Deployment.launch ~n:3 ~k:3 ~seed:12 () in
+  Deployment.run_workload t ~ops:24 ~seed:5;
+  Deployment.kill t ~dst:1;
+  Deployment.run_workload t ~ops:24 ~seed:6;
+  ignore (Deployment.settle t : bool);
+  let outcome = Deployment.finish t in
+  Alcotest.(check (list string))
+    "oracle certifies" []
+    outcome.Deployment.oracle.Harness.Oracle.violations;
+  Alcotest.(check int) "one synthesized crash" 1 outcome.Deployment.synthesized_crashes;
+  Alcotest.(check bool) "restart recorded" true (counter outcome "restarts" >= 1);
+  Durable.Temp.rm_rf (Deployment.root t)
+
+(* The E14 smoke path (kill + proxy faults) is what CI runs; keep a tiny
+   proxied run here so `dune runtest` covers the fault-injection relay. *)
+let test_cluster_proxy () =
+  let plan =
+    {
+      Harness.Netmodel.benign with
+      Harness.Netmodel.loss = 0.05;
+      duplicate = 0.05;
+      reorder = 0.05;
+      reorder_spread = 3.;
+    }
+  in
+  let t = Deployment.launch ~n:2 ~k:2 ~plan ~seed:13 () in
+  Deployment.run_workload t ~ops:30 ~seed:9;
+  ignore (Deployment.settle t : bool);
+  let outcome = Deployment.finish t in
+  Alcotest.(check (list string))
+    "oracle certifies" []
+    outcome.Deployment.oracle.Harness.Oracle.violations;
+  (match outcome.Deployment.proxy with
+  | Some p -> Alcotest.(check bool) "proxy relayed" true (p.Net.Proxy.forwarded > 0)
+  | None -> Alcotest.fail "expected proxy stats");
+  Durable.Temp.rm_rf (Deployment.root t)
+
+let suite =
+  [
+    Alcotest.test_case "3 daemons on loopback, oracle-certified" `Slow
+      test_cluster_benign;
+    Alcotest.test_case "SIGKILL + respawn from durable store" `Slow test_cluster_kill;
+    Alcotest.test_case "through the fault proxy" `Slow test_cluster_proxy;
+  ]

@@ -188,6 +188,16 @@ let test_shutdown_idempotent () =
   Rt.shutdown rt;
   Rt.shutdown rt
 
+(* kill requires the durable store: losing the node handle of an in-memory
+   store would lose the whole process history, so it must be refused. *)
+let test_kill_requires_store_root () =
+  let config = Config.k_optimistic ~timing ~n:2 ~k:1 () in
+  let rt = Rt.create ~config ~app:Counter.app () in
+  Alcotest.check_raises "kill without ~store_root"
+    (Invalid_argument "Actor_runtime.kill: runtime was created without ~store_root")
+    (fun () -> Rt.kill rt ~pid:0);
+  Rt.shutdown rt
+
 let suite =
   [
     Alcotest.test_case "basic flow" `Slow test_basic_flow;
@@ -198,4 +208,6 @@ let suite =
     Alcotest.test_case "LIFO mailbox scheduling stays correct" `Slow
       test_lifo_scheduler_still_correct;
     Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+    Alcotest.test_case "kill requires a store root" `Quick
+      test_kill_requires_store_root;
   ]
