@@ -356,11 +356,90 @@ let run_b11 rows =
       Durable.Temp.rm_rf (Net.Deployment.root t))
     [ 0; 1; n ]
 
+(* B12: the same loopback cluster, driven open-loop (no pacing sleeps) —
+   measures the batched hot path end to end: group-commit fsyncs, coalesced
+   wire writes, per-batch eager flushes and piggybacked notices.  Reports
+   delivered-message throughput plus output-commit p50/p99 from the merged
+   trace (every 8th injection is a Get, whose reply is a 0-optimistic
+   output). *)
+let output_latencies (trace : Recovery.Trace.t) =
+  List.filter_map
+    (fun (e : Recovery.Trace.entry) ->
+      match e.Recovery.Trace.ev with
+      | Recovery.Trace.Output_committed { latency; _ } -> Some latency
+      | _ -> None)
+    (Recovery.Trace.events trace)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  let idx = int_of_float (Float.round (p /. 100. *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) idx))
+
+let b12_run ~n ~k ~ops ~seed =
+  let t = Net.Deployment.launch ~n ~k ~seed () in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to ops - 1 do
+    let key = Fmt.str "key%d" (i mod 17) in
+    let msg =
+      if i mod 8 = 7 then App_model.Kvstore_app.Get key
+      else App_model.Kvstore_app.Put { key; value = i * 37 }
+    in
+    Net.Deployment.inject t ~dst:(i mod n) msg
+  done;
+  ignore (Net.Deployment.settle t : bool);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let outcome = Net.Deployment.finish t in
+  if outcome.Net.Deployment.oracle.Harness.Oracle.violations <> [] then
+    failwith "B12: oracle violations in a benign run";
+  let delivs =
+    try List.assoc "deliveries" outcome.Net.Deployment.counters with Not_found -> 0
+  in
+  let lats =
+    output_latencies outcome.Net.Deployment.trace
+    |> List.sort compare |> Array.of_list
+  in
+  Durable.Temp.rm_rf (Net.Deployment.root t);
+  (float_of_int delivs /. elapsed, lats, delivs)
+
+let run_b12 rows =
+  let n = 4 in
+  let ops = 9600 in
+  List.iter
+    (fun k ->
+      let throughput, lats, delivs = b12_run ~n ~k ~ops ~seed:(60 + k) in
+      Fmt.pr "B12 k=%d: %d deliveries (%.0f delivs/s)" k delivs throughput;
+      rows := (Fmt.str "B12 batched delivs/s k=%d n=%d" k n, throughput) :: !rows;
+      if Array.length lats > 0 then begin
+        let p50 = percentile lats 50. in
+        let p99 = percentile lats 99. in
+        Fmt.pr ", output commit p50 %.1f / p99 %.1f ms" p50 p99;
+        rows :=
+          (Fmt.str "B12 output p50 ms k=%d n=%d" k n, p50)
+          :: (Fmt.str "B12 output p99 ms k=%d n=%d" k n, p99)
+          :: !rows
+      end;
+      Fmt.pr "@.")
+    [ 0; 2; 4 ]
+
+(* CI tripwire, not a perf gate: a reduced open-loop run that must stay
+   oracle-clean, commit outputs, and clear a floor far below what the
+   batched path delivers on any machine — it only trips if batching
+   collapses back to per-event durability. *)
+let run_b12_smoke () =
+  Fmt.pr "== B12 smoke (batched hot path, reduced size) ==@.";
+  let throughput, lats, delivs = b12_run ~n:3 ~k:2 ~ops:400 ~seed:62 in
+  Fmt.pr "B12 smoke: %d deliveries, %.0f delivs/s, %d output latency points@."
+    delivs throughput (Array.length lats);
+  if Array.length lats = 0 then failwith "B12 smoke: no outputs committed";
+  if throughput < 500. then
+    failwith (Fmt.str "B12 smoke: throughput collapsed (%.0f delivs/s)" throughput)
+
 let run_net () =
-  Fmt.pr "== Network benchmarks (B10 wire codec, B11 loopback cluster) ==@.";
+  Fmt.pr "== Network benchmarks (B10 wire codec, B11/B12 loopback cluster) ==@.";
   let rows = ref [] in
   run_b10 rows;
   run_b11 rows;
+  run_b12 rows;
   let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
   let oc = open_out "BENCH_net.json" in
   let field (name, v) = Fmt.str "  %S: %.1f" name v in
@@ -378,6 +457,7 @@ let () =
   | "micro" -> run_micro ()
   | "macro" -> run_macro ()
   | "net" -> run_net ()
+  | "b12-smoke" -> run_b12_smoke ()
   | _ ->
     run_macro ();
     run_micro ();

@@ -8,10 +8,20 @@
 
    Single-ownership design: one main-loop thread owns the node; transport
    reader threads, timer threads and control-connection threads only append
-   events to a mailbox.  After every protocol step the trace file is synced
-   (write + flush), so a SIGKILL loses at most the event being formatted —
-   the deployment's merge step truncates any torn tail and synthesises the
-   missing [Crashed] event from the successor's [Restarted]. *)
+   events to a mailbox.  Each wakeup drains the {e whole} mailbox and
+   processes it as one batch: actions are accumulated across the batch, the
+   trace file is synced once per batch {e before} any action reaches the
+   wire (so the persisted trace is always ahead of what peers have seen —
+   strictly stronger than the old per-event sync-after-dispatch), and if
+   the batch left gated sends or uncommitted outputs behind, a flush is run
+   immediately instead of waiting for the flush timer (the group-commit
+   layer in the durable store coalesces the resulting fsyncs).  Outgoing
+   application frames piggyback the node's current logging-progress notice
+   (frame kind 9), so stability news travels at data-traffic speed; the
+   notice timer remains the fallback for idle periods.  A SIGKILL loses at
+   most the batch being formatted — the deployment's merge step truncates
+   any torn tail and synthesises the missing [Crashed] event from the
+   successor's [Restarted]. *)
 
 module Node = Recovery.Node
 module Trace = Recovery.Trace
@@ -39,14 +49,26 @@ let post mb ev =
   Condition.signal mb.cond;
   Mutex.unlock mb.mu
 
-let take mb =
+(* Block for at least one event, then drain what is available, up to a
+   cap: the main loop processes the mailbox in batches.  The cap bounds
+   how much pending work (gated sends, uncommitted outputs) can pile up
+   between two stability points — the per-event buffer scans are linear in
+   those buffers, so unbounded batches would go quadratic under an
+   injection burst. *)
+let batch_cap = 256
+
+let take_batch mb =
   Mutex.lock mb.mu;
   while Queue.is_empty mb.q do
     Condition.wait mb.cond mb.mu
   done;
-  let ev = Queue.pop mb.q in
+  let rec grab k acc =
+    if k = 0 || Queue.is_empty mb.q then List.rev acc
+    else grab (k - 1) (Queue.pop mb.q :: acc)
+  in
+  let evs = grab batch_cap [] in
   Mutex.unlock mb.mu;
-  ev
+  evs
 
 let pending mb =
   Mutex.lock mb.mu;
@@ -144,9 +166,18 @@ let run ~pid ~n ~k ~listen_port ~peers ~control_port ~store_dir ~trace_file
      are reported on stderr (and counted by the transport), never lost. *)
   let on_error msg = Fmt.epr "[koptnode %d] %s@." pid msg in
   let on_frame ~src:_ ~kind ~body =
-    match Wire_codec.decode_packet_body App.wire ~kind body with
-    | Ok packet -> post mb (From_net packet)
-    | Error e -> on_error (Fmt.str "undecodable packet (kind %d): %s" kind e)
+    if kind = Wire_codec.app_notice_kind then
+      (* Piggybacked logging progress: absorb the notice before the app
+         message it rode in on, as if it had arrived just ahead of it. *)
+      match Wire_codec.decode_data_body App.wire ~kind body with
+      | Ok (m, notice) ->
+        Option.iter (fun nt -> post mb (From_net (Recovery.Wire.Notice nt))) notice;
+        post mb (From_net (Recovery.Wire.App m))
+      | Error e -> on_error (Fmt.str "undecodable data frame (kind %d): %s" kind e)
+    else
+      match Wire_codec.decode_packet_body App.wire ~kind body with
+      | Ok packet -> post mb (From_net packet)
+      | Error e -> on_error (Fmt.str "undecodable packet (kind %d): %s" kind e)
   in
   let transport =
     Net.Transport.create ~self:pid ~listen_port ~peers ~on_frame ~on_error ()
@@ -155,6 +186,11 @@ let run ~pid ~n ~k ~listen_port ~peers ~control_port ~store_dir ~trace_file
     List.iter
       (fun action ->
         match (action : App.msg Node.action) with
+        | Node.Unicast { dst; packet = Recovery.Wire.App m } ->
+          (* Data frames carry the current stability frontier along. *)
+          Net.Transport.send transport ~dst
+            (Wire_codec.encode_data App.wire
+               ?piggyback:(Node.current_notice !node) m)
         | Node.Unicast { dst; packet } ->
           Net.Transport.send transport ~dst
             (Wire_codec.encode_packet App.wire packet)
@@ -222,10 +258,32 @@ let run ~pid ~n ~k ~listen_port ~peers ~control_port ~store_dir ~trace_file
   if not (Node.is_up !node) then dispatch (fst (Node.restart !node ~now:(now ())));
   Trace_codec.sync writer trace;
 
+  let prof = Sys.getenv_opt "KOPT_PROF" <> None in
+  let pt_handle = ref 0. in
+  let pt_flush = ref 0. in
+  let pt_sync = ref 0. in
+  let pt_dispatch = ref 0. in
+  let pn_events = ref 0 in
+  let pn_batches = ref 0 in
+  let pn_flushes = ref 0 in
+  let timed acc f =
+    if not prof then f ()
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      acc := !acc +. (Unix.gettimeofday () -. t0);
+      r
+    end
+  in
   let reply fd ctl =
     ignore (write_all fd (Wire_codec.encode_control App.wire ctl) : bool)
   in
   let finish () =
+    if prof then
+      Fmt.epr
+        "[prof %d] batches=%d events=%d flushes=%d handle=%.2f flush=%.2f sync=%.2f dispatch=%.2f@."
+        pid !pn_batches !pn_events !pn_flushes !pt_handle !pt_flush !pt_sync
+        !pt_dispatch;
     stopping := true;
     Trace_codec.sync writer trace;
     Trace_codec.close_writer writer;
@@ -235,41 +293,38 @@ let run ~pid ~n ~k ~listen_port ~peers ~control_port ~store_dir ~trace_file
     Net.Transport.close transport;
     (try Unix.close control_sock with Unix.Unix_error _ -> ())
   in
+  (* Batched main loop.  Per wakeup: drain the mailbox, run every event
+     through the node accumulating its actions (syncing the trace file as
+     events produce entries), flush eagerly if the batch left gated sends
+     or uncommitted outputs behind, and only then put the accumulated
+     actions on the wire — the persisted trace is always ahead of the
+     store's stability point and of anything a peer can have seen. *)
   let rec main_loop () =
-    let ev = take mb in
-    let continue =
+    let batch = take_batch mb in
+    let acc = ref [] in
+    let add actions = if actions <> [] then acc := actions :: !acc in
+    let quit_fd = ref None in
+    let step_up f = if Node.is_up !node then add (fst (f !node ~now:(now ()))) in
+    let process ev =
       match ev with
-      | From_net packet ->
-        if Node.is_up !node then
-          dispatch (fst (Node.handle_packet !node ~now:(now ()) packet));
-        true
+      | From_net packet -> step_up (fun nd ~now -> Node.handle_packet nd ~now packet)
       | Timer kind ->
-        (if Node.is_up !node then
-           let step =
-             match kind with
-             | `Flush -> Node.flush
-             | `Checkpoint -> Node.checkpoint
-             | `Notice -> Node.broadcast_notice
-             | `Retransmit -> Node.retransmit_tick
-           in
-           dispatch (fst (step !node ~now:(now ()))));
-        true
+        step_up
+          (match kind with
+          | `Flush -> Node.flush
+          | `Checkpoint -> Node.checkpoint
+          | `Notice -> Node.broadcast_notice
+          | `Retransmit -> Node.retransmit_tick)
       | Control (ctl, fd) -> (
         match ctl with
         | Wire_codec.Inject { seq; payload } ->
-          if Node.is_up !node then
-            dispatch (fst (Node.inject !node ~now:(now ()) ~seq payload));
-          true
+          step_up (fun nd ~now -> Node.inject nd ~now ~seq payload)
         | Wire_codec.Tick t ->
-          (if Node.is_up !node then
-             let step =
-               match t with
-               | `Flush -> Node.flush
-               | `Checkpoint -> Node.checkpoint
-               | `Notice -> Node.broadcast_notice
-             in
-             dispatch (fst (step !node ~now:(now ()))));
-          true
+          step_up
+            (match t with
+            | `Flush -> Node.flush
+            | `Checkpoint -> Node.checkpoint
+            | `Notice -> Node.broadcast_notice)
         | Wire_codec.Crash ->
           (* Soft fail-stop: same recovery path as a SIGKILL + respawn,
              without losing the OS process. *)
@@ -277,8 +332,7 @@ let run ~pid ~n ~k ~listen_port ~peers ~control_port ~store_dir ~trace_file
           Trace_codec.sync writer trace;
           Thread.delay (Config.real_restart_delay ~time_scale config.Config.timing);
           node := Node.create ~config ~pid ~app:App.app ~store_dir ~trace;
-          dispatch (fst (Node.restart !node ~now:(now ())));
-          true
+          add (fst (Node.restart !node ~now:(now ())))
         | Wire_codec.Status_req ->
           let m = Node.metrics !node in
           reply fd
@@ -292,16 +346,51 @@ let run ~pid ~n ~k ~listen_port ~peers ~control_port ~store_dir ~trace_file
                  st_deliveries = m.Recovery.Metrics.deliveries;
                  st_trace_len = Trace.length trace;
                  st_current = Node.current !node;
-               });
-          true
-        | Wire_codec.Quit ->
-          finish ();
-          reply fd Wire_codec.Bye;
-          false
-        | Wire_codec.Hello _ | Wire_codec.Status _ | Wire_codec.Bye -> true)
+               })
+        | Wire_codec.Quit -> quit_fd := Some fd
+        | Wire_codec.Hello _ | Wire_codec.Status _ | Wire_codec.Bye -> ())
     in
-    Trace_codec.sync writer trace;
-    if continue then main_loop ()
+    let rec consume = function
+      | [] -> ()
+      | ev :: rest ->
+        process ev;
+        (* The trace file must never fall behind the stable store: a later
+           event in this batch may fsync the store (rollback, checkpoint,
+           output commit), and a SIGKILL between that fsync and a
+           batch-end-only trace sync would leave the store remembering
+           deliveries whose trace events were lost — the respawned node
+           then replays intervals the merged trace never saw created live.
+           [Trace_codec.sync] is O(1) when the event added nothing, so this
+           keeps the batch's single eager fsync as the only per-batch cost. *)
+        Trace_codec.sync writer trace;
+        if !quit_fd = None then consume rest
+    in
+    incr pn_batches;
+    pn_events := !pn_events + List.length batch;
+    timed pt_handle (fun () -> consume batch);
+    (* Eager flush: anything the batch left volatile gets its stability
+       point now instead of at the next flush-timer tick — gated sends
+       release, outputs commit, and fresh deliveries are acknowledged
+       before the senders' retransmission timers re-send them.  The group
+       commit layer makes the per-batch fsync cheap; idle batches skip it
+       entirely. *)
+    if
+      !quit_fd = None
+      && Node.is_up !node
+      && (Node.volatile_log_length !node > 0
+         || Node.output_buffer_size !node > 0
+         || Node.send_buffer_size !node > 0)
+    then begin
+      incr pn_flushes;
+      timed pt_flush (fun () -> add (fst (Node.flush !node ~now:(now ()))))
+    end;
+    timed pt_sync (fun () -> Trace_codec.sync writer trace);
+    timed pt_dispatch (fun () -> List.iter dispatch (List.rev !acc));
+    match !quit_fd with
+    | Some fd ->
+      finish ();
+      reply fd Wire_codec.Bye
+    | None -> main_loop ()
   in
   main_loop ()
 

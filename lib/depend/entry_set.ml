@@ -12,6 +12,16 @@ let insert t (e : Entry.t) =
     (function None -> Some e.sii | Some x -> Some (Stdlib.max x e.sii))
     t
 
+(* First writer wins: for tables recording where an incarnation {e ended}
+   (the iet), a conflicting later claim must not widen the recorded ending
+   — an incarnation ends exactly once, so on correct inputs this equals
+   [insert], and on contradictory ones the earliest (most conservative)
+   ending governs every subsequent orphan judgment. *)
+let insert_min t (e : Entry.t) =
+  Int_map.update e.inc
+    (function None -> Some e.sii | Some x -> Some (Stdlib.min x e.sii))
+    t
+
 let find t ~inc = Int_map.find_opt inc t
 
 let covers t (e : Entry.t) =

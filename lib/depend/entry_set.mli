@@ -19,6 +19,18 @@ val is_empty : t -> bool
 val insert : t -> Entry.t -> t
 (** Figure 3's [Insert(se, (t, x0))]: keep the per-incarnation maximum. *)
 
+val insert_min : t -> Entry.t -> t
+(** Keep the per-incarnation {e minimum} instead.  Incarnation-end rows
+    ([iet[j]]) must use this: an incarnation ends exactly once, so on
+    correct announcement streams it coincides with {!insert}, but if a
+    duplicated or corrupted announcement ever claims a {e later} ending
+    for an incarnation already recorded, widening the row would
+    retroactively un-orphan messages that earlier announcements orphaned
+    — and a node that discarded such a message while the row was narrow
+    diverges from its own post-crash replay, which rebuilds the row from
+    the full logged announcement set at once.  Keeping the earliest
+    ending makes every orphan judgment monotone over time. *)
+
 val find : t -> inc:int -> int option
 (** Recorded index for incarnation [inc], if any. *)
 

@@ -6,7 +6,7 @@ let k_ann = 0x41 (* 'A': announcement *)
 
 let k_inc = 0x49 (* 'I': incarnation counter *)
 
-let k_len = 0x4E (* 'N': stable-length witness, written after each flush *)
+let k_len = 0x4E (* 'N': stable-length witness, recorded after each flush *)
 
 let k_base = 0x42 (* 'B': logical log base after prefix compaction *)
 
@@ -56,8 +56,9 @@ type ('ckpt, 'log, 'ann) t = {
   mutable inc : int;
   mutable sync_writes : int;
   mutable flushes : int;
-  mutable sync_fd : Unix.file_descr; (* sync.dat, every append fsynced *)
+  mutable sync_fd : Unix.file_descr; (* sync.dat, appended under the lock *)
   mutable alive : bool;
+  gc : Group_commit.t; (* flush coalescing; its lock guards all state *)
   report : open_report;
 }
 
@@ -79,12 +80,16 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Append one fsynced record to the synchronous area.  Writes of protocol
-   data (announcements, incarnation) are counted by the callers;
-   store-internal metadata (length witness, base) is not — the paper's
-   cost model has no such operation, it piggybacks here on writes the
-   simulated store performs for free. *)
-let sync_put t ~kind payload =
+(* Append one record to the synchronous area.  Writes of protocol data
+   (announcements, incarnation) are fsynced and counted by the callers in
+   [sync_writes]; store-internal metadata (length witness, base) is not
+   counted — the paper's cost model has no such operation, it piggybacks
+   here on writes the simulated store performs for free.  With
+   [~fsync:false] the record is only buffered (a [write], no fsync): the
+   bytes survive a process kill in the kernel regardless, and become
+   power-loss durable with the next fsynced record on this descriptor.
+   The flush path's length witness uses this — see [flush]. *)
+let sync_put ?(fsync = true) t ~kind payload =
   let frame = Codec.encode ~kind payload in
   let len = String.length frame in
   let rec loop pos =
@@ -92,7 +97,7 @@ let sync_put t ~kind payload =
       loop (pos + Unix.write_substring t.sync_fd frame pos (len - pos))
   in
   loop 0;
-  Unix.fsync t.sync_fd
+  if fsync then Unix.fsync t.sync_fd
 
 let open_ ~dir ?segment_bytes () =
   Temp.mkdir_p dir;
@@ -206,6 +211,7 @@ let open_ ~dir ?segment_bytes () =
       flushes = 0;
       sync_fd;
       alive = true;
+      gc = Group_commit.create ();
       report;
     }
   in
@@ -217,38 +223,61 @@ let dir t = t.root
 
 (* --- the Stable_store contract ------------------------------------- *)
 
+(* Thread safety: every public operation runs under the group-commit
+   coordinator's lock.  Plain reads and appends take it directly
+   ([with_lock]); operations that rewrite files or close descriptors
+   ([exclusive]) additionally wait out any fsync in flight.  [flush] goes
+   through {!Group_commit.force} so concurrent flushes coalesce. *)
+
+let with_lock t f = Group_commit.with_lock t.gc (fun () -> f ())
+
+let exclusive t f = Group_commit.exclusive t.gc (fun () -> f ())
+
 let append_volatile t r =
-  guard t;
-  Queue.add r t.volatile
+  with_lock t (fun () ->
+      guard t;
+      Queue.add r t.volatile)
 
+(* The flush path has exactly one durability point: the segment log's
+   fsync.  The stable-length witness — which lets a reopen detect a log
+   tail that fsync claimed but did not persist — is recorded in the
+   synchronous area as a {e buffered} write ([sync_put ~fsync:false]),
+   after the fsync returns and under the lock, valued at what that fsync
+   covered.  Buffered is enough: a process kill never drops written bytes
+   (only power loss can, and that also drops the log tail the witness
+   would have accused, so the witness can only ever under-claim — it
+   never fabricates damage).  Crucially it does {e not} ride the log's
+   fsync, so a lying log fsync still leaves a truthful witness behind. *)
 let flush t =
-  guard t;
-  let n = Queue.length t.volatile in
-  if n > 0 then begin
-    Queue.iter
-      (fun r ->
-        ignore (Segment_log.append t.log (to_bin r) : int);
-        t.stable_log <- r :: t.stable_log)
-      t.volatile;
-    Queue.clear t.volatile;
-    t.stable_len <- t.stable_len + n;
-    (* One batched fsync — the paper's single stable-storage operation —
-       then the durable length witness that lets a reopen detect a log
-       tail this fsync claimed but did not persist. *)
-    Segment_log.sync t.log;
-    sync_put t ~kind:k_len (to_bin t.stable_len);
-    t.flushes <- t.flushes + 1;
-    t.sync_writes <- t.sync_writes + 1
-  end;
-  n
+  Group_commit.force t.gc
+    ~pending:(fun () ->
+      guard t;
+      not (Queue.is_empty t.volatile))
+    ~prepare:(fun () ->
+      let n = Queue.length t.volatile in
+      Queue.iter
+        (fun r ->
+          ignore (Segment_log.append t.log (to_bin r) : int);
+          t.stable_log <- r :: t.stable_log)
+        t.volatile;
+      Queue.clear t.volatile;
+      t.stable_len <- t.stable_len + n;
+      (n, t.stable_len))
+    ~sync:(fun () -> Segment_log.sync t.log)
+    ~commit:(fun (_, len) ->
+      sync_put ~fsync:false t ~kind:k_len (to_bin len);
+      t.flushes <- t.flushes + 1;
+      t.sync_writes <- t.sync_writes + 1)
+    ~default:(0, 0) ()
+  |> fst
 
-let stable_log_length t = t.stable_len
+let stable_log_length t = with_lock t (fun () -> t.stable_len)
 
-let volatile_length t = Queue.length t.volatile
+let volatile_length t = with_lock t (fun () -> Queue.length t.volatile)
 
-let volatile_peek t = Queue.peek_opt t.volatile
+let volatile_peek t = with_lock t (fun () -> Queue.peek_opt t.volatile)
 
-let stable_log_from t ~pos =
+let log_from t ~pos =
   if pos < t.base || pos > t.stable_len then
     invalid_arg "Stable_store.stable_log_from: position out of range";
   let rec take i acc = function
@@ -257,20 +286,24 @@ let stable_log_from t ~pos =
   in
   take (t.stable_len - 1) [] t.stable_log
 
+let stable_log_from t ~pos = with_lock t (fun () -> log_from t ~pos)
+
 let truncate_stable_log t ~keep =
-  guard t;
-  if keep < t.base || keep > t.stable_len then
-    invalid_arg "Stable_store.truncate_stable_log: keep out of range";
-  let removed = stable_log_from t ~pos:keep in
-  let rec drop i l = if i = 0 then l else drop (i - 1) (List.tl l) in
-  t.stable_log <- drop (t.stable_len - keep) t.stable_log;
-  t.stable_len <- keep;
-  Segment_log.truncate_after t.log ~keep;
-  sync_put t ~kind:k_len (to_bin keep);
-  Queue.clear t.volatile;
-  removed
+  exclusive t (fun () ->
+      guard t;
+      if keep < t.base || keep > t.stable_len then
+        invalid_arg "Stable_store.truncate_stable_log: keep out of range";
+      let removed = log_from t ~pos:keep in
+      let rec drop i l = if i = 0 then l else drop (i - 1) (List.tl l) in
+      t.stable_log <- drop (t.stable_len - keep) t.stable_log;
+      t.stable_len <- keep;
+      Segment_log.truncate_after t.log ~keep;
+      sync_put t ~kind:k_len (to_bin keep);
+      Queue.clear t.volatile;
+      removed)
 
 let discard_log_prefix t ~before =
+  exclusive t @@ fun () ->
   guard t;
   if before > t.stable_len then
     invalid_arg "Stable_store.discard_log_prefix: position out of range";
@@ -294,41 +327,45 @@ let discard_log_prefix t ~before =
     discarded
   end
 
-let log_base t = t.base
+let log_base t = with_lock t (fun () -> t.base)
 
-let live_log_records t = t.stable_len - t.base
+let live_log_records t = with_lock t (fun () -> t.stable_len - t.base)
 
 let save_checkpoint t c =
-  guard t;
   ignore (flush t : int);
-  let seq = t.ckpt_seq in
-  t.ckpt_seq <- seq + 1;
-  let path = ckpt_path t.root seq in
-  let fd =
-    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
-  in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      let frame = Codec.encode ~kind:k_ckpt (to_bin (t.stable_len, c)) in
-      let len = String.length frame in
-      let rec loop pos =
-        if pos < len then loop (pos + Unix.write_substring fd frame pos (len - pos))
+  exclusive t (fun () ->
+      guard t;
+      let seq = t.ckpt_seq in
+      t.ckpt_seq <- seq + 1;
+      let path = ckpt_path t.root seq in
+      let fd =
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
       in
-      loop 0;
-      Unix.fsync fd);
-  t.ckpts <- (seq, c) :: t.ckpts;
-  t.sync_writes <- t.sync_writes + 1
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let frame = Codec.encode ~kind:k_ckpt (to_bin (t.stable_len, c)) in
+          let len = String.length frame in
+          let rec loop pos =
+            if pos < len then
+              loop (pos + Unix.write_substring fd frame pos (len - pos))
+          in
+          loop 0;
+          Unix.fsync fd);
+      t.ckpts <- (seq, c) :: t.ckpts;
+      t.sync_writes <- t.sync_writes + 1)
 
 let latest_checkpoint t =
-  match t.ckpts with [] -> None | (_, c) :: _ -> Some c
+  with_lock t (fun () ->
+      match t.ckpts with [] -> None | (_, c) :: _ -> Some c)
 
-let checkpoints t = List.map snd t.ckpts
+let checkpoints t = with_lock t (fun () -> List.map snd t.ckpts)
 
 let unlink_ckpts t dropped =
   List.iter (fun (seq, _) -> Unix.unlink (ckpt_path t.root seq)) dropped
 
 let restore_checkpoint t ~satisfying =
+  exclusive t @@ fun () ->
   guard t;
   let rec find newer = function
     | [] -> None
@@ -344,6 +381,7 @@ let restore_checkpoint t ~satisfying =
     Some (snd (List.hd kept))
 
 let prune_checkpoints t ~keep_latest =
+  exclusive t @@ fun () ->
   guard t;
   if keep_latest < 1 then
     invalid_arg "Stable_store.prune_checkpoints: must keep at least one";
@@ -358,6 +396,7 @@ let prune_checkpoints t ~keep_latest =
   List.length dropped
 
 let prune_checkpoints_older_than t ~anchor =
+  exclusive t @@ fun () ->
   guard t;
   let rec split acc = function
     | [] -> None
@@ -372,38 +411,47 @@ let prune_checkpoints_older_than t ~anchor =
     List.length dropped
 
 let log_announcement t a =
-  guard t;
-  sync_put t ~kind:k_ann (to_bin a);
-  t.anns <- a :: t.anns;
-  t.sync_writes <- t.sync_writes + 1
+  with_lock t (fun () ->
+      guard t;
+      sync_put t ~kind:k_ann (to_bin a);
+      t.anns <- a :: t.anns;
+      t.sync_writes <- t.sync_writes + 1)
 
-let announcements t = List.rev t.anns
+let announcements t = with_lock t (fun () -> List.rev t.anns)
 
 let set_incarnation t i =
-  guard t;
-  sync_put t ~kind:k_inc (to_bin i);
-  t.inc <- i;
-  t.sync_writes <- t.sync_writes + 1
+  with_lock t (fun () ->
+      guard t;
+      sync_put t ~kind:k_inc (to_bin i);
+      t.inc <- i;
+      t.sync_writes <- t.sync_writes + 1)
 
-let incarnation t = t.inc
+let incarnation t = with_lock t (fun () -> t.inc)
 
 let crash t =
-  let lost = Queue.length t.volatile in
-  Queue.clear t.volatile;
-  lost
+  with_lock t (fun () ->
+      let lost = Queue.length t.volatile in
+      Queue.clear t.volatile;
+      lost)
 
-let sync_writes t = t.sync_writes
+let sync_writes t = with_lock t (fun () -> t.sync_writes)
 
-let flushes t = t.flushes
+let flushes t = with_lock t (fun () -> t.flushes)
+
+let commit_stats t = Group_commit.stats t.gc
 
 let kill t =
-  if t.alive then begin
-    Queue.clear t.volatile;
-    Segment_log.kill t.log;
-    Unix.close t.sync_fd;
-    t.alive <- false
-  end
+  (* [exclusive] waits out an fsync in flight: descriptors must not close
+     under a leader mid-sync. *)
+  exclusive t (fun () ->
+      if t.alive then begin
+        Queue.clear t.volatile;
+        Segment_log.kill t.log;
+        Unix.close t.sync_fd;
+        t.alive <- false
+      end)
 
 let arm_fsync_failure t =
-  guard t;
-  Segment_log.arm_fsync_failure t.log
+  exclusive t (fun () ->
+      guard t;
+      Segment_log.arm_fsync_failure t.log)

@@ -4,18 +4,30 @@
     (same operations, same counters, same error strings) on real files:
 
     - the {b message log} is a {!Segment_log} of Marshal-encoded records,
-      made durable in batches by [flush] (one [fsync] per batch — the
-      paper's single stable-storage operation);
+      made durable in batches by [flush].  A flush has exactly {e one}
+      durability point — the log's fsync, the paper's single
+      stable-storage operation — and concurrent flushes coalesce through a
+      {!Group_commit} coordinator, so N simultaneous callers cost one
+      fsync, not N;
     - each {b checkpoint} is its own [ckpt-<seq>.dat] file holding one
       checksummed record: the pair (stable length at save time, snapshot);
       the length lets open-time recovery reject checkpoints that point past
       a log whose tail was lost;
-    - the {b synchronous area} is [sync.dat], an append-only record stream
-      fsynced on every write.  Besides announcements and the incarnation
-      counter it carries store metadata: the logical log base after
-      compaction and a stable-length witness written after every flush, so
-      a reopen can {e detect} (not just silently absorb) a log tail lost to
-      a lying fsync.
+    - the {b synchronous area} is [sync.dat], an append-only record
+      stream, fsynced when it carries protocol data (announcements, the
+      incarnation counter).  It also carries store metadata: the logical
+      log base after compaction and a stable-length witness recorded after
+      every flush, so a reopen can {e detect} (not just silently absorb) a
+      log tail lost to a lying fsync.  The witness is a {e buffered} write
+      (no fsync of its own): written bytes survive a process kill
+      regardless, and only power loss can drop them — which also drops the
+      log tail they would have accused, so the witness can under-claim but
+      never fabricate damage.  Because it does not ride the log's fsync, a
+      lying log fsync still leaves a truthful witness behind.
+
+    Every operation is thread-safe: plain reads and appends share the
+    coordinator's lock, and operations that rewrite files or close
+    descriptors additionally wait out any fsync in flight.
 
     Open-time recovery scans everything, truncates torn or corrupt tails,
     drops unusable checkpoints and reports what it found in
@@ -105,8 +117,20 @@ val crash : ('ckpt, 'log, 'ann) t -> int
     handles still open).  Use {!kill} for a process death. *)
 
 val sync_writes : ('ckpt, 'log, 'ann) t -> int
+(** Protocol-level synchronous stable-storage operations: one per
+    non-empty flush round, checkpoint, announcement and incarnation write
+    — the quantity the paper's cost model charges for, and what E12/B9
+    report.  Store-internal metadata writes (length witness, log base) are
+    not counted. *)
 
 val flushes : ('ckpt, 'log, 'ann) t -> int
+(** Non-empty flush rounds completed.  Each round issues exactly one
+    fsync, so under concurrent flushing this is also the fsync count of
+    the flush path (strictly less than the number of callers whenever
+    coalescing happened). *)
+
+val commit_stats : ('ckpt, 'log, 'ann) t -> Group_commit.stats
+(** Group-commit coordinator counters: rounds led and callers coalesced. *)
 
 (** {1 Process death and fault injection} *)
 

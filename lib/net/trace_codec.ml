@@ -251,11 +251,5 @@ let append w entries =
 let close_writer w = close_out_noerr w.oc
 
 let sync w trace =
-  let total = Trace.length trace in
-  if total > w.written then begin
-    let fresh =
-      (* newest entries only: skip the prefix already on disk *)
-      List.filteri (fun i _ -> i >= w.written) (Trace.events trace)
-    in
-    append w fresh
-  end
+  if Trace.length trace > w.written then
+    append w (Trace.suffix trace ~from_:w.written)

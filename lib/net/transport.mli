@@ -15,6 +15,15 @@
     {e reconnection reorders traffic}.  PROTOCOL.md documents why all of
     this is legal.
 
+    Batched writes: each writer wakeup drains its peer's whole queue and
+    writes the concatenation in one syscall — frames are self-delimiting,
+    so the byte stream is identical to per-frame writes.  Write-failure
+    retries are budgeted per connection (the budget resets after a
+    successful re-dial) and reconnect cycles are bounded per batch.
+    Accounting is exact: every frame accepted by {!send} is eventually
+    counted in [frames_sent] or [frames_dropped], including frames in
+    flight or still queued when {!close} lands.
+
     Decode and checksum failures on inbound frames are counted and
     reported through [on_error]; the damaged connection is closed (the
     dialer re-establishes it) — a corrupt frame is never delivered and

@@ -241,6 +241,8 @@ let k_dep_query = 7
 
 let k_dep_reply = 8
 
+let k_app_notice = 9 (* App + piggybacked logging-progress Notice *)
+
 let k_inject = 16
 
 let k_tick_flush = 17
@@ -261,7 +263,9 @@ let k_bye = 24
 
 let hello_kind = k_hello
 
-let is_packet_kind k = k >= k_app && k <= k_dep_reply
+let app_notice_kind = k_app_notice
+
+let is_packet_kind k = k >= k_app && k <= k_app_notice
 
 let is_control_kind k = k = k_hello || (k >= k_inject && k <= k_bye)
 
@@ -298,25 +302,60 @@ let get_dep_info c =
     Wire.Info { stable; parents }
   end
 
+(* The App and Notice bodies are shared with the piggyback frame (kind
+   [k_app_notice]), whose payload is the Notice fields followed by the App
+   fields. *)
+let put_app_body (wf : 'msg App_intf.wire_format) b (m : 'msg Wire.app_message) =
+  put_identity b m.Wire.id;
+  put_int b m.Wire.src;
+  put_int b m.Wire.dst;
+  put_entry b m.Wire.send_interval;
+  put_list b put_dep m.Wire.dep;
+  put_string b (wf.App_intf.write m.Wire.payload)
+
+let put_notice_body b (n : Wire.notice) =
+  put_int b n.Wire.from_;
+  put_list b
+    (fun b (pid, entries) ->
+      put_int b pid;
+      put_list b put_entry entries)
+    n.Wire.rows;
+  put_list b put_announcement n.Wire.anns
+
+let get_notice_body c =
+  let from_ = get_int c in
+  let rows =
+    get_list c (fun c ->
+        let pid = get_int c in
+        let entries = get_list c get_entry in
+        (pid, entries))
+  in
+  let anns = get_list c get_announcement in
+  { Wire.from_; rows; anns }
+
+(* The raw app fields; the application payload is returned undecoded so
+   the caller can report its errors distinctly. *)
+let get_app_fields c =
+  let id = get_identity c in
+  let src = get_int c in
+  let dst = get_int c in
+  let send_interval = get_entry c in
+  let dep = get_list c get_dep in
+  let payload = get_string c in
+  (id, src, dst, send_interval, dep, payload)
+
+let app_of_fields (wf : 'msg App_intf.wire_format)
+    (id, src, dst, send_interval, dep, payload) =
+  match wf.App_intf.read payload with
+  | Error e -> Error (Fmt.str "app payload: %s" e)
+  | Ok payload -> Ok { Wire.id; src; dst; send_interval; dep; payload }
+
 let encode_packet (wf : 'msg App_intf.wire_format) (p : 'msg Wire.packet) =
   let b = Buffer.create 64 in
   (match p with
-  | Wire.App m ->
-    put_identity b m.Wire.id;
-    put_int b m.Wire.src;
-    put_int b m.Wire.dst;
-    put_entry b m.Wire.send_interval;
-    put_list b put_dep m.Wire.dep;
-    put_string b (wf.App_intf.write m.Wire.payload)
+  | Wire.App m -> put_app_body wf b m
   | Wire.Ann a -> put_announcement b a
-  | Wire.Notice n ->
-    put_int b n.Wire.from_;
-    put_list b
-      (fun b (pid, entries) ->
-        put_int b pid;
-        put_list b put_entry entries)
-      n.Wire.rows;
-    put_list b put_announcement n.Wire.anns
+  | Wire.Notice n -> put_notice_body b n
   | Wire.Ack a ->
     put_int b a.Wire.from_;
     put_int b a.Wire.to_;
@@ -338,37 +377,13 @@ let decode_packet_body (wf : 'msg App_intf.wire_format) ~kind body =
   if kind = k_app then
     (* Two layers can reject an app message: the generic reader and the
        application's own payload format.  Both surface as [Error]. *)
-    Result.bind
-      (run
-         (fun c ->
-           let id = get_identity c in
-           let src = get_int c in
-           let dst = get_int c in
-           let send_interval = get_entry c in
-           let dep = get_list c get_dep in
-           let payload = get_string c in
-           (id, src, dst, send_interval, dep, payload))
-         body)
-      (fun (id, src, dst, send_interval, dep, payload) ->
-        match wf.App_intf.read payload with
-        | Error e -> Error (Fmt.str "app payload: %s" e)
-        | Ok payload ->
-          Ok (Wire.App { Wire.id; src; dst; send_interval; dep; payload }))
+    Result.bind (run get_app_fields body) (fun fields ->
+        Result.map (fun m -> Wire.App m) (app_of_fields wf fields))
   else
     run
       (fun c ->
         if kind = k_ann then Wire.Ann (get_announcement c)
-        else if kind = k_notice then begin
-          let from_ = get_int c in
-          let rows =
-            get_list c (fun c ->
-                let pid = get_int c in
-                let entries = get_list c get_entry in
-                (pid, entries))
-          in
-          let anns = get_list c get_announcement in
-          Wire.Notice { Wire.from_; rows; anns }
-        end
+        else if kind = k_notice then Wire.Notice (get_notice_body c)
         else if kind = k_ack then begin
           let from_ = get_int c in
           let to_ = get_int c in
@@ -400,6 +415,44 @@ let decode_packet wf s =
   | Ok (kind, body, next) ->
     if next <> String.length s then Error "trailing bytes after frame"
     else decode_packet_body wf ~kind body
+
+(* ------------------------------------------------------------------ *)
+(* Data frames with piggybacked logging progress
+
+   An application message can carry the sender's current Notice in the
+   same frame (kind [k_app_notice]: the notice body, then the app body),
+   so logging-progress news rides data traffic instead of waiting for the
+   notice timer; the standalone Notice packet remains the fallback for
+   idle peers.  Without a piggyback, [encode_data] emits a plain App
+   frame, byte-identical to [encode_packet (App m)]. *)
+
+let encode_data (wf : 'msg App_intf.wire_format) ?piggyback
+    (m : 'msg Wire.app_message) =
+  let b = Buffer.create 64 in
+  match piggyback with
+  | None ->
+    put_app_body wf b m;
+    frame ~kind:k_app (Buffer.contents b)
+  | Some notice ->
+    put_notice_body b notice;
+    put_app_body wf b m;
+    frame ~kind:k_app_notice (Buffer.contents b)
+
+let decode_data_body (wf : 'msg App_intf.wire_format) ~kind body =
+  if kind = k_app then
+    Result.bind (run get_app_fields body) (fun fields ->
+        Result.map (fun m -> (m, None)) (app_of_fields wf fields))
+  else if kind = k_app_notice then
+    Result.bind
+      (run
+         (fun c ->
+           let notice = get_notice_body c in
+           let fields = get_app_fields c in
+           (notice, fields))
+         body)
+      (fun (notice, fields) ->
+        Result.map (fun m -> (m, Some notice)) (app_of_fields wf fields))
+  else Error (Fmt.str "not a data frame (kind %d)" kind)
 
 (* ------------------------------------------------------------------ *)
 (* Control channel                                                     *)

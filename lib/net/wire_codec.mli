@@ -75,6 +75,36 @@ val decode_packet :
     trailing bytes are an error.  (The QCheck properties round-trip through
     this.) *)
 
+(** {1 Data frames with piggybacked logging progress}
+
+    An application message may carry the sender's current logging-progress
+    {!Recovery.Wire.notice} in the same frame (kind 9: the notice body
+    followed by the app body), so stability news rides data traffic
+    instead of waiting for the notice timer; the standalone Notice packet
+    remains the fallback for idle peers.  PROTOCOL.md §Wire format has the
+    byte layout. *)
+
+val app_notice_kind : int
+(** Kind code (9) of a data frame with a piggybacked notice. *)
+
+val encode_data :
+  'msg App_model.App_intf.wire_format ->
+  ?piggyback:Recovery.Wire.notice ->
+  'msg Recovery.Wire.app_message ->
+  string
+(** Full frame for an application message, with the notice aboard when
+    [piggyback] is given.  Without it the frame is byte-identical to
+    [encode_packet (App m)]. *)
+
+val decode_data_body :
+  'msg App_model.App_intf.wire_format ->
+  kind:int ->
+  string ->
+  ('msg Recovery.Wire.app_message * Recovery.Wire.notice option, string) result
+(** Decode a checked data-frame payload (kind [k_app] or
+    {!app_notice_kind}) into the message and its piggybacked notice, if
+    any. *)
+
 (** {1 Control channel}
 
     The deployment driver speaks this over a daemon's control socket. *)

@@ -10,28 +10,45 @@
    walks the archive in exactly release order (the order matters: it is
    the order retransmitted packets hit the network model). *)
 
-type 'msg item = { seq : int; msg : 'msg Wire.app_message }
+type 'msg item = {
+  seq : int;
+  msg : 'msg Wire.app_message;
+  mutable due : int; (* tick count at which the next re-send is allowed *)
+  mutable gap : int; (* current backoff, in ticks; quadruples per re-send *)
+}
+
+(* Cap the per-message backoff so a stuck message is still retried within
+   a bounded number of ticks — retransmission must stay {e eventual} for
+   the lossy-network delivery argument.  The gap grows 4x per re-send
+   (schedule 1, 5, 21, 85, ... ticks after release): under a benign burst
+   the receiver's ack can take a second or more to fight back through the
+   backlog, and a doubling schedule still re-sent every message ~6 times
+   in that window — over 80%% of all received traffic was duplicates. *)
+let max_gap = 64
 
 type 'msg t = {
   tbl : (Wire.identity, 'msg item) Hashtbl.t;
   mutable next_seq : int;
+  mutable ticks : int;
 }
 
-let create () = { tbl = Hashtbl.create 64; next_seq = 0 }
+let create () = { tbl = Hashtbl.create 64; next_seq = 0; ticks = 0 }
 
 let length t = Hashtbl.length t.tbl
 
 let mem t id = Hashtbl.mem t.tbl id
 
 let add t (msg : 'msg Wire.app_message) =
-  Hashtbl.replace t.tbl msg.Wire.id { seq = t.next_seq; msg };
+  Hashtbl.replace t.tbl msg.Wire.id
+    { seq = t.next_seq; msg; due = t.ticks + 1; gap = 1 };
   t.next_seq <- t.next_seq + 1
 
 let remove t id = Hashtbl.remove t.tbl id
 
 let clear t =
   Hashtbl.reset t.tbl;
-  t.next_seq <- 0
+  t.next_seq <- 0;
+  t.ticks <- 0
 
 let remove_if t pred =
   Hashtbl.filter_map_inplace
@@ -53,3 +70,13 @@ let newest_first t =
   |> List.map (fun item -> item.msg)
 
 let iter_oldest t f = List.iter f (oldest_first t)
+
+let due_oldest t f =
+  t.ticks <- t.ticks + 1;
+  List.sort (fun a b -> Stdlib.compare a.seq b.seq) (items t)
+  |> List.iter (fun item ->
+         if t.ticks >= item.due then begin
+           item.due <- t.ticks + item.gap;
+           item.gap <- Stdlib.min (item.gap * 4) max_gap;
+           f item.msg
+         end)

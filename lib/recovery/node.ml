@@ -771,7 +771,7 @@ let rollback t ~now ~(because : Wire.announcement) =
     | Delivery d ->
       List.exists (fun (i, e) -> i = j && orphan_entry ann e) d.lg_msg.Wire.dep
   in
-  let stop_pos, _ = rebuild t ~now ~ck ~halt in
+  let stop_pos, walked_requeued = rebuild t ~now ~ck ~halt in
   let stop = t.current in
   let removed = Store.truncate_stable_log t.store ~keep:stop_pos in
   let first_undone =
@@ -801,6 +801,20 @@ let rollback t ~now ~(because : Wire.announcement) =
           t.recv_buf <- t.recv_buf @ [ (now, m) ]
       end)
     removed;
+  (* Requeued records inside the replayed prefix are messages an {e
+     earlier} rollback re-buffered and whose re-delivery this restore just
+     undid (or never happened).  Restart re-buffers exactly these after a
+     crash, so the live node must too — dropping them here would leave the
+     store remembering a message the process forgot, and the next restart
+     would deliver it, diverging from the live run. *)
+  List.iter
+    (fun (m : 'msg Wire.app_message) ->
+      if
+        (not (Hashtbl.mem t.delivered m.Wire.id))
+        && (not (buffered_in_recv t m.Wire.id))
+        && not (orphan_wire t m)
+      then t.recv_buf <- t.recv_buf @ [ (now, m) ])
+    walked_requeued;
   ignore (Store.flush t.store : int);
   (* Prune volatile structures of the undone intervals.  State-interval
      indices are monotone along a process history, so "undone" is exactly
@@ -860,7 +874,7 @@ let rollback t ~now ~(because : Wire.announcement) =
     in
     Store.log_announcement t.store (Wire.Ann_logged fa);
     note_ann t fa;
-    t.iet.(t.pid) <- Entry_set.insert t.iet.(t.pid) fa.ending;
+    t.iet.(t.pid) <- Entry_set.insert_min t.iet.(t.pid) fa.ending;
     t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) fa.ending;
     t.metrics.announcements_sent <- t.metrics.announcements_sent + 1;
     push t (Broadcast (Wire.Ann fa))
@@ -895,11 +909,14 @@ let retransmit t ~dst =
       end)
 
 (* Periodic retransmission (armed by [Config.timing.retransmit_interval]):
-   re-send every archived message that is not yet acked and not orphan.
-   On a lossless network the archive drains via acks before the first
-   tick; on a lossy one this is what makes delivery eventually happen. *)
+   re-send the archived messages whose per-message backoff has expired
+   (not yet acked, not orphan).  On a lossless network the archive drains
+   via acks before the first tick; on a lossy one this is what makes
+   delivery eventually happen.  The backoff ({!Archive.due_oldest}) keeps
+   an undrained archive from flooding the wire every tick and starving the
+   very acks that would drain it. *)
 let do_retransmit_tick t =
-  Archive.iter_oldest t.archive (fun (m : 'msg Wire.app_message) ->
+  Archive.due_oldest t.archive (fun (m : 'msg Wire.app_message) ->
       if not (orphan_wire t m) then begin
         t.metrics.retransmissions <- t.metrics.retransmissions + 1;
         push t (Unicast { dst = m.Wire.dst; packet = Wire.App m })
@@ -916,7 +933,7 @@ let receive_ann t ~now (ann : Wire.announcement) =
     trace t ~now (Announcement_received { pid = t.pid; ann });
     (* "Synchronously log the received announcement". *)
     Store.log_announcement t.store (Wire.Ann_logged ann);
-    t.iet.(j) <- Entry_set.insert t.iet.(j) ann.ending;
+    t.iet.(j) <- Entry_set.insert_min t.iet.(j) ann.ending;
     (* Corollary 1: the announcement doubles as a logging-progress
        notification that the ending interval is stable. *)
     t.log_tab.(j) <- Entry_set.insert t.log_tab.(j) ann.ending;
@@ -1143,7 +1160,7 @@ let do_restart t ~now =
     (function
       | Wire.Ann_logged (ann : Wire.announcement) ->
         note_ann t ann;
-        t.iet.(ann.from_) <- Entry_set.insert t.iet.(ann.from_) ann.ending;
+        t.iet.(ann.from_) <- Entry_set.insert_min t.iet.(ann.from_) ann.ending;
         t.log_tab.(ann.from_) <- Entry_set.insert t.log_tab.(ann.from_) ann.ending;
         if ann.ending.inc > t.max_ann_inc.(ann.from_) then
           t.max_ann_inc.(ann.from_) <- ann.ending.inc
@@ -1209,7 +1226,7 @@ let do_restart t ~now =
   in
   Store.log_announcement t.store (Wire.Ann_logged fa);
   note_ann t fa;
-  t.iet.(t.pid) <- Entry_set.insert t.iet.(t.pid) fa.ending;
+  t.iet.(t.pid) <- Entry_set.insert_min t.iet.(t.pid) fa.ending;
   t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) fa.ending;
   t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) t.current;
   let new_current = Entry.make ~inc:(max_inc + 1) ~sii:(t.current.sii + 1) in
@@ -1478,6 +1495,22 @@ let log_row t j = t.log_tab.(j)
 
 let iet_row t j = t.iet.(j)
 
+(* The notice broadcast_notice would send right now, without the metrics
+   or trace side effects — for piggybacking on outgoing data frames. *)
+let current_notice t =
+  if not t.up then None
+  else
+    let rows =
+      if (proto t).gossip_notices then
+        List.filter_map
+          (fun j ->
+            let es = Entry_set.entries t.log_tab.(j) in
+            if es = [] then None else Some (j, es))
+          (List.init t.n Fun.id)
+      else [ (t.pid, Entry_set.entries t.log_tab.(t.pid)) ]
+    in
+    Some { Wire.from_ = t.pid; rows; anns = gossip_anns t }
+
 let send_buffer_size t = List.length t.send_buf
 
 let receive_buffer_size t = List.length t.recv_buf
@@ -1497,6 +1530,8 @@ let metrics t = t.metrics
 let sync_writes t = Store.sync_writes t.store
 
 let flushes t = Store.flushes t.store
+
+let volatile_log_length t = Store.volatile_length t.store
 
 let stable_log_length t = Store.stable_log_length t.store
 

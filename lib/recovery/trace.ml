@@ -52,6 +52,16 @@ let events t = List.rev t.entries
 
 let length t = t.next_seq
 
+(* Entries are newest-first and seq is dense, so the suffix from [from_]
+   is a prefix of the internal list: O(suffix), not O(trace) — what lets
+   an incremental trace writer stay cheap on a long-running node. *)
+let suffix t ~from_ =
+  let rec take acc = function
+    | e :: rest when e.seq >= from_ -> take (e :: acc) rest
+    | _ -> acc
+  in
+  take [] t.entries
+
 let pp_reason ppf = function
   | Orphan_message -> Fmt.string ppf "orphan"
   | Duplicate -> Fmt.string ppf "duplicate"

@@ -68,6 +68,11 @@ val events : t -> entry list
 
 val length : t -> int
 
+val suffix : t -> from_:int -> entry list
+(** Entries with [seq >= from_], in chronological order, in time
+    proportional to the suffix length — for incremental writers that have
+    already persisted the first [from_] entries. *)
+
 val pp_event : event Fmt.t
 
 val pp_entry : entry Fmt.t

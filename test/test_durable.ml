@@ -272,6 +272,46 @@ let test_store_failing_fsync_detected () =
       Alcotest.(check bool) "damage reported" true (D.damaged r);
       D.kill s2)
 
+let test_store_group_commit_coalesces () =
+  (* N threads each append a record, meet at a barrier, then all call
+     [flush] at once.  The group-commit layer must serve every caller from
+     a single fsync round: the leader's prepare drains all N records, the
+     rest either wait out that round or find nothing left to do. *)
+  with_dir (fun dir ->
+      let s, _ = open_str dir in
+      let n = 8 in
+      let mu = Mutex.create () in
+      let cv = Condition.create () in
+      let ready = ref 0 in
+      let barrier () =
+        Mutex.lock mu;
+        incr ready;
+        if !ready = n then Condition.broadcast cv
+        else while !ready < n do Condition.wait cv mu done;
+        Mutex.unlock mu
+      in
+      let worker i =
+        D.append_volatile s (Printf.sprintf "rec-%d" i);
+        barrier ();
+        ignore (D.flush s : int)
+      in
+      let threads = List.init n (Thread.create worker) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "all records stable" n (D.stable_log_length s);
+      Alcotest.(check int) "no volatile leftovers" 0 (D.volatile_length s);
+      Alcotest.(check int) "N concurrent flushes, one fsync round" 1 (D.flushes s);
+      let gc = D.commit_stats s in
+      Alcotest.(check bool) "strictly fewer rounds than callers" true
+        (gc.Durable.Group_commit.rounds < n);
+      Alcotest.(check (list string)) "every record made it"
+        (List.sort compare (List.init n (Printf.sprintf "rec-%d")))
+        (List.sort compare (D.stable_log_from s ~pos:0));
+      D.kill s;
+      let s2, r = open_str dir in
+      Alcotest.(check bool) "clean reopen" false (D.damaged r);
+      Alcotest.(check int) "all records recovered" n r.D.recovered_log;
+      D.kill s2)
+
 let test_store_corrupt_checkpoint_dropped () =
   with_dir (fun dir ->
       let s, _ = open_str dir in
@@ -471,6 +511,8 @@ let suite =
       test_store_bit_flip_never_wrong_record;
     Alcotest.test_case "store failing fsync detected" `Quick
       test_store_failing_fsync_detected;
+    Alcotest.test_case "store group commit coalesces concurrent flushes" `Quick
+      test_store_group_commit_coalesces;
     Alcotest.test_case "store corrupt checkpoint dropped" `Quick
       test_store_corrupt_checkpoint_dropped;
     Alcotest.test_case "store checkpoint past log dropped" `Quick

@@ -242,6 +242,78 @@ let test_kv_roundtrip =
       | Error _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Data frames: piggybacked notices and coalesced batches              *)
+
+let test_data_frame_roundtrip =
+  qtest ~count:800 "data frame: piggybacked notice rides along and round-trips"
+    (tup2 gen_app_message (option gen_notice))
+    (fun (m, piggyback) ->
+      let frame = Wire_codec.encode_data swf ?piggyback m in
+      (* without a notice the frame is byte-identical to a plain App packet *)
+      (match piggyback with
+      | None -> frame = Wire_codec.encode_packet swf (Wire.App m)
+      | Some _ -> true)
+      &&
+      match Wire_codec.decode_frame frame ~pos:0 with
+      | Error _ -> false
+      | Ok (kind, body, next) -> (
+        next = String.length frame
+        &&
+        match Wire_codec.decode_data_body swf ~kind body with
+        | Ok (m', nt') -> m' = m && nt' = piggyback
+        | Error _ -> false))
+
+(* The transport's writer coalesces its whole queue into one write.
+   Frames are self-delimiting, so a reader walking the concatenation must
+   recover exactly the per-frame sequence — and a tear mid-batch (the
+   connection dying partway through the single syscall) must still yield
+   a true prefix, never a reinterpreted frame. *)
+let gen_frame =
+  frequency
+    [
+      (3, map (Wire_codec.encode_packet swf) gen_packet);
+      ( 2,
+        map2
+          (fun m notice -> Wire_codec.encode_data swf ?piggyback:notice m)
+          gen_app_message (option gen_notice) );
+    ]
+
+let test_coalesced_batch_decodes_like_per_frame =
+  qtest ~count:500
+    "coalesced batch: one write decodes to the per-frame sequence (even torn)"
+    (tup2 (list_size (int_range 1 8) gen_frame) (int_bound 100_000))
+    (fun (frames, cut_seed) ->
+      let batch = String.concat "" frames in
+      let walk s =
+        let rec loop pos acc =
+          if pos >= String.length s then List.rev acc
+          else
+            match Wire_codec.decode_frame s ~pos with
+            | Ok (kind, body, next) -> loop next ((kind, body) :: acc)
+            | Error _ -> List.rev acc
+        in
+        loop 0 []
+      in
+      let expected =
+        List.map
+          (fun f ->
+            match Wire_codec.decode_frame f ~pos:0 with
+            | Ok (kind, body, _) -> (kind, body)
+            | Error e -> Alcotest.failf "generated frame undecodable: %s" e)
+          frames
+      in
+      let rec is_prefix xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | x :: xs, y :: ys -> x = y && is_prefix xs ys
+        | _ :: _, [] -> false
+      in
+      walk batch = expected
+      &&
+      let cut = cut_seed mod (String.length batch + 1) in
+      is_prefix (walk (String.sub batch 0 cut)) expected)
+
+(* ------------------------------------------------------------------ *)
 (* Mutation                                                            *)
 
 let test_packet_single_byte_mutation =
@@ -306,6 +378,8 @@ let suite =
     test_control_roundtrip;
     test_trace_roundtrip;
     test_kv_roundtrip;
+    test_data_frame_roundtrip;
+    test_coalesced_batch_decodes_like_per_frame;
     test_packet_single_byte_mutation;
     test_kv_payload_mutation;
     test_trace_stream_tear;

@@ -141,7 +141,19 @@ module Conformance (B : BACKEND) = struct
     Store.set_incarnation s 1;
     (* flush(1) + checkpoint(1) + announcement(1) + incarnation(1) *)
     Alcotest.(check int) "sync writes" 4 (Store.sync_writes s);
-    Alcotest.(check int) "flushes" 1 (Store.flushes s)
+    Alcotest.(check int) "flushes" 1 (Store.flushes s);
+    (* Metrics consistency, as E12/B9 report them: empty flushes are not
+       durability rounds, and sync_writes decomposes exactly into flush
+       rounds + checkpoints + announcements + incarnation bumps. *)
+    ignore (Store.flush s : int);
+    Store.append_volatile s "y";
+    ignore (Store.flush s : int);
+    Store.log_announcement s "ann2";
+    let checkpoints = 1 and announcements = 2 and incarnations = 1 in
+    Alcotest.(check int) "flush rounds" 2 (Store.flushes s);
+    Alcotest.(check int) "sync_writes decomposes"
+      (Store.flushes s + checkpoints + announcements + incarnations)
+      (Store.sync_writes s)
 
   let test_truncate_out_of_range () =
     let s = make () in
