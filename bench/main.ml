@@ -440,12 +440,31 @@ let run_net () =
   run_b10 rows;
   run_b11 rows;
   run_b12 rows;
-  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
-  let oc = open_out "BENCH_net.json" in
-  let field (name, v) = Fmt.str "  %S: %.1f" name v in
-  output_string oc ("{\n" ^ String.concat ",\n" (List.map field rows) ^ "\n}\n");
-  close_out oc;
+  (* Merge, not overwrite: BENCH_net.json is shared with the E15 keys
+     written by `experiments kv`. *)
+  Harness.Report.merge_bench "BENCH_net.json" !rows;
   Fmt.pr "@.wrote BENCH_net.json@.@."
+
+(* CI tripwire over the shared bench file: the E15 smoke keys (written by
+   `experiments kv --smoke` earlier in the CI run) must exist and clear a
+   floor far below any plausible machine, and the committed full-run E15
+   keys must not silently vanish. *)
+let run_check_net_floors () =
+  let entries = Harness.Report.load_bench "BENCH_net.json" in
+  let find key =
+    match List.assoc_opt key entries with
+    | Some v -> v
+    | None -> failwith (Fmt.str "BENCH_net.json: missing key %S" key)
+  in
+  let smoke_key = "E15 kv delivs/s n=4 k=1 (smoke)" in
+  let smoke = find smoke_key in
+  if smoke < 50. then
+    failwith (Fmt.str "%s: throughput collapsed (%.1f delivs/s)" smoke_key smoke);
+  List.iter
+    (fun key ->
+      if find key <= 0. then failwith (Fmt.str "%s: non-positive" key))
+    [ "E15 kv delivs/s n=16 k=2"; "E15 kv delivs/s n=64 k=2" ];
+  Fmt.pr "net floors ok: %s = %.1f@." smoke_key smoke
 
 (* ------------------------------------------------------------------ *)
 
@@ -458,6 +477,7 @@ let () =
   | "macro" -> run_macro ()
   | "net" -> run_net ()
   | "b12-smoke" -> run_b12_smoke ()
+  | "check-net-floors" -> run_check_net_floors ()
   | _ ->
     run_macro ();
     run_micro ();

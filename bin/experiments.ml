@@ -99,6 +99,36 @@ let net_cmd =
   in
   Cmd.v (Cmd.info "net" ~doc) Term.(const run $ smoke $ json_arg)
 
+let kv_cmd =
+  let doc =
+    "Run E15: the sharded KV service on live clusters — consistent-hash \
+     routing, Zipfian open-loop load, cross-shard multi-puts whose acks are \
+     K-rule output commits; baseline runs feed throughput and ack-latency \
+     percentiles into BENCH_net.json, faulted runs (SIGKILLs + proxy) must \
+     certify with risk at most K."
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Time-capped CI mode: one 4-shard cluster (baseline + one-kill \
+             faulted run), oracle-certified.")
+  in
+  let run smoke json =
+    match Shardkv.Service.experiment ~smoke () with
+    | report, bench ->
+      Harness.Report.print report;
+      Harness.Report.merge_bench "BENCH_net.json" bench;
+      Fmt.pr "merged %d E15 keys into BENCH_net.json@." (List.length bench);
+      write_json json [ report ];
+      0
+    | exception Failure msg ->
+      Fmt.epr "FAIL: %s@." msg;
+      1
+  in
+  Cmd.v (Cmd.info "kv" ~doc) Term.(const run $ smoke $ json_arg)
+
 let breakage_conv =
   Arg.enum
     [
@@ -365,4 +395,5 @@ let () =
   let info = Cmd.info "experiments" ~version:"1.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ list_cmd; run_cmd; chaos_cmd; explore_cmd; net_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; chaos_cmd; explore_cmd; net_cmd; kv_cmd ]))

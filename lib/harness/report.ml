@@ -80,3 +80,36 @@ let cell_pct v = if Float.is_nan v then "-" else Fmt.str "%.1f%%" v
 let cell_summary s =
   if Sim.Summary.count s = 0 then "-"
   else Fmt.str "%.2f/%.2f" (Sim.Summary.mean s) (Sim.Summary.percentile s 99.)
+
+(* ------------------------------------------------------------------ *)
+(* Flat benchmark JSON ({"name": float, ...}) — BENCH_net.json et al.  *)
+
+let load_bench path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+    let entries = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         match Scanf.sscanf line " %S : %f" (fun k v -> (k, v)) with
+         | kv -> entries := kv :: !entries
+         | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !entries
+
+let save_bench path entries =
+  let entries =
+    List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) entries
+  in
+  let oc = open_out path in
+  let field (name, v) = Fmt.str "  \"%s\": %.1f" (json_escape name) v in
+  output_string oc
+    ("{\n" ^ String.concat ",\n" (List.map field entries) ^ "\n}\n");
+  close_out oc
+
+let merge_bench path entries =
+  let keep (k, _) = not (List.mem_assoc k entries) in
+  save_bench path (List.filter keep (load_bench path) @ entries)

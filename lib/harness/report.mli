@@ -37,3 +37,21 @@ val cell_pct : float -> string
 
 val cell_summary : Sim.Summary.t -> string
 (** [mean/p99] rendering. *)
+
+(** {1 Flat benchmark JSON}
+
+    The [BENCH_*.json] files are flat [{"name": float}] objects.  These
+    helpers let several producers (the bench binary's B10-B12 section,
+    the E15 experiment) share one file without clobbering each other's
+    keys. *)
+
+val load_bench : string -> (string * float) list
+(** In file order; [[]] if the file does not exist. *)
+
+val save_bench : string -> (string * float) list -> unit
+(** Sorted by key; on duplicate keys the first entry wins. *)
+
+val merge_bench : string -> (string * float) list -> unit
+(** Load, replace or add the given entries, save.  Existing keys not
+    mentioned survive — this is the only way any producer should write a
+    shared bench file. *)

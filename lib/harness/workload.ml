@@ -41,6 +41,70 @@ let kvstore cluster ~rng ~ops ~keys ~start ~rate =
       in
       Cluster.inject_at cluster ~time ~dst msg)
 
+type kv_op =
+  | Kv_get of int
+  | Kv_put of int * int
+  | Kv_multi_put of (int * int) list
+
+type timed_kv_op = { at : float; kv : kv_op }
+
+(* Zipfian sampling by inverse CDF over the rank weights 1/(r+1)^theta.
+   The table costs O(keys) once; each draw is a binary search. *)
+let zipf_table ~keys ~theta =
+  let cdf = Array.make keys 0. in
+  let total = ref 0. in
+  for r = 0 to keys - 1 do
+    total := !total +. (1. /. Float.pow (float_of_int (r + 1)) theta);
+    cdf.(r) <- !total
+  done;
+  (cdf, !total)
+
+let zipf_draw rng (cdf, total) =
+  let u = Sim.Rng.float rng total in
+  let n = Array.length cdf in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) < u then search (mid + 1) hi else search lo mid
+    end
+  in
+  search 0 n
+
+let open_loop_kv ~rng ~ops ~keys ~rate ?(theta = 0.99) ?(gets = 0.25)
+    ?(multi = 0.1) ?(multi_width = 3) () =
+  if keys < 2 then invalid_arg "open_loop_kv: needs at least 2 keys";
+  if multi_width < 2 then invalid_arg "open_loop_kv: multi_width must be >= 2";
+  let table = zipf_table ~keys ~theta in
+  let time = ref 0. in
+  List.init ops (fun i ->
+      time := !time +. Sim.Rng.exponential rng ~mean:(1. /. rate);
+      let draw () = zipf_draw rng table in
+      let roll = Sim.Rng.float rng 1. in
+      let kv =
+        if roll < gets then Kv_get (draw ())
+        else if roll < gets +. multi then begin
+          (* Distinct ranks, keeping the Zipfian skew: popular keys appear
+             in many batches, but never twice in one. *)
+          let rec grab picked budget =
+            if List.length picked >= multi_width || budget = 0 then picked
+            else begin
+              let r = draw () in
+              grab (if List.mem r picked then picked else r :: picked) (budget - 1)
+            end
+          in
+          let picked = grab [] (4 * multi_width) in
+          let picked =
+            match picked with
+            | [ only ] -> [ (only + 1 + Sim.Rng.int rng (keys - 1)) mod keys; only ]
+            | picked -> picked
+          in
+          Kv_multi_put (List.mapi (fun j r -> (r, (i * 131) + j)) (List.rev picked))
+        end
+        else Kv_put (draw (), i * 37)
+      in
+      { at = !time; kv })
+
 let random_failures cluster ~rng ~count ~window:(lo, hi) =
   let n = Cluster.n cluster in
   let slice = (hi -. lo) /. float_of_int (Stdlib.max 1 count) in

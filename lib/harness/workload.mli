@@ -48,6 +48,46 @@ val kvstore :
 (** Mixed puts (75%) and gets (25%) over [keys] distinct keys, sent to
     random coordinator processes. *)
 
+(** {1 Open-loop KV traffic}
+
+    The sharded-KV service ({!Shardkv} over the live deployment) is driven
+    by an {e open-loop} generator: arrival times are fixed in advance by a
+    Poisson process at the target rate (exponential think times between
+    arrivals), independent of when earlier operations complete — the
+    arrival pattern of many light users, and the load model under which
+    latency percentiles are honest (a closed loop self-throttles when the
+    system slows down; an open loop builds a backlog instead).  Key
+    popularity is Zipfian: rank [r] is drawn with probability proportional
+    to [1/(r+1)^theta], the standard skew model for KV traffic. *)
+
+type kv_op =
+  | Kv_get of int  (** key rank *)
+  | Kv_put of int * int  (** key rank, value *)
+  | Kv_multi_put of (int * int) list
+      (** cross-shard batch: ≥ 2 distinct key ranks *)
+
+type timed_kv_op = { at : float;  (** seconds from workload start *) kv : kv_op }
+
+val open_loop_kv :
+  rng:Sim.Rng.t ->
+  ops:int ->
+  keys:int ->
+  rate:float ->
+  ?theta:float ->
+  ?gets:float ->
+  ?multi:float ->
+  ?multi_width:int ->
+  unit ->
+  timed_kv_op list
+(** [ops] operations over [keys] key ranks at [rate] arrivals per second.
+    [theta] (default 0.99, the YCSB convention) is the Zipf exponent;
+    [gets] (default 0.25) and [multi] (default 0.1) are the fractions of
+    reads and of multi-puts (the rest are single puts); [multi_width]
+    (default 3) bounds the distinct keys per multi-put — every emitted
+    multi-put holds at least two distinct ranks, so it can span shards.
+    The op list is sorted by [at] and is a pure function of the
+    arguments. *)
+
 val random_failures :
   ('state, 'msg) Cluster.t ->
   rng:Sim.Rng.t ->

@@ -24,6 +24,7 @@ type t = {
   epoch : float;
   root : string;
   exe : string;
+  app : string;
   nodes : node array;
   proxy : Proxy.t option;
   mutable seq : int;  (** outside-world injection sequence numbers *)
@@ -35,6 +36,10 @@ let n t = t.n
 let config t = t.config
 
 let root t = t.root
+
+let epoch t = t.epoch
+
+let time_scale t = t.time_scale
 
 (* ------------------------------------------------------------------ *)
 (* Plumbing                                                            *)
@@ -60,17 +65,29 @@ let find_exe = function
         invalid_arg
           "Deployment.launch: koptnode.exe not found (set KOPTNODE_EXE)"))
 
-let free_port () =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt fd Unix.SO_REUSEADDR true;
-  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
-  let port =
-    match Unix.getsockname fd with
-    | Unix.ADDR_INET (_, port) -> port
-    | _ -> assert false
+(* Allocate a whole batch of distinct loopback ports, holding every socket
+   open until the batch is complete.  Closing each socket before binding
+   the next (the old one-at-a-time scheme) lets the kernel hand the same
+   ephemeral port out twice — negligible for a handful of daemons, a real
+   collision risk for the ~200 ports a 64-shard launch needs. *)
+let free_ports count =
+  let fds =
+    List.init count (fun _ ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        fd)
   in
-  Unix.close fd;
-  port
+  let ports =
+    List.map
+      (fun fd ->
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, port) -> port
+        | _ -> assert false)
+      fds
+  in
+  List.iter Unix.close fds;
+  Array.of_list ports
 
 let write_all fd s =
   let buf = Bytes.unsafe_of_string s in
@@ -119,6 +136,7 @@ let spawn t node =
   let argv =
     [
       t.exe; "--pid"; string_of_int node.pid; "--nodes"; string_of_int t.n;
+      "--app"; t.app;
       "--optimism"; string_of_int t.k; "--listen"; string_of_int node.data_port;
       "--control";
       string_of_int node.control_port; "--peers"; peers; "--store-dir";
@@ -146,11 +164,20 @@ let rec ctl_fd ?(attempts = 100) node =
     if attempts = 0 then None
     else begin
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (* Daemons respawned later must not inherit the driver's control
+         connections to their siblings (at N=64 that is dozens of stray
+         descriptors per respawn, pinning dead connections open). *)
+      Unix.set_close_on_exec fd;
       match
         Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, node.control_port));
         Unix.setsockopt fd Unix.TCP_NODELAY true
       with
       | () ->
+        (* A flooded daemon can sit on a control request for a long time;
+           an unbounded recv here would wedge the whole driver (settle's
+           deadline is only checked between polls).  A timed-out RPC
+           drops the connection, so no stale reply can ever be read. *)
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
         node.ctl <- Some fd;
         Some fd
       | exception Unix.Unix_error _ ->
@@ -166,13 +193,15 @@ let ctl_drop node =
     node.ctl <- None
   | None -> ()
 
-let ctl_send node ctl =
+let ctl_send' node wire ctl =
   match ctl_fd node with
   | None -> false
   | Some fd ->
-    let ok = write_all fd (Wire_codec.encode_control App.wire ctl) in
+    let ok = write_all fd (Wire_codec.encode_control wire ctl) in
     if not ok then ctl_drop node;
     ok
+
+let ctl_send node ctl = ctl_send' node App.wire ctl
 
 let read_reply fd =
   match read_exact fd Wire_codec.header_bytes with
@@ -204,8 +233,8 @@ let ctl_rpc node ctl =
 (* ------------------------------------------------------------------ *)
 (* Launch                                                              *)
 
-let launch ~n ~k ?retransmit ?(time_scale = Config.default_time_scale) ?plan
-    ?(seed = 0) ?root ?exe () =
+let launch ~n ~k ?(app = "kvstore") ?retransmit
+    ?(time_scale = Config.default_time_scale) ?plan ?(seed = 0) ?root ?exe () =
   (* Control writes race daemon SIGKILLs; a broken pipe must be an error on
      the write, not a fatal signal. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -219,13 +248,15 @@ let launch ~n ~k ?retransmit ?(time_scale = Config.default_time_scale) ?plan
     | None -> Durable.Temp.fresh_dir ~prefix:"koptnet" ()
   in
   let use_proxy = plan <> None in
+  let per_node = if use_proxy then 3 else 2 in
+  let ports = free_ports (n * per_node) in
   let nodes =
     Array.init n (fun pid ->
         {
           pid;
-          data_port = free_port ();
-          proxy_port = (if use_proxy then Some (free_port ()) else None);
-          control_port = free_port ();
+          data_port = ports.(pid * per_node);
+          proxy_port = (if use_proxy then Some ports.((pid * per_node) + 2) else None);
+          control_port = ports.((pid * per_node) + 1);
           store_dir = Filename.concat root (Fmt.str "store-%d" pid);
           trace_file = Filename.concat root (Fmt.str "trace-%d.bin" pid);
           metrics_file = Filename.concat root (Fmt.str "metrics-%d.txt" pid);
@@ -256,6 +287,7 @@ let launch ~n ~k ?retransmit ?(time_scale = Config.default_time_scale) ?plan
       epoch = Unix.gettimeofday ();
       root;
       exe;
+      app;
       nodes;
       proxy;
       seq = 0;
@@ -268,9 +300,13 @@ let launch ~n ~k ?retransmit ?(time_scale = Config.default_time_scale) ?plan
 (* ------------------------------------------------------------------ *)
 (* Driving                                                             *)
 
-let inject t ~dst msg =
+let inject_app t ~dst ~wire msg =
   t.seq <- t.seq + 1;
-  ignore (ctl_send t.nodes.(dst) (Wire_codec.Inject { seq = t.seq; payload = msg }) : bool)
+  ignore
+    (ctl_send' t.nodes.(dst) wire (Wire_codec.Inject { seq = t.seq; payload = msg })
+      : bool)
+
+let inject t ~dst msg = inject_app t ~dst ~wire:App.wire msg
 
 let tick t ~dst kind = ignore (ctl_send t.nodes.(dst) (Wire_codec.Tick kind) : bool)
 
@@ -475,7 +511,24 @@ type outcome = {
   counters : (string * int) list;
   proxy : Proxy.stats option;
   transport_drops : int;
+  decode_errors : int;
+      (** inbound frames the daemons' transports could not decode (summed
+          [transport_decode_errors] metrics counters) *)
+  frames_dropped : int;
+      (** outbound frames dropped to queue overflow (summed
+          [transport_frames_dropped] counters) *)
 }
+
+let counter counters name = try List.assoc name counters with Not_found -> 0
+
+let check_fault_free outcome =
+  (* On a run with no proxy and no kills nothing on the wire may be
+     corrupt: a nonzero decode-failure count means the codec or the
+     framing regressed, and certification must fail rather than lean on
+     the protocol's loss tolerance to paper over it. *)
+  if outcome.decode_errors > 0 then
+    failwith
+      (Fmt.str "fault-free run decoded %d frame(s) as garbage" outcome.decode_errors)
 
 let reap node =
   if node.os_pid > 0 then begin
@@ -530,6 +583,8 @@ let finish t =
     counters;
     proxy = Option.map Proxy.stats t.proxy;
     transport_drops = count_log_errors t;
+    decode_errors = counter counters "transport_decode_errors";
+    frames_dropped = counter counters "transport_frames_dropped";
   }
 
 let destroy t =
@@ -544,8 +599,6 @@ let destroy t =
 
 (* ------------------------------------------------------------------ *)
 (* E14                                                                 *)
-
-let counter counters name = try List.assoc name counters with Not_found -> 0
 
 let fault_plan ~with_partition =
   {
@@ -613,6 +666,8 @@ let one_run ~n ~k ~ops ~kills ~plan ~seed report =
       string_of_int (counter outcome.counters "duplicates_dropped");
       string_of_int (counter outcome.counters "retransmissions");
       string_of_int (counter outcome.counters "outputs_committed");
+      string_of_int outcome.decode_errors;
+      string_of_int outcome.frames_dropped;
       string_of_int o.Harness.Oracle.lost;
       string_of_int o.Harness.Oracle.undone;
       string_of_int o.Harness.Oracle.max_risk;
@@ -629,7 +684,8 @@ let experiment ?(smoke = false) () =
       ~columns:
         [
           "K"; "kills"; "delivs"; "released"; "restarts"; "synth"; "orphans";
-          "dups"; "retrans"; "outputs"; "lost"; "undone"; "risk"; "violations";
+          "dups"; "retrans"; "outputs"; "dec_err"; "drops"; "lost"; "undone";
+          "risk"; "violations";
         ]
   in
   if smoke then

@@ -24,6 +24,7 @@ type t
 val launch :
   n:int ->
   k:int ->
+  ?app:string ->
   ?retransmit:float ->
   ?time_scale:float ->
   ?plan:Harness.Netmodel.fault_plan ->
@@ -33,6 +34,8 @@ val launch :
   unit ->
   t
 (** Start [n] daemons with degree of optimism [k] on free loopback ports.
+    [app] (default ["kvstore"]) selects the application the daemons run —
+    any name [koptnode --app] accepts (["shardkv"] is the sharded store).
     With [plan], every inter-daemon connection is routed through a
     {!Proxy} applying it.  [root] (default: a fresh temp dir) holds the
     per-process store dirs, trace files, metrics files and daemon logs.
@@ -46,9 +49,24 @@ val config : t -> Recovery.Config.t
 
 val root : t -> string
 
+val epoch : t -> float
+(** The shared wall-clock origin (Unix time) of every daemon's trace
+    timestamps: [epoch +. time *. time_scale] converts a merged-trace
+    entry back to wall clock, which is how client-visible latency is
+    measured against injection times. *)
+
+val time_scale : t -> float
+
 val inject : t -> dst:int -> App_model.Kvstore_app.msg -> unit
 (** Deliver a client message to daemon [dst] (a fresh outside-world
     sequence number is assigned). *)
+
+val inject_app :
+  t -> dst:int -> wire:'msg App_model.App_intf.wire_format -> 'msg -> unit
+(** {!inject} for deployments running a different application: the payload
+    is encoded with the given wire format, which must match the daemons'
+    [--app] (a mismatch is counted by the daemon as a decode failure,
+    never misread). *)
 
 val tick : t -> dst:int -> [ `Flush | `Checkpoint | `Notice ] -> unit
 
@@ -77,7 +95,21 @@ type outcome = {
   counters : (string * int) list;  (** summed daemon metrics counters *)
   proxy : Proxy.stats option;
   transport_drops : int;  (** frames daemons reported undecodable (from logs) *)
+  decode_errors : int;
+      (** summed [transport_decode_errors] counters: inbound frames whose
+          checksum or payload failed to decode, cluster-wide *)
+  frames_dropped : int;
+      (** summed [transport_frames_dropped] counters: outbound frames shed
+          to per-peer queue overflow *)
 }
+
+val counter : (string * int) list -> string -> int
+(** Look up a summed metrics counter ([0] if absent). *)
+
+val check_fault_free : outcome -> unit
+(** Certification tightening for runs with no proxy and no kills: a
+    benign network must decode every frame, so
+    @raise Failure if [decode_errors] is nonzero. *)
 
 val finish : t -> outcome
 (** Drain every daemon (Quit → metrics + final trace sync), reap the

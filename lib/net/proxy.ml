@@ -16,7 +16,7 @@ type t = {
   time_scale : float;
   epoch : float;
   listeners : Unix.file_descr list;
-  mutable conns : Unix.file_descr list;
+  conns : (Unix.file_descr, bool ref) Hashtbl.t; (* fd -> closed? *)
   conns_mutex : Mutex.t;
   counters : int array; (* forwarded, dropped, duplicated, delayed, severed *)
   counters_mutex : Mutex.t;
@@ -46,10 +46,29 @@ let draw t f =
 
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
+(* Each proxied stream is served by two pump threads, and shutdown may
+   race both: a tracked descriptor therefore carries a close guard so
+   it is closed exactly once no matter who gets there first.  A double
+   close is not harmless — between the two closes the kernel can hand
+   the same descriptor number to a brand-new connection, and the
+   second close then silently destroys that one. *)
 let track t fd =
   Mutex.lock t.conns_mutex;
-  t.conns <- fd :: t.conns;
+  Hashtbl.replace t.conns fd (ref false);
   Mutex.unlock t.conns_mutex
+
+let close_tracked t fd =
+  Mutex.lock t.conns_mutex;
+  let do_close =
+    match Hashtbl.find_opt t.conns fd with
+    | Some closed when not !closed ->
+      closed := true;
+      true
+    | Some _ -> false
+    | None -> true (* untracked: the caller is the sole owner *)
+  in
+  Mutex.unlock t.conns_mutex;
+  if do_close then close_quiet fd
 
 let read_exact fd n =
   let buf = Bytes.create n in
@@ -110,8 +129,8 @@ let pump_frames t ~src ~dst ~client ~server =
     else
       match read_frame client with
       | None ->
-        close_quiet client;
-        close_quiet server
+        close_tracked t client;
+        close_tracked t server
       | Some frame ->
         let forward =
           match active_partition t ~src ~dst with
@@ -158,8 +177,8 @@ let pump_frames t ~src ~dst ~client ~server =
             loop ()
           end
           else begin
-            close_quiet client;
-            close_quiet server
+            close_tracked t client;
+            close_tracked t server
           end
         end
         else loop ()
@@ -168,13 +187,13 @@ let pump_frames t ~src ~dst ~client ~server =
 
 (* Drain server -> client bytes (the acceptor side of a transport
    connection never writes, but a relay must not wedge if it does). *)
-let pump_raw client server =
+let pump_raw t client server =
   let buf = Bytes.create 4096 in
   let rec loop () =
     match Unix.read server buf 0 4096 with
     | 0 | (exception Unix.Unix_error _) ->
-      close_quiet client;
-      close_quiet server
+      close_tracked t client;
+      close_tracked t server
     | n -> if write_all client (Bytes.sub_string buf 0 n) then loop ()
   in
   loop ()
@@ -190,7 +209,7 @@ let handle_conn t route client =
         (String.length frame - Wire_codec.header_bytes)
     in
     match Wire_codec.Prim.run Wire_codec.Prim.get_int body with
-    | Error _ -> close_quiet client
+    | Error _ -> close_tracked t client
     | Ok src -> (
       (* A connection attempted across an active dropping partition is
          severed at the hello; the dialer's backoff keeps retrying until
@@ -198,9 +217,10 @@ let handle_conn t route client =
       match active_partition t ~src ~dst:route.dst with
       | Some { mode = Harness.Netmodel.Drop_packets; _ } ->
         bump t c_severed;
-        close_quiet client
+        close_tracked t client
       | _ -> (
         let server = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.set_close_on_exec server;
         match
           Unix.connect server
             (Unix.ADDR_INET (Unix.inet_addr_loopback, route.target_port));
@@ -209,22 +229,26 @@ let handle_conn t route client =
         | () ->
           track t server;
           if write_all server frame then begin
-            ignore (Thread.create (fun () -> pump_raw client server) () : Thread.t);
+            ignore (Thread.create (fun () -> pump_raw t client server) () : Thread.t);
             pump_frames t ~src ~dst:route.dst ~client ~server
           end
           else begin
-            close_quiet client;
-            close_quiet server
+            close_tracked t client;
+            close_tracked t server
           end
         | exception Unix.Unix_error _ ->
           close_quiet server;
-          close_quiet client)))
-  | _ -> close_quiet client (* not a transport stream: refuse *)
+          close_tracked t client)))
+  | _ -> close_tracked t client (* not a transport stream: refuse *)
 
 let accept_loop t route listener =
   let rec loop () =
     match Unix.accept listener with
     | fd, _ ->
+      (* The proxy lives in the driver process, which forks daemon
+         respawns: none of its sockets may leak into those children (a
+         leaked duplicate would keep a "severed" connection half-open). *)
+      Unix.set_close_on_exec fd;
       Unix.setsockopt fd Unix.TCP_NODELAY true;
       ignore (Thread.create (fun () -> handle_conn t route fd) () : Thread.t);
       loop ()
@@ -244,6 +268,7 @@ let start ~routes ?(plan = Harness.Netmodel.benign) ?(seed = 0)
     List.map
       (fun r ->
         let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.set_close_on_exec fd;
         Unix.setsockopt fd Unix.SO_REUSEADDR true;
         Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, r.listen_port));
         Unix.listen fd 64;
@@ -259,7 +284,7 @@ let start ~routes ?(plan = Harness.Netmodel.benign) ?(seed = 0)
       time_scale;
       epoch = Unix.gettimeofday ();
       listeners;
-      conns = [];
+      conns = Hashtbl.create 64;
       conns_mutex = Mutex.create ();
       counters = Array.make 5 0;
       counters_mutex = Mutex.create ();
@@ -287,9 +312,24 @@ let stats t =
   s
 
 let close t =
-  t.stopping <- true;
-  List.iter close_quiet t.listeners;
   Mutex.lock t.conns_mutex;
-  List.iter close_quiet t.conns;
-  t.conns <- [];
-  Mutex.unlock t.conns_mutex
+  let first = not t.stopping in
+  t.stopping <- true;
+  let pending =
+    if not first then []
+    else
+      Hashtbl.fold
+        (fun fd closed acc ->
+          if !closed then acc
+          else begin
+            closed := true;
+            fd :: acc
+          end)
+        t.conns []
+  in
+  Mutex.unlock t.conns_mutex;
+  (* Second call is a no-op: listeners and streams close exactly once. *)
+  if first then begin
+    List.iter close_quiet t.listeners;
+    List.iter close_quiet pending
+  end

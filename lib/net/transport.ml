@@ -208,8 +208,16 @@ let writer_loop t peer =
           | Some fd ->
             if write_all fd batch then bump_n t c_sent n
             else begin
-              close_quiet fd;
-              peer.sock <- None;
+              (* Close under the peer mutex, and only if [close t] has not
+                 raced us to it: a second close of the same descriptor
+                 number can land on an unrelated fd opened in between. *)
+              Mutex.lock peer.mutex;
+              (match peer.sock with
+              | Some fd' when fd' == fd ->
+                close_quiet fd;
+                peer.sock <- None
+              | _ -> ());
+              Mutex.unlock peer.mutex;
               if writes < 2 then send_batch ~dials ~writes:(writes + 1)
               else bump_n t c_dropped n
             end

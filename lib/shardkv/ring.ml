@@ -1,0 +1,89 @@
+type t = {
+  shards : int;
+  vnodes : int;
+  seed : int;
+  points : (int * int) array;  (** (position, shard), sorted by position *)
+}
+
+let default_vnodes = 64
+
+let default_seed = 0x5eed
+
+let shards t = t.shards
+
+let vnodes t = t.vnodes
+
+let seed t = t.seed
+
+let points t = t.points
+
+(* SplitMix64's avalanche finisher: every input bit affects every output
+   bit, so structured inputs (small shard/vnode indices, short keys) spread
+   uniformly over the ring. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Fold to OCaml's non-negative int range: the ring is a 62-bit space. *)
+let to_pos z = Int64.to_int z land max_int
+
+let point_hash ~seed ~shard ~vnode =
+  (* Independent of the ring's size: a shard's points never move when other
+     shards come or go — the whole minimal-movement argument. *)
+  mix64
+    (Int64.add
+       (mix64 (Int64.add (mix64 (Int64.of_int seed)) (Int64.of_int shard)))
+       (Int64.of_int vnode))
+  |> to_pos
+
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_prime = 0x100000001b3L
+
+let fnv64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let key_hash _t key = to_pos (mix64 (fnv64 key))
+
+let sort_points points =
+  (* Position ties (astronomically unlikely) resolve to the lower shard id
+     on every reconstruction, keeping the map deterministic. *)
+  Array.sort compare points;
+  points
+
+let make ~shards ?(vnodes = default_vnodes) ?(seed = default_seed) () =
+  if shards <= 0 then invalid_arg "Ring.make: shards must be positive";
+  if vnodes <= 0 then invalid_arg "Ring.make: vnodes must be positive";
+  let points =
+    Array.init (shards * vnodes) (fun i ->
+        let shard = i / vnodes and vnode = i mod vnodes in
+        (point_hash ~seed ~shard ~vnode, shard))
+  in
+  { shards; vnodes; seed; points = sort_points points }
+
+let owner_of_hash t h =
+  (* First point at or clockwise-after [h], wrapping past the top. *)
+  let pts = t.points in
+  let n = Array.length pts in
+  let rec search lo hi =
+    (* invariant: fst pts.(hi) >= h if hi < n; everything below lo is < h *)
+    if lo >= hi then if lo = n then snd pts.(0) else snd pts.(lo)
+    else begin
+      let mid = (lo + hi) / 2 in
+      if fst pts.(mid) < h then search (mid + 1) hi else search lo mid
+    end
+  in
+  search 0 n
+
+let owner t key = owner_of_hash t (key_hash t key)
+
+let remove t i =
+  if i < 0 || i >= t.shards then invalid_arg "Ring.remove: shard out of range";
+  let points = Array.of_list (List.filter (fun (_, s) -> s <> i) (Array.to_list t.points)) in
+  if Array.length points = 0 then invalid_arg "Ring.remove: cannot empty the ring";
+  { t with points }

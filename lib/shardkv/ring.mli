@@ -1,0 +1,49 @@
+(** Consistent-hash ring: the stable key→shard mapping of the sharded KV
+    service.
+
+    Each shard owns [vnodes] points on a 63-bit ring; a key belongs to the
+    shard owning the first point at or clockwise-after the key's hash.
+    Point positions are a pure function of [(seed, shard, vnode)] — never
+    of the ring's size — which yields the minimal-movement law the QCheck
+    suite pins: growing an [n]-shard ring to [n+1] shards remaps a key iff
+    its new owner {e is} shard [n], and removing a shard remaps only the
+    keys that shard owned.  Construction uses no global or randomized
+    hash state (notably not [Hashtbl.hash]), so the mapping is stable
+    across runs, processes and machines: every daemon and every client
+    rebuilds the identical ring from [(shards, vnodes, seed)] alone. *)
+
+type t
+
+val default_vnodes : int
+(** 64: per-shard virtual-node count keeping measured per-shard load
+    within a factor of 1.6 of fair share (the balance test pins that
+    bound on a deterministic key sample). *)
+
+val default_seed : int
+
+val make : shards:int -> ?vnodes:int -> ?seed:int -> unit -> t
+(** @raise Invalid_argument if [shards <= 0] or [vnodes <= 0]. *)
+
+val shards : t -> int
+
+val vnodes : t -> int
+
+val seed : t -> int
+
+val points : t -> (int * int) array
+(** The sorted [(position, shard)] points — exposed for property tests. *)
+
+val key_hash : t -> string -> int
+(** Position of a key on this ring (FNV-1a/64 with an avalanche finisher,
+    folded to the ring's 63-bit space). *)
+
+val owner : t -> string -> int
+(** The shard owning [key]. *)
+
+val owner_of_hash : t -> int -> int
+(** [owner] of a precomputed {!key_hash} position. *)
+
+val remove : t -> int -> t
+(** The ring without shard [i]'s points: where keys of a lost shard land.
+    Keys not owned by [i] keep their owner (the minimal-movement law).
+    @raise Invalid_argument if [i] is out of range or the last shard. *)

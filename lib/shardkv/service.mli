@@ -1,0 +1,73 @@
+(** Client library for the sharded KV service, over a live deployment.
+
+    A service handle wraps a {!Net.Deployment} whose daemons run the
+    [shardkv] application ([Deployment.launch ~app:"shardkv"]).  The
+    client rebuilds the same consistent-hash {!Ring} the daemons use
+    (both are pure functions of the cluster size and the default seed) and
+    routes every operation straight to the owning shard's control socket —
+    there is no metadata service and no extra hop on the happy path.
+
+    Acknowledged operations (gets and multi-puts) carry a unique tag that
+    reappears in the committed output's text; the handle records each
+    injection's wall-clock time, so after {!Net.Deployment.finish} the
+    merged trace yields end-to-end client latency: injection to
+    {e output commit} — the moment the K-optimistic rule lets the answer
+    leave the system, which is the only latency a client can observe. *)
+
+type t
+
+val connect : Net.Deployment.t -> t
+(** The deployment must have been launched with [~app:"shardkv"]; the
+    client's ring is derived from [Deployment.n]. *)
+
+val ring : t -> Ring.t
+
+val key_of_rank : int -> string
+(** The key namespace used by {!run_open_loop}: rank [r] is ["key-r"]. *)
+
+val put : t -> key:string -> value:int -> unit
+(** Fire-and-forget single-key put, routed to the owner shard. *)
+
+val get : t -> key:string -> unit
+(** Tagged read; the owner commits an output ["get:<tag> <key> -> ..."]
+    whose commit time the handle later matches for latency. *)
+
+val multi_put : t -> (string * int) list -> unit
+(** Cross-shard batch, injected at the coordinator (owner of the first
+    key).  The client ack is the coordinator's ["mp:<tag> ok"] output —
+    committed only when every touched shard's apply interval is stable
+    under the K rule.
+    @raise Invalid_argument on fewer than two pairs. *)
+
+val run_open_loop : ?start:float -> t -> Harness.Workload.timed_kv_op list -> unit
+(** Replay a {!Harness.Workload.open_loop_kv} schedule against the wall
+    clock: each operation is injected at [start +. at] (default [start] is
+    now), or immediately if that moment has passed — arrivals never wait
+    for earlier operations, so a slow cluster builds a backlog instead of
+    silently throttling the load.  Pass the same [start] across calls to
+    keep one schedule honest around mid-run kills. *)
+
+type latency_stats = {
+  acked : int;  (** tagged operations whose output committed *)
+  outstanding : int;  (** tagged operations never acked *)
+  p50 : float;  (** seconds, injection -> output commit *)
+  p99 : float;
+  max : float;
+}
+
+val latency_stats : t -> Recovery.Trace.t -> latency_stats
+(** Match committed outputs in a merged trace against this handle's
+    recorded injections (commit wall time is reconstructed from the
+    deployment's epoch and time scale).  Percentiles are [nan] when
+    nothing acked. *)
+
+val experiment : ?smoke:bool -> unit -> Harness.Report.t * (string * float) list
+(** E15: the sharded KV service on live clusters.  Per cluster size
+    (N = 16 and N = 64; [smoke]: N = 4) an open-loop Zipfian workload runs
+    twice — a benign baseline (must be fault-free: zero decode errors,
+    zero outstanding acks) that yields the throughput and latency
+    percentiles, and a faulted run under SIGKILLs plus a proxy fault plan
+    that the oracle must certify with measured risk ≤ K.  Returns the
+    report and the [(key, value)] pairs destined for BENCH_net.json.
+    @raise Failure on any oracle violation, risk above K, or a non-clean
+    baseline. *)

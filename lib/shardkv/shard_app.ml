@@ -1,0 +1,258 @@
+(** The sharded key-value application.
+
+    One process = one shard; ownership comes from the consistent-hash
+    {!Ring}, which every shard rebuilds deterministically from [(n, seed)]
+    alone, so all shards agree on placement without any metadata service.
+    Single-key operations are routed by the client straight to the owner
+    (a mis-routed message is forwarded, so a stale client ring costs one
+    hop, never a wrong answer).
+
+    The cross-shard primitive is [Multi_put]: the client injects it at a
+    {e coordinator} shard (by convention the owner of the first key), which
+    partitions the pairs by owner, applies its own group, fans the rest out
+    as [Mp_apply] messages, and counts [Mp_ack]s.  When the last ack
+    arrives the coordinator emits the client acknowledgement as an
+    {e output} — and that is the whole commit protocol: the recovery
+    layer's output-commit rule holds the ack until every state interval it
+    transitively depends on (the apply intervals on {e all} touched shards,
+    via the acks) is stable under the K-optimistic rule.  No extra
+    two-phase machinery is needed, and the ack can never be observed and
+    then revoked: if any participant is killed first, the ack's dependency
+    closure contains the lost interval and the output stays uncommitted
+    until replay re-establishes it.  PROTOCOL.md §Multi-put spells out the
+    argument. *)
+
+module Str_map = Map.Make (String)
+module Int_map = Map.Make (Int)
+
+type msg =
+  | Put of { key : string; value : int }
+  | Get of { g : int; key : string }  (** [g] tags the reply output *)
+  | Multi_put of { m : int; pairs : (string * int) list }
+      (** client-injected at the coordinator; [m] tags the ack output *)
+  | Mp_apply of { m : int; coord : int; pairs : (string * int) list }
+  | Mp_ack of { m : int; from_ : int }
+
+type state = {
+  pid : int;
+  ring : Ring.t;
+  store : (int * int) Str_map.t;  (** key -> (value, version) *)
+  pending : int Int_map.t;  (** multi-put id -> acks still missing *)
+  puts : int;
+}
+
+let pp_msg ppf = function
+  | Put { key; value } -> Fmt.pf ppf "Put %s=%d" key value
+  | Get { g; key } -> Fmt.pf ppf "Get#%d %s" g key
+  | Multi_put { m; pairs } ->
+    Fmt.pf ppf "MultiPut#%d [%a]" m
+      (Fmt.list ~sep:Fmt.sp (fun ppf (k, v) -> Fmt.pf ppf "%s=%d" k v))
+      pairs
+  | Mp_apply { m; coord; pairs } ->
+    Fmt.pf ppf "MpApply#%d coord=%d (%d keys)" m coord (List.length pairs)
+  | Mp_ack { m; from_ } -> Fmt.pf ppf "MpAck#%d from %d" m from_
+
+let lookup state key = Str_map.find_opt key state.store
+
+let apply_one state (key, value) =
+  let version = match lookup state key with None -> 1 | Some (_, v) -> v + 1 in
+  {
+    state with
+    store = Str_map.add key (value, version) state.store;
+    puts = state.puts + 1;
+  }
+
+(* Partition [pairs] by owning shard, preserving first-seen owner order and
+   within-owner pair order — the grouping must be a pure function of the
+   message so replay reproduces the same fan-out. *)
+let partition ring pairs =
+  let groups = ref [] in
+  List.iter
+    (fun (key, value) ->
+      let o = Ring.owner ring key in
+      match List.assoc_opt o !groups with
+      | Some acc -> acc := (key, value) :: !acc
+      | None -> groups := (o, ref [ (key, value) ]) :: !groups)
+    pairs;
+  List.rev_map (fun (o, acc) -> (o, List.rev !acc)) !groups
+
+let mp_ack_text m = Fmt.str "mp:%d ok" m
+
+let get_text g key = function
+  | None -> Fmt.str "get:%d %s -> none" g key
+  | Some (value, version) -> Fmt.str "get:%d %s -> %d (v%d)" g key value version
+
+let handle ~pid ~n:_ state ~src:_ msg =
+  match msg with
+  | Put { key; value } ->
+    let o = Ring.owner state.ring key in
+    if o <> pid then (state, [ App_model.App_intf.send o (Put { key; value }) ])
+    else (apply_one state (key, value), [])
+  | Get { g; key } ->
+    let o = Ring.owner state.ring key in
+    if o <> pid then (state, [ App_model.App_intf.send o (Get { g; key }) ])
+    else (state, [ App_model.App_intf.output (get_text g key (lookup state key)) ])
+  | Multi_put { m; pairs } ->
+    let groups = partition state.ring pairs in
+    let local = match List.assoc_opt pid groups with Some l -> l | None -> [] in
+    let remote = List.filter (fun (o, _) -> o <> pid) groups in
+    let state = List.fold_left apply_one state local in
+    if remote = [] then (state, [ App_model.App_intf.output (mp_ack_text m) ])
+    else begin
+      let state =
+        { state with pending = Int_map.add m (List.length remote) state.pending }
+      in
+      ( state,
+        List.map
+          (fun (o, pairs) ->
+            App_model.App_intf.send o (Mp_apply { m; coord = pid; pairs }))
+          remote )
+    end
+  | Mp_apply { m; coord; pairs } ->
+    let state = List.fold_left apply_one state pairs in
+    (state, [ App_model.App_intf.send coord (Mp_ack { m; from_ = pid }) ])
+  | Mp_ack { m; from_ = _ } -> (
+    match Int_map.find_opt m state.pending with
+    | None -> (state, [])  (* stale ack for an already-acked multi-put *)
+    | Some 1 ->
+      ( { state with pending = Int_map.remove m state.pending },
+        [ App_model.App_intf.output (mp_ack_text m) ] )
+    | Some left ->
+      ({ state with pending = Int_map.add m (left - 1) state.pending }, []))
+
+let digest s =
+  (* The ring is a constant of (n, seed) — identical on every incarnation —
+     so it stays out of the digest. *)
+  let h =
+    Str_map.fold
+      (fun key (value, version) h ->
+        App_model.Hashing.(mix (mix (mix h (string key)) value) version))
+      s.store
+      (App_model.Hashing.pair s.pid s.puts)
+  in
+  Int_map.fold (fun m left h -> App_model.Hashing.(mix (mix h m) left)) s.pending h
+
+(* Byte-level payload format, mirroring the kvstore app's conventions: a
+   tag byte, int64-LE integers, u32-length-prefixed strings, and a
+   count-prefixed pair list; unknown tags, short buffers and trailing
+   bytes are decode errors. *)
+let wire : msg App_model.App_intf.wire_format =
+  let put_int b v =
+    let s = Bytes.create 8 in
+    Bytes.set_int64_le s 0 (Int64.of_int v);
+    Buffer.add_bytes b s
+  in
+  let put_str b s =
+    put_int b (String.length s);
+    Buffer.add_string b s
+  in
+  let put_pairs b pairs =
+    put_int b (List.length pairs);
+    List.iter
+      (fun (k, v) ->
+        put_str b k;
+        put_int b v)
+      pairs
+  in
+  let write msg =
+    let b = Buffer.create 48 in
+    (match msg with
+    | Put { key; value } ->
+      Buffer.add_char b '\x01';
+      put_str b key;
+      put_int b value
+    | Get { g; key } ->
+      Buffer.add_char b '\x02';
+      put_int b g;
+      put_str b key
+    | Multi_put { m; pairs } ->
+      Buffer.add_char b '\x03';
+      put_int b m;
+      put_pairs b pairs
+    | Mp_apply { m; coord; pairs } ->
+      Buffer.add_char b '\x04';
+      put_int b m;
+      put_int b coord;
+      put_pairs b pairs
+    | Mp_ack { m; from_ } ->
+      Buffer.add_char b '\x05';
+      put_int b m;
+      put_int b from_);
+    Buffer.contents b
+  in
+  let read s =
+    let pos = ref 0 in
+    let need n =
+      if !pos + n > String.length s then failwith "shardkv wire: short buffer"
+    in
+    let get_int () =
+      need 8;
+      let v = Int64.to_int (String.get_int64_le s !pos) in
+      pos := !pos + 8;
+      v
+    in
+    let get_str () =
+      let len = get_int () in
+      if len < 0 then failwith "shardkv wire: negative length";
+      need len;
+      let v = String.sub s !pos len in
+      pos := !pos + len;
+      v
+    in
+    let get_pairs () =
+      let count = get_int () in
+      if count < 0 then failwith "shardkv wire: negative pair count";
+      List.init count (fun _ ->
+          let k = get_str () in
+          (k, get_int ()))
+    in
+    match
+      if String.length s = 0 then Error "shardkv wire: empty payload"
+      else begin
+        let tag = s.[0] in
+        pos := 1;
+        let msg =
+          match tag with
+          | '\x01' ->
+            let key = get_str () in
+            Put { key; value = get_int () }
+          | '\x02' ->
+            let g = get_int () in
+            Get { g; key = get_str () }
+          | '\x03' ->
+            let m = get_int () in
+            Multi_put { m; pairs = get_pairs () }
+          | '\x04' ->
+            let m = get_int () in
+            let coord = get_int () in
+            Mp_apply { m; coord; pairs = get_pairs () }
+          | '\x05' ->
+            let m = get_int () in
+            Mp_ack { m; from_ = get_int () }
+          | c -> failwith (Fmt.str "shardkv wire: unknown tag %#x" (Char.code c))
+        in
+        if !pos <> String.length s then failwith "shardkv wire: trailing bytes";
+        Ok msg
+      end
+    with
+    | result -> result
+    | exception Failure e -> Error e
+  in
+  { App_model.App_intf.write; read }
+
+let app : (state, msg) App_model.App_intf.t =
+  {
+    name = "shardkv";
+    init =
+      (fun ~pid ~n ->
+        {
+          pid;
+          ring = Ring.make ~shards:n ();
+          store = Str_map.empty;
+          pending = Int_map.empty;
+          puts = 0;
+        });
+    handle;
+    digest;
+    pp_msg;
+  }

@@ -27,4 +27,5 @@ let () =
       ("integration", Test_integration.suite);
       ("net-codec", Test_net_codec.suite);
       ("net-deployment", Test_net.suite);
+      ("shardkv", Test_shardkv.suite);
     ]

@@ -21,6 +21,20 @@ let test_cluster_benign () =
     outcome.Deployment.oracle.Harness.Oracle.violations;
   Alcotest.(check bool) "work happened" true (counter outcome "deliveries" > 0);
   Alcotest.(check int) "no crash synthesized" 0 outcome.Deployment.synthesized_crashes;
+  (* Fault-free certification tightening: a benign network decodes every
+     frame, and every daemon's graceful quit flushed first, so each wrote
+     a clean [Crashed] (no lost interval) instead of leaving a torn tail. *)
+  Deployment.check_fault_free outcome;
+  let clean_quits =
+    List.length
+      (List.filter
+         (fun { Recovery.Trace.ev; _ } ->
+           match ev with
+           | Recovery.Trace.Crashed { first_lost = None; _ } -> true
+           | _ -> false)
+         (Recovery.Trace.events outcome.Deployment.trace))
+  in
+  Alcotest.(check int) "every daemon quit cleanly" 3 clean_quits;
   Durable.Temp.rm_rf (Deployment.root t)
 
 (* SIGKILL one daemon mid-workload; the respawned incarnation must recover

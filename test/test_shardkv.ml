@@ -1,0 +1,260 @@
+(* The sharded KV service: consistent-hash ring laws, the shard
+   application's wire format, the multi-put ack's K-rule gating (scripted
+   in the simulator), and a live mini-cluster multi-put surviving a
+   SIGKILL of a participating shard. *)
+
+open Util
+module Ring = Shardkv.Ring
+module Shard_app = Shardkv.Shard_app
+module Cluster = Harness.Cluster
+module Deployment = Net.Deployment
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                                *)
+
+(* Cross-run / cross-process stability: clients and daemons never exchange
+   ring state, they rebuild it — so the mapping itself is part of the wire
+   contract and is pinned by value, not just by self-consistency. *)
+let test_ring_golden () =
+  let r = Ring.make ~shards:8 () in
+  Alcotest.(check int) "key_hash pinned" 2124457483120015867
+    (Ring.key_hash r "key-0");
+  List.iter
+    (fun (key, owner) -> Alcotest.(check int) key owner (Ring.owner r key))
+    [ ("key-0", 7); ("key-1", 0); ("key-42", 6); ("alpha", 7); ("omega", 2) ];
+  let r' = Ring.make ~shards:8 () in
+  Alcotest.(check bool) "construction is deterministic" true
+    (Ring.points r = Ring.points r')
+
+(* Distribution balance, on a deterministic key sample so the bound is a
+   regression test rather than a flaky estimate: with 64 vnodes each of 8
+   shards owns between 1/1.6 and 1.6x fair share of 20000 keys. *)
+let test_ring_balance () =
+  let shards = 8 in
+  let keys = 20000 in
+  let r = Ring.make ~shards () in
+  let counts = Array.make shards 0 in
+  for i = 0 to keys - 1 do
+    let o = Ring.owner r (Fmt.str "key-%d" i) in
+    counts.(o) <- counts.(o) + 1
+  done;
+  let fair = float_of_int keys /. float_of_int shards in
+  Array.iteri
+    (fun shard c ->
+      let ratio = float_of_int c /. fair in
+      if ratio > 1.6 || ratio < 1. /. 1.6 then
+        Alcotest.failf "shard %d owns %d keys (%.2fx fair share)" shard c ratio)
+    counts
+
+(* Growing 16 -> 17 shards must remap about 1/17 of keys — the point of
+   consistent hashing.  Exact fraction measured on the same sample. *)
+let test_ring_minimal_movement_fraction () =
+  let keys = 20000 in
+  let a = Ring.make ~shards:16 () in
+  let b = Ring.make ~shards:17 () in
+  let moved = ref 0 in
+  for i = 0 to keys - 1 do
+    let k = Fmt.str "key-%d" i in
+    if Ring.owner a k <> Ring.owner b k then incr moved
+  done;
+  let bound = 2. *. float_of_int keys /. 17. in
+  if float_of_int !moved > bound then
+    Alcotest.failf "%d of %d keys moved (bound %.0f)" !moved keys bound;
+  Alcotest.(check bool) "some keys moved" true (!moved > 0)
+
+let gen_ring_key =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (Fmt.str "key-%d") (int_bound 100000);
+        string_size ~gen:printable (int_range 1 24);
+      ])
+
+(* The exact minimal-movement law (not a statistical bound): point
+   positions don't depend on ring size, so growing the ring can only move
+   a key to the new shard. *)
+let test_ring_grow_law =
+  qtest "grow n->n+1 remaps only onto the new shard"
+    QCheck2.Gen.(pair (int_range 1 32) gen_ring_key)
+    (fun (n, key) ->
+      let before = Ring.owner (Ring.make ~shards:n ()) key in
+      let after = Ring.owner (Ring.make ~shards:(n + 1) ()) key in
+      after = before || after = n)
+
+let test_ring_remove_law =
+  qtest "remove i remaps only keys i owned"
+    QCheck2.Gen.(triple (int_range 2 32) (int_bound 1000) gen_ring_key)
+    (fun (n, i, key) ->
+      let i = i mod n in
+      let r = Ring.make ~shards:n () in
+      let owner = Ring.owner r key in
+      let owner' = Ring.owner (Ring.remove r i) key in
+      if owner = i then owner' <> i else owner' = owner)
+
+(* ------------------------------------------------------------------ *)
+(* Wire format                                                         *)
+
+let gen_pairs =
+  QCheck2.Gen.(
+    list_size (int_range 1 6)
+      (pair (string_size ~gen:printable (int_bound 20)) (int_range (-1000) 1000)))
+
+let gen_shard_msg =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2
+          (fun key value -> Shard_app.Put { key; value })
+          (string_size ~gen:printable (int_bound 20))
+          int;
+        map2
+          (fun g key -> Shard_app.Get { g; key })
+          (int_bound 10000)
+          (string_size ~gen:printable (int_bound 20));
+        map2 (fun m pairs -> Shard_app.Multi_put { m; pairs }) (int_bound 10000)
+          gen_pairs;
+        map3
+          (fun m coord pairs -> Shard_app.Mp_apply { m; coord; pairs })
+          (int_bound 10000) (int_bound 64) gen_pairs;
+        map2
+          (fun m from_ -> Shard_app.Mp_ack { m; from_ })
+          (int_bound 10000) (int_bound 64);
+      ])
+
+let test_wire_roundtrip =
+  qtest "shardkv payload: read inverts write" gen_shard_msg (fun msg ->
+      match Shard_app.wire.read (Shard_app.wire.write msg) with
+      | Ok msg' -> msg = msg'
+      | Error e -> QCheck2.Test.fail_report e)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-put commit gating (scripted, K = 0)                           *)
+
+(* The paper's output-commit rule IS the multi-put commit protocol: at
+   K = 0 the client ack may not commit before every apply interval it
+   transitively depends on is stable.  Script the full episode — gated
+   fan-out, a participant crash that loses its (unflushed) apply, replay
+   via retransmission, and an ack that is delivered but stays uncommitted
+   until the coordinator's own interval is flushed. *)
+let test_multi_put_gating_k0 () =
+  let n = 3 in
+  let config = Recovery.Config.k_optimistic ~n ~k:0 () in
+  let cl =
+    Cluster.create ~config ~app:Shard_app.app ~horizon:400. ~auto_timers:false ()
+  in
+  let ring = Ring.make ~shards:n () in
+  (* Two keys with distinct owners; the coordinator owns the first. *)
+  let coord = Ring.owner ring "key-0" in
+  let kp =
+    let rec find i =
+      if Ring.owner ring (Fmt.str "key-%d" i) <> coord then Fmt.str "key-%d" i
+      else find (i + 1)
+    in
+    find 1
+  in
+  let participant = Ring.owner ring kp in
+  Cluster.inject_at cl ~time:1. ~dst:coord
+    (Shard_app.Multi_put { m = 0; pairs = [ ("key-0", 10); (kp, 20) ] });
+  Cluster.run_until cl 5.;
+  (* K = 0 gates the Mp_apply fan-out until the coordinator flushes. *)
+  Alcotest.(check bool) "fan-out gated before flush" true
+    (Recovery.Node.send_buffer_size (Cluster.node cl coord) > 0);
+  Alcotest.(check int) "no ack yet" 0 (Cluster.stats cl).outputs_committed;
+  Cluster.flush_at cl ~time:6. ~pid:coord;
+  Cluster.run_until cl 10.;
+  Alcotest.(check int) "participant applied" 1
+    (Recovery.Node.app_state (Cluster.node cl participant)).Shard_app.puts;
+  Alcotest.(check int) "still no ack" 0 (Cluster.stats cl).outputs_committed;
+  (* Crash the participant before it ever flushed: its apply interval and
+     its gated Mp_ack are lost; recovery must redo both. *)
+  Cluster.crash_at cl ~time:11. ~pid:participant;
+  Cluster.run_until cl 80.;
+  Alcotest.(check int) "ack still withheld after crash + replay" 0
+    (Cluster.stats cl).outputs_committed;
+  Cluster.flush_at cl ~time:85. ~pid:participant;
+  Cluster.run_until cl 95.;
+  (* The Mp_ack has now reached the coordinator and the ack output exists —
+     but the coordinator's own receiving interval is not stable, so the
+     commit must still wait: no ack precedes commit stability. *)
+  Alcotest.(check int) "ack delivered but uncommitted" 0
+    (Cluster.stats cl).outputs_committed;
+  Alcotest.(check bool) "ack buffered at coordinator" true
+    (Recovery.Node.output_buffer_size (Cluster.node cl coord) > 0);
+  Cluster.flush_at cl ~time:100. ~pid:coord;
+  Cluster.run_until cl 110.;
+  Alcotest.(check int) "ack committed exactly once" 1
+    (Cluster.stats cl).outputs_committed;
+  let committed_texts =
+    List.filter_map
+      (fun { Recovery.Trace.ev; _ } ->
+        match ev with
+        | Recovery.Trace.Output_committed { text; _ } -> Some text
+        | _ -> None)
+      (Recovery.Trace.events (Cluster.trace cl))
+  in
+  Alcotest.(check (list string)) "the ack is the multi-put's" [ "mp:0 ok" ]
+    committed_texts;
+  let report = Harness.Oracle.check ~k:0 ~n (Cluster.trace cl) in
+  Alcotest.(check (list string)) "oracle certifies" []
+    report.Harness.Oracle.violations;
+  Alcotest.(check int) "risk 0 at K=0" 0 report.Harness.Oracle.max_risk
+
+(* ------------------------------------------------------------------ *)
+(* Live: multi-put across shards survives killing a participant        *)
+
+let test_live_multi_put_under_kill () =
+  let t = Deployment.launch ~n:3 ~k:0 ~app:"shardkv" ~seed:21 () in
+  let svc = Shardkv.Service.connect t in
+  let ring = Shardkv.Service.ring svc in
+  let coord = Ring.owner ring "key-0" in
+  let kp =
+    let rec find i =
+      if Ring.owner ring (Fmt.str "key-%d" i) <> coord then Fmt.str "key-%d" i
+      else find (i + 1)
+    in
+    find 1
+  in
+  Shardkv.Service.multi_put svc [ ("key-0", 1); (kp, 2) ];
+  (* SIGKILL the participating shard immediately: whether the kill lands
+     before or after its apply became stable, the K = 0 oracle run proves
+     the ack was never released ahead of commit stability, and the ack
+     must still arrive exactly once after recovery. *)
+  Deployment.kill t ~dst:(Ring.owner ring kp);
+  ignore (Deployment.settle t : bool);
+  let outcome = Deployment.finish t in
+  Alcotest.(check (list string))
+    "oracle certifies" []
+    outcome.Deployment.oracle.Harness.Oracle.violations;
+  Alcotest.(check int) "risk 0 at K=0" 0
+    outcome.Deployment.oracle.Harness.Oracle.max_risk;
+  let stats = Shardkv.Service.latency_stats svc outcome.Deployment.trace in
+  Alcotest.(check int) "ack committed" 1 stats.Shardkv.Service.acked;
+  Alcotest.(check int) "nothing outstanding" 0
+    stats.Shardkv.Service.outstanding;
+  let acks =
+    List.filter
+      (fun { Recovery.Trace.ev; _ } ->
+        match ev with
+        | Recovery.Trace.Output_committed { text; _ } -> text = "mp:0 ok"
+        | _ -> false)
+      (Recovery.Trace.events outcome.Deployment.trace)
+  in
+  Alcotest.(check int) "exactly one ack in the merged trace" 1
+    (List.length acks);
+  Durable.Temp.rm_rf (Deployment.root t)
+
+let suite =
+  [
+    Alcotest.test_case "ring: golden values and determinism" `Quick
+      test_ring_golden;
+    Alcotest.test_case "ring: balance within bound" `Quick test_ring_balance;
+    Alcotest.test_case "ring: grow remaps ~1/N of keys" `Quick
+      test_ring_minimal_movement_fraction;
+    test_ring_grow_law;
+    test_ring_remove_law;
+    test_wire_roundtrip;
+    Alcotest.test_case "multi-put ack gated by the K rule (K=0, scripted)"
+      `Quick test_multi_put_gating_k0;
+    Alcotest.test_case "live: multi-put survives participant SIGKILL" `Slow
+      test_live_multi_put_under_kill;
+  ]
