@@ -464,7 +464,28 @@ let run_check_net_floors () =
     (fun key ->
       if find key <= 0. then failwith (Fmt.str "%s: non-positive" key))
     [ "E15 kv delivs/s n=16 k=2"; "E15 kv delivs/s n=64 k=2" ];
-  Fmt.pr "net floors ok: %s = %.1f@." smoke_key smoke
+  (* Committed E16 keys: serving-during-recovery must hold on the largest
+     committed log — a probe answered (ttfr positive) well before full
+     recovery, and incremental checkpoints must keep bounded-replay
+     recovery under the whole-log figure. *)
+  let ttfr = find "E16 ttfr ms ops=1200 k=2" in
+  let ttfull = find "E16 ttfull ms ops=1200 k=2" in
+  if ttfr <= 0. then failwith "E16 ttfr ms ops=1200 k=2: non-positive";
+  if ttfr >= ttfull then
+    failwith
+      (Fmt.str
+         "E16 ops=1200 k=2: first request not served before full recovery \
+          (ttfr %.1f ms >= ttfull %.1f ms)"
+         ttfr ttfull);
+  let pckpt = find "E16 ttfull ms ops=1200 k=2 pckpt" in
+  if pckpt <= 0. || pckpt >= ttfull then
+    failwith
+      (Fmt.str
+         "E16 ops=1200: incremental checkpoints did not beat whole-log \
+          replay (%.1f ms vs %.1f ms)"
+         pckpt ttfull);
+  Fmt.pr "net floors ok: %s = %.1f; E16 ttfr %.1f < ttfull %.1f ms (pckpt %.1f)@."
+    smoke_key smoke ttfr ttfull pckpt
 
 (* ------------------------------------------------------------------ *)
 

@@ -129,6 +129,40 @@ let kv_cmd =
   in
   Cmd.v (Cmd.info "kv" ~doc) Term.(const run $ smoke $ json_arg)
 
+let recovery_cmd =
+  let doc =
+    "Run E16: fast recovery on live clusters — SIGKILL a daemon, respawn it \
+     immediately, and race a probe Get against the replay; measures ttfr \
+     (time to first answered request, served from the probe's hot partition \
+     while the rest of the log replays) and ttfull (time to full recovery) \
+     across log lengths, with and without incremental per-partition \
+     checkpoints; baseline rows feed ttfr/ttfull into BENCH_net.json and \
+     every run must oracle-certify with risk at most K."
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Time-capped CI mode: one small cluster, one SIGKILL + probe, \
+             oracle-certified.")
+  in
+  let run smoke json =
+    match Net.Recovery_exp.experiment ~smoke () with
+    | report, bench ->
+      Harness.Report.print report;
+      if bench <> [] then begin
+        Harness.Report.merge_bench "BENCH_net.json" bench;
+        Fmt.pr "merged %d E16 keys into BENCH_net.json@." (List.length bench)
+      end;
+      write_json json [ report ];
+      0
+    | exception Failure msg ->
+      Fmt.epr "FAIL: %s@." msg;
+      1
+  in
+  Cmd.v (Cmd.info "recovery" ~doc) Term.(const run $ smoke $ json_arg)
+
 let breakage_conv =
   Arg.enum
     [
@@ -396,4 +430,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; run_cmd; chaos_cmd; explore_cmd; net_cmd; kv_cmd ]))
+          [ list_cmd; run_cmd; chaos_cmd; explore_cmd; net_cmd; kv_cmd; recovery_cmd ]))

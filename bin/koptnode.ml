@@ -33,7 +33,7 @@ module App = App_model.Kvstore_app
 type 'msg event =
   | From_net of 'msg Recovery.Wire.packet
   | Control of 'msg Wire_codec.control * Unix.file_descr
-  | Timer of [ `Flush | `Checkpoint | `Notice | `Retransmit ]
+  | Timer of [ `Flush | `Checkpoint | `Notice | `Retransmit | `Part_ckpt ]
 
 type 'msg mailbox = {
   q : 'msg event Queue.t;
@@ -153,10 +153,19 @@ let metrics_lines (m : Recovery.Metrics.t) =
 let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
     ~(wire : msg App_model.App_intf.wire_format) ~pid ~n ~k ~listen_port ~peers
     ~control_port ~store_dir ~trace_file ~metrics_file ~epoch ~time_scale
-    ~retransmit =
+    ~retransmit ~ckpt_interval ~part_ckpt =
   let config =
     Config.harden ?retransmit_interval:retransmit
       (Config.k_optimistic ~n ~k ())
+  in
+  (* --ckpt-interval overrides the full-checkpoint period; 0 disables it
+     (incremental per-partition checkpoints, when armed, keep replay
+     bounded instead). *)
+  let checkpoint_interval =
+    match ckpt_interval with
+    | None -> config.Config.timing.Config.checkpoint_interval
+    | Some i when i <= 0. -> None
+    | Some i -> Some i
   in
   let now () = (Unix.gettimeofday () -. epoch) /. time_scale in
   let trace = Trace.create () in
@@ -221,9 +230,10 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
           : Thread.t)
   in
   timer `Flush config.Config.timing.Config.flush_interval;
-  timer `Checkpoint config.Config.timing.Config.checkpoint_interval;
+  timer `Checkpoint checkpoint_interval;
   timer `Notice config.Config.timing.Config.notice_interval;
   timer `Retransmit config.Config.timing.Config.retransmit_interval;
+  timer `Part_ckpt part_ckpt;
 
   (* Control socket: each accepted connection feeds control frames into the
      mailbox; replies are written by the main loop. *)
@@ -256,8 +266,13 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
       : Thread.t);
 
   (* Boot: a pre-existing store means we are the successor of a killed
-     incarnation — run Figure 3's Restart from disk before serving. *)
-  if not (Node.is_up !node) then dispatch (fst (Node.restart !node ~now:(now ())));
+     incarnation.  [restart_begin] completes the protocol part of Figure
+     3's Restart (announcement, incarnation bump) immediately and defers
+     the application replay into per-partition queues — the daemon starts
+     serving requests on recovered partitions while the main loop pumps
+     [replay_step] in the background. *)
+  if not (Node.is_up !node) then
+    dispatch (fst (Node.restart_begin !node ~now:(now ())));
   Trace_codec.sync writer trace;
 
   let prof = Sys.getenv_opt "KOPT_PROF" <> None in
@@ -311,8 +326,42 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
      or uncommitted outputs behind, and only then put the accumulated
      actions on the wire — the persisted trace is always ahead of the
      store's stability point and of anything a peer can have seen. *)
+  (* On-demand recovery: replay the partition clients are actually asking
+     for first.  Parked requests sit in the node's receive buffer; the most
+     frequently named unrecovered partition is the hottest. *)
+  let hot_partition () =
+    let parts = Node.partition_count !node in
+    if parts = 0 then None
+    else begin
+      let votes = Array.make parts 0 in
+      List.iter
+        (fun (m : msg Recovery.Wire.app_message) ->
+          match Node.partition_of_payload !node m.Recovery.Wire.payload with
+          | Some p when not (Node.partition_recovered !node p) ->
+            votes.(p) <- votes.(p) + 1
+          | Some _ | None -> ())
+        (Node.receive_buffer_messages !node);
+      let best = ref (-1) in
+      Array.iteri (fun p c -> if c > 0 && (!best < 0 || c > votes.(!best)) then best := p) votes;
+      if !best < 0 then None else Some !best
+    end
+  in
+  (* Replay pacing: each re-executed record costs [t_replay] abstract
+     units, the same charge the simulator's cost model levies — so ttfull
+     measured here scales with log length the way E6 predicts. *)
+  let replay_budget = 32 in
+  let replay_pace executed =
+    if executed > 0 then
+      Thread.delay
+        (float_of_int executed *. config.Config.timing.Config.t_replay *. time_scale)
+  in
   let rec main_loop () =
-    let batch = take_batch mb in
+    (* While a replay is in progress the loop must not block on the
+       mailbox: an idle wakeup pumps the replay queues instead. *)
+    let batch =
+      if Node.recovery_active !node && pending mb = 0 then []
+      else take_batch mb
+    in
     let acc = ref [] in
     let add actions = if actions <> [] then acc := actions :: !acc in
     let quit_fd = ref None in
@@ -320,7 +369,11 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
     let process ev =
       match ev with
       | From_net packet -> step_up (fun nd ~now -> Node.handle_packet nd ~now packet)
-      | Timer kind ->
+      | Timer `Part_ckpt ->
+        step_up (fun nd ~now ->
+            let _, actions, cost = Node.partition_checkpoint nd ~now in
+            (actions, cost))
+      | Timer ((`Flush | `Checkpoint | `Notice | `Retransmit) as kind) ->
         step_up
           (match kind with
           | `Flush -> Node.flush
@@ -344,7 +397,7 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
           Trace_codec.sync writer trace;
           Thread.delay (Config.real_restart_delay ~time_scale config.Config.timing);
           node := Node.create ~config ~pid ~app ~store_dir ~trace;
-          add (fst (Node.restart !node ~now:(now ())))
+          add (fst (Node.restart_begin !node ~now:(now ())))
         | Wire_codec.Status_req ->
           let m = Node.metrics !node in
           reply fd
@@ -358,6 +411,8 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
                  st_deliveries = m.Recovery.Metrics.deliveries;
                  st_trace_len = Trace.length trace;
                  st_current = Node.current !node;
+                 st_recovering = Node.recovery_active !node;
+                 st_replay_pending = Node.recovery_pending !node;
                })
         | Wire_codec.Quit -> quit_fd := Some fd
         | Wire_codec.Hello _ | Wire_codec.Status _ | Wire_codec.Bye -> ())
@@ -380,6 +435,19 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
     incr pn_batches;
     pn_events := !pn_events + List.length batch;
     timed pt_handle (fun () -> consume batch);
+    (* Background replay pump: one bounded step per wakeup, prioritising
+       the partition parked client requests are waiting on.  Interleaving
+       with the batch processing above is what makes recovery on-demand —
+       Gets on recovered partitions are answered between steps. *)
+    if !quit_fd = None && Node.recovery_active !node then begin
+      let prefer = hot_partition () in
+      let executed, actions, _cost =
+        Node.replay_step !node ~now:(now ()) ?prefer ~budget:replay_budget ()
+      in
+      add actions;
+      Trace_codec.sync writer trace;
+      replay_pace executed
+    end;
     (* Eager flush: anything the batch left volatile gets its stability
        point now instead of at the next flush-timer tick — gated sends
        release, outputs commit, and fresh deliveries are acknowledged
@@ -407,6 +475,15 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
          no-op, so a quit daemon is distinguishable in the merged trace
          from a torn SIGKILL without weakening certification. *)
       if Node.is_up !node then begin
+        (* Finish any in-progress replay first so the drain leaves a fully
+           recovered store (and the merged trace its Recovery_completed). *)
+        if Node.recovery_active !node then begin
+          let _, actions, _ =
+            Node.replay_step !node ~now:(now ()) ~budget:max_int ()
+          in
+          Trace_codec.sync writer trace;
+          dispatch actions
+        end;
         let actions = fst (Node.flush !node ~now:(now ())) in
         Trace_codec.sync writer trace;
         dispatch actions;
@@ -490,6 +567,18 @@ let cmd =
       value & opt (some float) None
       & info [ "retransmit" ] ~doc:"Retransmission period (abstract units).")
   in
+  let ckpt_interval =
+    Arg.(
+      value & opt (some float) None
+      & info [ "ckpt-interval" ]
+          ~doc:"Full-checkpoint period (abstract units); 0 disables it.")
+  in
+  let part_ckpt =
+    Arg.(
+      value & opt (some float) None
+      & info [ "part-ckpt" ]
+          ~doc:"Incremental per-partition checkpoint period (abstract units).")
+  in
   let app_t =
     Arg.(
       value
@@ -497,11 +586,12 @@ let cmd =
       & info [ "app" ] ~doc:"Application to run: $(b,kvstore) or $(b,shardkv).")
   in
   let run' app pid n k listen_port peers control_port store_dir trace_file
-      metrics_file epoch time_scale retransmit =
+      metrics_file epoch time_scale retransmit ckpt_interval part_ckpt =
     let go (type state msg) ((app, wire) :
           (state, msg) App_model.App_intf.t * msg App_model.App_intf.wire_format) =
       run ~app ~wire ~pid ~n ~k ~listen_port ~peers ~control_port ~store_dir
-        ~trace_file ~metrics_file ~epoch ~time_scale ~retransmit
+        ~trace_file ~metrics_file ~epoch ~time_scale ~retransmit ~ckpt_interval
+        ~part_ckpt
     in
     match app with
     | `Kvstore -> go (App.app, App.wire)
@@ -511,6 +601,7 @@ let cmd =
     (Cmd.info "koptnode" ~doc:"K-optimistic logging daemon (one cluster process).")
     Term.(
       const run' $ app_t $ pid $ n $ k $ listen_port $ peers $ control_port
-      $ store_dir $ trace_file $ metrics_file $ epoch $ time_scale $ retransmit)
+      $ store_dir $ trace_file $ metrics_file $ epoch $ time_scale $ retransmit
+      $ ckpt_interval $ part_ckpt)
 
 let () = exit (Cmd.eval cmd)

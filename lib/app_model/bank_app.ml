@@ -68,4 +68,5 @@ let app : (state, msg) App_intf.t =
           s.accounts
           (Hashing.pair s.pid s.ops));
     pp_msg;
+    partitioning = None;
   }

@@ -46,4 +46,5 @@ let app : (state, msg) App_intf.t =
         end);
     digest = (fun s -> Hashing.mix (Hashing.pair s.pid s.seen) s.mix);
     pp_msg;
+    partitioning = None;
   }

@@ -32,4 +32,5 @@ let app : (state, msg) App_intf.t =
           (state, [ App_intf.output (Fmt.str "p%d total=%d" state.pid state.total) ]));
     digest = (fun s -> Hashing.mix (Hashing.pair s.pid s.total) s.handled);
     pp_msg;
+    partitioning = None;
   }

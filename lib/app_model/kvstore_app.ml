@@ -16,10 +16,17 @@ type msg =
 type state = {
   pid : int;
   store : (int * int) Str_map.t; (* key -> (value, version) *)
-  puts : int;
 }
 
 let owner ~n key = Hashing.string key mod n
+
+(* Recovery partitions: a second, independent hash of the key (the owner
+   hash shards *across* processes; this one shards *within* a process's
+   store).  Every message touches exactly one key, so the store decomposes
+   perfectly — there is no barrier message and no global counter. *)
+let parts = 8
+
+let part_of_key key = Hashing.mix 0x9e37 (Hashing.string key) mod parts
 
 let pp_msg ppf = function
   | Put { key; value } -> Fmt.pf ppf "Put %s=%d" key value
@@ -107,10 +114,47 @@ let wire : msg App_intf.wire_format =
   in
   { App_intf.write; read }
 
+let key_of_msg = function
+  | Put { key; _ } | Replica { key; _ } | Get key -> key
+
+let part_slice state p =
+  Str_map.filter (fun key _ -> part_of_key key = p) state.store
+
+let partitioning : (state, msg) App_intf.partitioning =
+  {
+    App_intf.parts;
+    part_of_msg = (fun ~n:_ msg -> Some (part_of_key (key_of_msg msg)));
+    part_digest =
+      (fun s p ->
+        Str_map.fold
+          (fun key (value, version) h ->
+            Hashing.mix (Hashing.mix (Hashing.mix h (Hashing.string key)) value) version)
+          (part_slice s p) (Hashing.pair s.pid p));
+    part_export =
+      Some
+        (fun s p ->
+          Marshal.to_string (Str_map.bindings (part_slice s p)) []);
+    part_import =
+      Some
+        (fun s p bytes ->
+          let bindings : (string * (int * int)) list = Marshal.from_string bytes 0 in
+          (* Keys only ever gain versions (no delete), so the exported
+             slice supersedes whatever the partial state holds for [p]:
+             overwrite binding by binding. *)
+          ignore p;
+          {
+            s with
+            store =
+              List.fold_left
+                (fun store (key, v) -> Str_map.add key v store)
+                s.store bindings;
+          });
+  }
+
 let app : (state, msg) App_intf.t =
   {
     name = "kvstore";
-    init = (fun ~pid ~n:_ -> { pid; store = Str_map.empty; puts = 0 });
+    init = (fun ~pid ~n:_ -> { pid; store = Str_map.empty });
     handle =
       (fun ~pid ~n state ~src:_ msg ->
         match msg with
@@ -121,7 +165,7 @@ let app : (state, msg) App_intf.t =
             let version =
               match lookup state key with None -> 1 | Some (_, v) -> v + 1
             in
-            let state = apply { state with puts = state.puts + 1 } key value version in
+            let state = apply state key value version in
             let replica_holder = (pid + 1) mod n in
             let effects =
               if replica_holder = pid then []
@@ -148,7 +192,7 @@ let app : (state, msg) App_intf.t =
         Str_map.fold
           (fun key (value, version) h ->
             Hashing.mix (Hashing.mix (Hashing.mix h (Hashing.string key)) value) version)
-          s.store
-          (Hashing.pair s.pid s.puts));
+          s.store (Hashing.pair s.pid 0));
     pp_msg;
+    partitioning = Some partitioning;
   }

@@ -32,4 +32,5 @@ let app : (state, msg) App_intf.t =
           (state, [ App_intf.send (pid + 1) (Job { id; stage = stage + 1; payload }) ]));
     digest = (fun s -> Hashing.mix (Hashing.pair s.pid s.processed) s.acc);
     pp_msg;
+    partitioning = None;
   }

@@ -67,4 +67,5 @@ let app : (state, msg) App_intf.t =
           s.active
           (Hashing.mix (Hashing.pair s.pid s.connected) s.torn_down));
     pp_msg;
+    partitioning = None;
   }

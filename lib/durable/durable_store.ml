@@ -419,6 +419,48 @@ let log_announcement t a =
 
 let announcements t = with_lock t (fun () -> List.rev t.anns)
 
+(* Rewrite the synchronous area keeping only the announcements [keep]
+   accepts (plus the store metadata — base, length witness, incarnation —
+   re-emitted fresh).  Atomic: build a temp file, fsync it, rename over
+   sync.dat, reopen the append descriptor.  A crash before the rename
+   leaves the old area intact; after it, the new one. *)
+let compact_sync t ~keep =
+  exclusive t @@ fun () ->
+  guard t;
+  let kept = List.filter keep (List.rev t.anns) (* oldest first *) in
+  let dropped = List.length t.anns - List.length kept in
+  if dropped > 0 then begin
+    let tmp = sync_path t.root ^ ".tmp" in
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let b = Buffer.create 4096 in
+        Buffer.add_string b (Codec.encode ~kind:k_base (to_bin t.base));
+        Buffer.add_string b (Codec.encode ~kind:k_len (to_bin t.stable_len));
+        Buffer.add_string b (Codec.encode ~kind:k_inc (to_bin t.inc));
+        List.iter
+          (fun a -> Buffer.add_string b (Codec.encode ~kind:k_ann (to_bin a)))
+          kept;
+        let frame = Buffer.contents b in
+        let len = String.length frame in
+        let rec loop pos =
+          if pos < len then
+            loop (pos + Unix.write_substring fd frame pos (len - pos))
+        in
+        loop 0;
+        Unix.fsync fd);
+    Unix.rename tmp (sync_path t.root);
+    Unix.close t.sync_fd;
+    t.sync_fd <-
+      Unix.openfile (sync_path t.root) [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644;
+    t.anns <- List.rev kept;
+    t.sync_writes <- t.sync_writes + 1
+  end;
+  dropped
+
 let set_incarnation t i =
   with_lock t (fun () ->
       guard t;

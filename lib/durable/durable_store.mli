@@ -108,6 +108,14 @@ val log_announcement : ('ckpt, 'log, 'ann) t -> 'ann -> unit
 
 val announcements : ('ckpt, 'log, 'ann) t -> 'ann list
 
+val compact_sync : ('ckpt, 'log, 'ann) t -> keep:('ann -> bool) -> int
+(** Rewrite the synchronous area, keeping only the announcements [keep]
+    accepts (store metadata — log base, stable-length witness, incarnation
+    — is re-emitted).  Atomic (temp file, fsync, rename).  Returns the
+    number of records dropped; a no-op (no rewrite, not counted in
+    {!sync_writes}) when nothing is dropped.  What bounds the sync area
+    when per-partition checkpoint records supersede each other. *)
+
 val set_incarnation : ('ckpt, 'log, 'ann) t -> int -> unit
 
 val incarnation : ('ckpt, 'log, 'ann) t -> int

@@ -206,7 +206,7 @@ let check ?k ~n trace =
       in
       stamp chains.(pid)
     | Trace.Checkpoint_taken _ | Trace.Notice_sent _ | Trace.Announcement_received _
-    | Trace.Output_buffered _ ->
+    | Trace.Output_buffered _ | Trace.Recovery_completed _ ->
       ()
     | Trace.Crashed { pid; first_lost } -> (
       match first_lost with

@@ -25,6 +25,8 @@ type t = {
   root : string;
   exe : string;
   app : string;
+  ckpt_interval : float option;  (** [--ckpt-interval] override, 0 disables *)
+  part_ckpt : float option;  (** [--part-ckpt] period, incremental snapshots *)
   nodes : node array;
   proxy : Proxy.t option;
   mutable seq : int;  (** outside-world injection sequence numbers *)
@@ -133,6 +135,16 @@ let spawn t node =
     | Some r -> [ "--retransmit"; Fmt.str "%g" r ]
     | None -> []
   in
+  let ckpt =
+    match t.ckpt_interval with
+    | Some i -> [ "--ckpt-interval"; Fmt.str "%g" i ]
+    | None -> []
+  in
+  let part_ckpt =
+    match t.part_ckpt with
+    | Some p -> [ "--part-ckpt"; Fmt.str "%g" p ]
+    | None -> []
+  in
   let argv =
     [
       t.exe; "--pid"; string_of_int node.pid; "--nodes"; string_of_int t.n;
@@ -144,7 +156,7 @@ let spawn t node =
       node.metrics_file; "--epoch"; Fmt.str "%.6f" t.epoch; "--time-scale";
       Fmt.str "%g" t.time_scale;
     ]
-    @ retransmit
+    @ retransmit @ ckpt @ part_ckpt
   in
   let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
   let log =
@@ -233,7 +245,7 @@ let ctl_rpc node ctl =
 (* ------------------------------------------------------------------ *)
 (* Launch                                                              *)
 
-let launch ~n ~k ?(app = "kvstore") ?retransmit
+let launch ~n ~k ?(app = "kvstore") ?retransmit ?ckpt_interval ?part_ckpt
     ?(time_scale = Config.default_time_scale) ?plan ?(seed = 0) ?root ?exe () =
   (* Control writes race daemon SIGKILLs; a broken pipe must be an error on
      the write, not a fatal signal. *)
@@ -288,6 +300,8 @@ let launch ~n ~k ?(app = "kvstore") ?retransmit
       root;
       exe;
       app;
+      ckpt_interval;
+      part_ckpt;
       nodes;
       proxy;
       seq = 0;
@@ -315,17 +329,22 @@ let status t ~dst =
   | Some (Wire_codec.Status s) -> Some s
   | _ -> None
 
-let kill t ~dst =
+let kill_only t ~dst =
   let node = t.nodes.(dst) in
   ctl_drop node;
   (try Unix.kill node.os_pid Sys.sigkill with Unix.Unix_error _ -> ());
   (try ignore (Unix.waitpid [] node.os_pid : int * Unix.process_status)
    with Unix.Unix_error _ -> ());
-  node.os_pid <- -1;
+  node.os_pid <- -1
+
+let respawn t ~dst = spawn t t.nodes.(dst)
+
+let kill t ~dst =
+  kill_only t ~dst;
   (* The detection + reboot outage of the cost model, in wall-clock terms —
      the same constant the threaded actor runtime sleeps (Config.real_restart_delay). *)
   Thread.delay (Config.real_restart_delay ~time_scale:t.time_scale t.config.Config.timing);
-  spawn t node
+  respawn t ~dst
 
 let run_workload t ~ops ~seed =
   let rng = Sim.Rng.create seed in
@@ -352,6 +371,7 @@ let settle ?(timeout = 30.) t =
           (function
             | Some s ->
               s.Wire_codec.st_up
+              && (not s.Wire_codec.st_recovering)
               && s.Wire_codec.st_pending = 0
               && s.Wire_codec.st_send_buf = 0
               && s.Wire_codec.st_recv_buf = 0

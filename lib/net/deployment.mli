@@ -26,6 +26,8 @@ val launch :
   k:int ->
   ?app:string ->
   ?retransmit:float ->
+  ?ckpt_interval:float ->
+  ?part_ckpt:float ->
   ?time_scale:float ->
   ?plan:Harness.Netmodel.fault_plan ->
   ?seed:int ->
@@ -40,7 +42,10 @@ val launch :
     {!Proxy} applying it.  [root] (default: a fresh temp dir) holds the
     per-process store dirs, trace files, metrics files and daemon logs.
     [exe] overrides daemon binary discovery ([$KOPTNODE_EXE], the build
-    tree, or a sibling of the running executable). *)
+    tree, or a sibling of the running executable).  [ckpt_interval]
+    overrides the daemons' full-checkpoint period (0 disables it);
+    [part_ckpt] arms incremental per-partition checkpointing with the
+    given period — both in abstract time units. *)
 
 val n : t -> int
 
@@ -78,14 +83,23 @@ val kill : t -> dst:int -> unit
     respawn it over the same store directory — the successor incarnation
     recovers from whatever the killed one had made durable. *)
 
+val kill_only : t -> dst:int -> unit
+(** SIGKILL daemon [dst] and reap it, without respawning — the recovery
+    tests separate the kill from the {!respawn} so they can catch (and
+    re-kill) the successor mid-replay. *)
+
+val respawn : t -> dst:int -> unit
+(** Start a fresh incarnation of a {!kill_only}ed daemon over its store
+    directory. *)
+
 val run_workload : t -> ops:int -> seed:int -> unit
 (** Inject a deterministic kvstore workload (Puts with interleaved Gets)
     round-robin across the cluster. *)
 
 val settle : ?timeout:float -> t -> bool
-(** Poll until every daemon is up with empty protocol buffers, an idle
-    mailbox and a delivery count stable across consecutive polls; [false]
-    on [timeout] (default 30 s). *)
+(** Poll until every daemon is up with empty protocol buffers, no replay
+    in progress, an idle mailbox and a delivery count stable across
+    consecutive polls; [false] on [timeout] (default 30 s). *)
 
 type outcome = {
   trace : Recovery.Trace.t;  (** merged, globally ordered *)

@@ -1,0 +1,22 @@
+(** E16: fast recovery measured on the live deployment.
+
+    Builds a log of known length at one daemon, SIGKILLs it, respawns it
+    immediately and races a probe Get against the replay.  Off the merged
+    trace it reads, relative to the successor's [Restarted] event,
+
+    - {e ttfr} — time to first request: the probe's [Output_committed],
+      answered from the probe's (hot, replayed-first) partition while the
+      rest of the log is still being re-executed; and
+    - {e ttfull} — time to full recovery: the [Recovery_completed] event.
+
+    Baseline rows replay the whole log on demand; [pckpt] rows arm
+    incremental per-partition checkpoints, which bound every partition's
+    replay range by the snapshot period.  Every run is certified by the
+    causality oracle (zero violations, measured risk at most K). *)
+
+val experiment : ?smoke:bool -> unit -> Harness.Report.t * (string * float) list
+(** [smoke] shrinks it to one small certified run for CI.  The float list
+    is the bench keys ("E16 ttfr ms ..." / "E16 ttfull ms ...") the caller
+    merges into BENCH_net.json.
+    @raise Failure on any oracle violation, risk above K, an unanswered
+    probe or a replay that never completes. *)

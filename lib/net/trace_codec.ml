@@ -24,6 +24,7 @@ let tag_of_event = function
   | Trace.Notice_sent _ -> 12
   | Trace.Output_buffered _ -> 13
   | Trace.Output_committed _ -> 14
+  | Trace.Recovery_completed _ -> 15
 
 let put_event b ev =
   Buffer.add_char b (Char.chr (tag_of_event ev));
@@ -91,6 +92,9 @@ let put_event b ev =
     put_output_id b id;
     put_string b text;
     put_float b latency
+  | Trace.Recovery_completed { pid; replayed } ->
+    put_int b pid;
+    put_int b replayed
 
 let encode_entry (e : Trace.entry) =
   let b = Buffer.create 64 in
@@ -178,6 +182,10 @@ let read_event c =
     let text = get_string c in
     let latency = get_float c in
     Trace.Output_committed { pid; id; text; latency }
+  | 15 ->
+    let pid = get_int c in
+    let replayed = get_int c in
+    Trace.Recovery_completed { pid; replayed }
   | t -> failwith (Fmt.str "unknown trace event tag %d" t)
 
 let read_entry c =

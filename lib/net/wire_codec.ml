@@ -466,6 +466,8 @@ type status = {
   st_deliveries : int;
   st_trace_len : int;
   st_current : Entry.t;
+  st_recovering : bool;
+  st_replay_pending : int;
 }
 
 type 'msg control =
@@ -506,7 +508,9 @@ let encode_control (wf : 'msg App_intf.wire_format) (c : 'msg control) =
     put_int b s.st_out_buf;
     put_int b s.st_deliveries;
     put_int b s.st_trace_len;
-    put_entry b s.st_current);
+    put_entry b s.st_current;
+    put_bool b s.st_recovering;
+    put_int b s.st_replay_pending);
   frame ~kind:(control_kind_code c) (Buffer.contents b)
 
 let decode_control_body (wf : 'msg App_intf.wire_format) ~kind body =
@@ -540,6 +544,8 @@ let decode_control_body (wf : 'msg App_intf.wire_format) ~kind body =
           let st_deliveries = get_int c in
           let st_trace_len = get_int c in
           let st_current = get_entry c in
+          let st_recovering = get_bool c in
+          let st_replay_pending = get_int c in
           Status
             {
               st_up;
@@ -550,6 +556,8 @@ let decode_control_body (wf : 'msg App_intf.wire_format) ~kind body =
               st_deliveries;
               st_trace_len;
               st_current;
+              st_recovering;
+              st_replay_pending;
             }
         end
         else if kind = k_quit then Quit

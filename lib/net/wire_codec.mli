@@ -118,6 +118,8 @@ type status = {
   st_deliveries : int;
   st_trace_len : int;
   st_current : Depend.Entry.t;
+  st_recovering : bool;  (** a {!Recovery.Node.restart_begin} replay is live *)
+  st_replay_pending : int;  (** log records still queued for replay *)
 }
 
 type 'msg control =

@@ -51,7 +51,17 @@ type pending_output = {
    source left (the sender may have garbage-collected it after the
    original delivery became stable). *)
 type 'msg logged =
-  | Delivery of { lg_msg : 'msg Wire.app_message; lg_interval : Entry.t }
+  | Delivery of {
+      lg_msg : 'msg Wire.app_message;
+      lg_interval : Entry.t;
+      lg_window : bool;
+          (* delivered inside a recovery window, i.e. while partitioned
+             replay of an earlier crash was still in progress.  The live
+             digest of such an interval covers a partially-recovered state,
+             so a later recovery must not re-certify it (the frontier
+             digest event is suppressed when the frontier record is
+             window-marked). *)
+    }
   | Requeued of 'msg Wire.app_message
 
 (* Immutable snapshots of buffered-but-unreleased sends and outputs.  They
@@ -106,6 +116,52 @@ type ('state, 'msg) ckpt = {
          is absorbed into a checkpoint). *)
 }
 
+(* --- Partitioned (fast) recovery ----------------------------------- *)
+
+(* One logged delivery awaiting partitioned replay.  The metadata pass of
+   [restart_begin] walks the log serially {e without} running the
+   application, so it can pre-compute per-record context: the interval the
+   replay must land on and the dependency-vector snapshot the record's
+   regenerated effects must carry.  Replaying records of different
+   partitions in any order then yields the serial result, because
+   cross-partition handlers commute (the {!App_intf.partitioning}
+   contract). *)
+type 'msg replay_item = {
+  ri_msg : 'msg Wire.app_message;
+  ri_interval : Entry.t;
+  ri_tdv : Dep_vector.t; (* vector after this delivery, from the metadata pass *)
+  ri_window : bool; (* the record's [lg_window] flag *)
+  ri_covered : bool;
+      (* a per-partition checkpoint already covers this record: count it
+         done without re-executing the handler *)
+}
+
+(* A barrier-separated stage: the per-partition queues replay in any
+   order/interleaving; the trailing barrier (a record touching state
+   outside any single partition) runs only once every queue has drained,
+   preserving its exact log position relative to both sides. *)
+type 'msg replay_stage = {
+  rs_queues : 'msg replay_item Queue.t array; (* one queue per partition *)
+  rs_barrier : 'msg replay_item option;
+}
+
+type 'msg recovery = {
+  rc_parts : int;
+  mutable rc_stages : 'msg replay_stage list; (* head = current stage *)
+  rc_part_pending : int array; (* items left per partition, all stages *)
+  mutable rc_barriers_pending : int;
+  mutable rc_replayed : int; (* records actually re-executed *)
+  rc_frontier : 'msg replay_item option;
+      (* last delivery record in the log; its interval is certified
+         against the live digest once replay completes (unless
+         window-marked) *)
+  mutable rc_next : int; (* round-robin cursor over partitions *)
+  mutable rc_live_delivered : bool;
+      (* a fresh (non-replay) message was delivered during the recovery
+         window: the state at completion is past the frontier, so the
+         frontier digest certification must be skipped *)
+}
+
 type ('state, 'msg) t = {
   cfg : Config.t;
   pid : int;
@@ -152,6 +208,13 @@ type ('state, 'msg) t = {
   mutable outputs_log : (string * float) list; (* outside world's ledger *)
   mutable ckpt_ops : int;
   mutable actions : 'msg action list; (* reversed accumulator *)
+  mutable recovery : 'msg recovery option;
+      (* in-progress partitioned replay; [None] once recovery completes
+         (or for serial restarts).  Volatile: a crash drops it and the
+         next restart replays from the log again. *)
+  part_dirty : int array;
+      (* per-partition deliveries since that partition's last incremental
+         checkpoint; [[||]] for unpartitioned applications *)
 }
 
 module Store = Storage.Stable_store
@@ -298,11 +361,13 @@ let check_send_buffer t ~now =
   t.send_buf <- blocked;
   List.iter (release_send t ~now) ready
 
-let send_message t ~now ~dst ~k payload =
-  let id =
-    { Wire.origin = t.pid; origin_interval = t.current; idx = t.send_idx }
-  in
-  t.send_idx <- t.send_idx + 1;
+(* [send_message_at] performs a send in an explicit interval context
+   instead of the node's live one — partitioned replay re-executes records
+   out of log order, so the regenerated sends must carry the interval and
+   vector snapshot the metadata pass computed for their record, not
+   whatever the interleaved replay happens to have made current. *)
+let send_message_at t ~now ~interval ~tdv ~idx ~dst ~k payload =
+  let id = { Wire.origin = t.pid; origin_interval = interval; idx } in
   (* A replayed execution regenerates the sends of reconstructed intervals
      with identical identities; suppress the ones still accounted for.
      After a crash both tables are empty, so replayed sends are re-released
@@ -310,8 +375,7 @@ let send_message t ~now ~dst ~k payload =
   if Hashtbl.mem t.released_ids id || Hashtbl.mem t.buffered_send_ids id then ()
   else begin
     t.metrics.sends <- t.metrics.sends + 1;
-    trace t ~now
-      (Message_sent { id; src = t.pid; dst; send_interval = t.current });
+    trace t ~now (Message_sent { id; src = t.pid; dst; send_interval = interval });
     let k =
       match k with
       | Some k when (proto t).commit_tracking -> Stdlib.max 0 (Stdlib.min t.n k)
@@ -322,8 +386,8 @@ let send_message t ~now ~dst ~k payload =
       {
         ps_id = id;
         ps_dst = dst;
-        ps_interval = t.current;
-        ps_tdv = Dep_vector.copy t.tdv;
+        ps_interval = interval;
+        ps_tdv = Dep_vector.copy tdv;
         ps_payload = payload;
         ps_enqueued = now;
         ps_k = k;
@@ -331,6 +395,11 @@ let send_message t ~now ~dst ~k payload =
     in
     t.send_buf <- t.send_buf @ [ ps ]
   end
+
+let send_message t ~now ~dst ~k payload =
+  let idx = t.send_idx in
+  t.send_idx <- t.send_idx + 1;
+  send_message_at t ~now ~interval:t.current ~tdv:t.tdv ~idx ~dst ~k payload
 
 (* ------------------------------------------------------------------ *)
 (* Output commit                                                       *)
@@ -468,14 +537,17 @@ let check_output_buffer t ~now =
         | None -> ())
       waiting
 
-let rec buffer_output t ~now text =
-  let oid = { Wire.out_interval = t.current; out_idx = t.out_idx } in
-  t.out_idx <- t.out_idx + 1;
+(* Explicit-context variant of [buffer_output], for the same reason as
+   {!send_message_at}: partitioned replay regenerates outputs out of log
+   order, so their identity and dependency snapshot come from the metadata
+   pass, not from the node's live interval. *)
+let rec buffer_output_at t ~now ~interval ~tdv ~idx text =
+  let oid = { Wire.out_interval = interval; out_idx = idx } in
   if Hashtbl.mem t.committed_ids oid || Hashtbl.mem t.buffered_out_ids oid then ()
   else begin
     Hashtbl.replace t.buffered_out_ids oid ();
     let po =
-      { po_id = oid; po_text = text; po_tdv = Dep_vector.copy t.tdv; po_buffered = now }
+      { po_id = oid; po_text = text; po_tdv = Dep_vector.copy tdv; po_buffered = now }
     in
     t.out_buf <- t.out_buf @ [ po ];
     (match (proto t).tracking with
@@ -524,8 +596,26 @@ and do_flush t ~now ~ack =
   check_send_buffer t ~now;
   check_output_buffer t ~now
 
+let buffer_output t ~now text =
+  let idx = t.out_idx in
+  t.out_idx <- t.out_idx + 1;
+  buffer_output_at t ~now ~interval:t.current ~tdv:t.tdv ~idx text
+
 (* ------------------------------------------------------------------ *)
 (* Deliver_message (Figure 2) and the delivery loop                    *)
+
+(* Partition of a payload under the application's decomposition, or [None]
+   when the app is unpartitioned or the message is a barrier. *)
+let part_of_payload t payload =
+  match t.app.App_intf.partitioning with
+  | None -> None
+  | Some pt -> pt.part_of_msg ~n:t.n payload
+
+let mark_part_dirty t payload =
+  if t.part_dirty <> [||] then
+    match part_of_payload t payload with
+    | Some p -> t.part_dirty.(p) <- t.part_dirty.(p) + 1
+    | None -> ()
 
 let deliver t ~now ~replay (m : 'msg Wire.app_message) =
   let pred = t.current in
@@ -547,11 +637,21 @@ let deliver t ~now ~replay (m : 'msg Wire.app_message) =
   Hashtbl.replace t.delivered m.id t.current;
   if replay then t.metrics.replayed <- t.metrics.replayed + 1
   else begin
-    Store.append_volatile t.store (Delivery { lg_msg = m; lg_interval = t.current });
+    Store.append_volatile t.store
+      (Delivery
+         {
+           lg_msg = m;
+           lg_interval = t.current;
+           lg_window = t.recovery <> None;
+         });
+    (match t.recovery with
+    | Some rc -> rc.rc_live_delivered <- true
+    | None -> ());
     if m.src >= 0 then t.unacked <- (m.src, m.id) :: t.unacked;
     t.metrics.deliveries <- t.metrics.deliveries + 1;
     trace t ~now (Message_delivered { id = m.id; dst = t.pid; interval = t.current })
   end;
+  mark_part_dirty t m.payload;
   let state', effects = t.app.handle ~pid:t.pid ~n:t.n t.state ~src:m.src m.payload in
   t.state <- state';
   trace t ~now
@@ -579,10 +679,30 @@ let deliver t ~now ~replay (m : 'msg Wire.app_message) =
     check_output_buffer t ~now
   end
 
+(* During a recovery window only messages whose partition has fully
+   replayed may be delivered: a new delivery is logged {e after} every
+   replayed record, so serially it happens after all of them — executing
+   it on a partition whose replay is still pending would read a slice the
+   remaining replay is about to change.  Barrier-class messages (and every
+   message of an unpartitioned app — vacuous, since those recover
+   serially) wait for full recovery.  Parked messages simply stay in the
+   receive buffer. *)
+let partition_admissible t (m : 'msg Wire.app_message) =
+  match t.recovery with
+  | None -> true
+  | Some rc -> (
+    match part_of_payload t m.Wire.payload with
+    | Some p ->
+      p >= 0 && p < rc.rc_parts
+      && rc.rc_part_pending.(p) = 0
+      && rc.rc_barriers_pending = 0
+    | None -> false)
+
 let rec drain t ~now =
   let rec find = function
     | [] -> None
-    | ((_, m) as cell) :: _ when deliverable t m -> Some cell
+    | ((_, m) as cell) :: _ when deliverable t m && partition_admissible t m ->
+      Some cell
     | _ :: rest -> find rest
   in
   match find t.recv_buf with
@@ -599,6 +719,130 @@ let recheck t ~now =
   check_output_buffer t ~now
 
 (* ------------------------------------------------------------------ *)
+(* Partitioned replay engine (fast recovery)                           *)
+
+(* Re-execute one pre-analysed log record in its own context.  No trace
+   event is emitted here: the state a partitioned replay holds mid-way is
+   an interleaving-dependent hybrid whose digest matches no serially
+   created interval, so per-record replay certification would flag false
+   divergence.  Certification happens once, at the frontier, when the
+   state has converged to the serial result. *)
+let replay_exec t ~now (ri : 'msg replay_item) =
+  t.metrics.replayed <- t.metrics.replayed + 1;
+  let state', effects =
+    t.app.handle ~pid:t.pid ~n:t.n t.state ~src:ri.ri_msg.Wire.src
+      ri.ri_msg.Wire.payload
+  in
+  t.state <- state';
+  let sidx = ref 0 in
+  let oidx = ref 0 in
+  List.iter
+    (function
+      | App_intf.Send { dst; msg; k } ->
+        let idx = !sidx in
+        incr sidx;
+        send_message_at t ~now ~interval:ri.ri_interval ~tdv:ri.ri_tdv ~idx ~dst ~k
+          msg
+      | App_intf.Output text ->
+        let idx = !oidx in
+        incr oidx;
+        buffer_output_at t ~now ~interval:ri.ri_interval ~tdv:ri.ri_tdv ~idx text)
+    effects
+
+(* Replay up to [budget] records (checkpoint-covered records are free),
+   preferring partition [prefer] when it still has work — the on-demand
+   hook: a daemon replays the partitions clients are actually waiting on
+   first.  Returns the number of records re-executed.  On completion,
+   certifies the frontier interval against its live digest (unless the
+   frontier record was delivered inside an earlier recovery window) and
+   emits [Recovery_completed]. *)
+let do_replay_step t ~now ?prefer ~budget () =
+  match t.recovery with
+  | None -> 0
+  | Some rc ->
+    let executed = ref 0 in
+    let finished = ref false in
+    while (not !finished) && !executed < max budget 1 do
+      match rc.rc_stages with
+      | [] -> finished := true
+      | stage :: rest -> (
+        let nonempty p = not (Queue.is_empty stage.rs_queues.(p)) in
+        let pick =
+          match prefer with
+          | Some p when p >= 0 && p < rc.rc_parts && nonempty p -> Some p
+          | _ ->
+            let rec probe i =
+              if i = rc.rc_parts then None
+              else
+                let p = (rc.rc_next + i) mod rc.rc_parts in
+                if nonempty p then Some p else probe (i + 1)
+            in
+            probe 0
+        in
+        match pick with
+        | Some p ->
+          let ri = Queue.pop stage.rs_queues.(p) in
+          rc.rc_next <- (p + 1) mod rc.rc_parts;
+          rc.rc_part_pending.(p) <- rc.rc_part_pending.(p) - 1;
+          if not ri.ri_covered then begin
+            replay_exec t ~now ri;
+            if t.part_dirty <> [||] then t.part_dirty.(p) <- t.part_dirty.(p) + 1;
+            rc.rc_replayed <- rc.rc_replayed + 1;
+            incr executed
+          end
+        | None ->
+          (* Stage drained: run its barrier at its exact position. *)
+          (match stage.rs_barrier with
+          | Some ri ->
+            replay_exec t ~now ri;
+            rc.rc_barriers_pending <- rc.rc_barriers_pending - 1;
+            rc.rc_replayed <- rc.rc_replayed + 1;
+            incr executed
+          | None -> ());
+          rc.rc_stages <- rest)
+    done;
+    if rc.rc_stages = [] then begin
+      t.recovery <- None;
+      (match rc.rc_frontier with
+      | Some ri when (not ri.ri_window) && not rc.rc_live_delivered ->
+        (* The state has converged to the serial replay result, which is
+           exactly the live state after the frontier (last logged)
+           delivery: certify it against the live digest.  A window-marked
+           frontier was itself executed on a partially recovered state, so
+           its live digest covers no serially reachable state — skip.
+           Likewise when fresh deliveries were served during the window
+           (on-demand recovery): the completed state is already past the
+           frontier, so its digest certifies nothing. *)
+        trace t ~now
+          (Interval_started
+             {
+               pid = t.pid;
+               interval = ri.ri_interval;
+               pred = None;
+               by = Some ri.ri_msg.Wire.id;
+               sender_interval =
+                 (if ri.ri_msg.Wire.src >= 0 then Some ri.ri_msg.Wire.send_interval
+                  else None);
+               digest = t.app.digest t.state;
+               replay = true;
+             })
+      | Some _ | None -> ());
+      trace t ~now (Recovery_completed { pid = t.pid; replayed = rc.rc_replayed })
+    end;
+    (* Newly recovered partitions may have parked requests; regenerated
+       sends and outputs release under the usual rules. *)
+    recheck t ~now;
+    !executed
+
+(* Complete any in-progress partitioned replay synchronously.  Rollback,
+   full checkpoints and announcements that force a rollback all reason
+   about a single coherent state, so they drain the recovery first. *)
+let finish_recovery t ~now =
+  while t.recovery <> None do
+    ignore (do_replay_step t ~now ~budget:max_int () : int)
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Rebuild: common replay engine for Restart and Rollback (Figure 3)   *)
 
 (* Incarnation markers persisted in the sync area, latest-writer-wins per
@@ -612,25 +856,28 @@ let effective_markers t ~from_pos =
         match r with
         | Wire.Marker { entry; log_pos } ->
           List.filter (fun (_, p) -> p < log_pos) acc @ [ (entry, log_pos) ]
-        | Wire.Ann_logged _ | Wire.Committed _ | Wire.Gc_stubs _ -> acc)
+        | Wire.Ann_logged _ | Wire.Committed _ | Wire.Gc_stubs _
+        | Wire.Part_ckpt _ -> acc)
       []
       (Store.announcements t.store)
   in
   List.filter (fun (_, p) -> p >= from_pos) all
 
-(* Restore the checkpoint [ck] and replay the stable log through the
-   application, applying incarnation markers at their recorded positions.
-   Stops before the first record satisfying [halt] and returns the log
-   position reached. *)
-let rebuild t ~now ~ck ~halt =
-  t.state <- ck.ck_state;
-  t.current <- ck.ck_current;
-  t.tdv <- Dep_vector.of_non_null ~n:t.n ck.ck_tdv;
+(* End of an incarnation's stable prefix: remember its frontier, then
+   continue as the marker interval. *)
+let apply_marker t ((entry : Entry.t), _pos) =
+  t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) t.current;
+  Hashtbl.replace t.direct_parents entry [ (t.pid, t.current) ];
+  t.current <- entry;
+  Dep_vector.set t.tdv t.pid (Some entry);
+  t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) entry;
   t.send_idx <- 0;
-  t.out_idx <- 0;
-  (* Re-instate checkpointed pending sends and outputs that are not already
-     accounted for (released since the checkpoint, still buffered live, or
-     committed). *)
+  t.out_idx <- 0
+
+(* Re-instate checkpointed pending sends and outputs that are not already
+   accounted for (released since the checkpoint, still buffered live, or
+   committed). *)
+let reinstate_saved_sends t svs =
   List.iter
     (fun sv ->
       if
@@ -652,7 +899,9 @@ let rebuild t ~now ~ck ~halt =
               };
             ]
       end)
-    ck.ck_sends;
+    svs
+
+let reinstate_saved_outs t sos =
   List.iter
     (fun so ->
       if
@@ -671,26 +920,41 @@ let rebuild t ~now ~ck ~halt =
               };
             ]
       end)
-    ck.ck_outs;
+    sos
+
+(* Restore a released-message archive snapshot: anything not already
+   re-archived or still buffered comes back as a released message replay
+   will not regenerate. *)
+let reinstate_archive t msgs =
+  List.iter
+    (fun (m : 'msg Wire.app_message) ->
+      if (not (Archive.mem t.archive m.id)) && not (Hashtbl.mem t.buffered_send_ids m.id)
+      then begin
+        Archive.add t.archive m;
+        Hashtbl.replace t.released_ids m.id ()
+      end)
+    msgs
+
+(* Restore the checkpoint [ck] and replay the stable log through the
+   application, applying incarnation markers at their recorded positions.
+   Stops before the first record satisfying [halt] and returns the log
+   position reached. *)
+let rebuild t ~now ~ck ~halt =
+  t.state <- ck.ck_state;
+  t.current <- ck.ck_current;
+  t.tdv <- Dep_vector.of_non_null ~n:t.n ck.ck_tdv;
+  t.send_idx <- 0;
+  t.out_idx <- 0;
+  reinstate_saved_sends t ck.ck_sends;
+  reinstate_saved_outs t ck.ck_outs;
   let markers = effective_markers t ~from_pos:ck.ck_log_pos in
   let records = Store.stable_log_from t.store ~pos:ck.ck_log_pos in
   let pos = ref ck.ck_log_pos in
-  let apply_marker (entry, _) =
-    (* End of an incarnation's stable prefix: remember its frontier, then
-       continue as the marker interval. *)
-    t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) t.current;
-    Hashtbl.replace t.direct_parents entry [ (t.pid, t.current) ];
-    t.current <- entry;
-    Dep_vector.set t.tdv t.pid (Some entry);
-    t.log_tab.(t.pid) <- Entry_set.insert t.log_tab.(t.pid) entry;
-    t.send_idx <- 0;
-    t.out_idx <- 0
-  in
   let requeued = ref [] in
   let rec walk markers records =
     match markers, records with
     | ((_, p) as m) :: ms, _ when p <= !pos ->
-      apply_marker m;
+      apply_marker t m;
       walk ms records
     | _, [] -> ()
     | _, Requeued m :: rs ->
@@ -721,6 +985,9 @@ let cancel_send t ~now (ps : 'msg pending_send) =
 
 let rollback t ~now ~(because : Wire.announcement) =
   let ann = because in
+  (* A rollback reasons about one coherent state and truncates the log the
+     pending replay items point into: complete the replay first. *)
+  finish_recovery t ~now;
   t.metrics.induced_rollbacks <- t.metrics.induced_rollbacks + 1;
   let old_current = t.current in
   (* "Log all the unlogged messages to the stable storage": the surviving
@@ -1071,6 +1338,9 @@ let run_gc t =
       ())
 
 let do_checkpoint t ~now =
+  (* A full checkpoint snapshots the whole state; a partially replayed
+     hybrid is not a state serial replay can reach, so drain first. *)
+  finish_recovery t ~now;
   do_flush t ~now ~ack:true;
   let ck =
     {
@@ -1131,11 +1401,22 @@ let do_crash t ~now =
   t.metrics.lost_intervals <- t.metrics.lost_intervals + Store.volatile_length t.store;
   ignore (Store.crash t.store : int);
   t.up <- false;
+  t.recovery <- None;
   trace t ~now (Crashed { pid = t.pid; first_lost })
 
-let do_restart t ~now =
+(* Shared restart prologue: wipe volatile state, rebuild durable knowledge
+   from the synchronous area (announcements we logged — ours and others' —
+   committed outputs, incarnation markers, per-partition checkpoints),
+   re-seed the duplicate-suppression table from the whole stable log and
+   locate the full checkpoint to rebuild from.  Returns the checkpoint and
+   the surviving per-partition checkpoint candidates (latest record per
+   partition, invalidated by any later marker that truncated below its
+   covered prefix). *)
+let restart_prologue t =
   t.metrics.restarts <- t.metrics.restarts + 1;
   (* Volatile state is gone. *)
+  t.recovery <- None;
+  if t.part_dirty <> [||] then Array.fill t.part_dirty 0 (Array.length t.part_dirty) 0;
   t.recv_buf <- [];
   t.send_buf <- [];
   t.out_buf <- [];
@@ -1154,8 +1435,10 @@ let do_restart t ~now =
   t.log_tab <- Array.make t.n Entry_set.empty;
   t.iet <- Array.make t.n Entry_set.empty;
   t.max_ann_inc <- Array.make t.n (-1);
-  (* Rebuild durable knowledge from the synchronous area: announcements we
-     logged (ours and others'), committed outputs, incarnation markers. *)
+  let parts =
+    match t.app.App_intf.partitioning with Some pt -> pt.parts | None -> 0
+  in
+  let part_ck = Array.make (Stdlib.max parts 1) None in
   List.iter
     (function
       | Wire.Ann_logged (ann : Wire.announcement) ->
@@ -1166,7 +1449,19 @@ let do_restart t ~now =
           t.max_ann_inc.(ann.from_) <- ann.ending.inc
       | Wire.Committed oid -> Hashtbl.replace t.committed_ids oid ()
       | Wire.Gc_stubs ids -> List.iter (fun id -> Hashtbl.replace t.stubs id ()) ids
-      | Wire.Marker _ -> ())
+      | Wire.Marker { log_pos; _ } ->
+        (* A rollback truncated the log at [log_pos]: any partition
+           checkpoint covering a longer prefix describes state that no
+           longer exists. *)
+        Array.iteri
+          (fun p slot ->
+            match slot with
+            | Some (pos, _) when pos > log_pos -> part_ck.(p) <- None
+            | Some _ | None -> ())
+          part_ck
+      | Wire.Part_ckpt { pc_part; pc_pos; pc_payload } ->
+        if pc_part >= 0 && pc_part < parts then
+          part_ck.(pc_part) <- Some (pc_pos, pc_payload))
     (Store.announcements t.store);
   let ck =
     match Store.latest_checkpoint t.store with
@@ -1181,28 +1476,12 @@ let do_restart t ~now =
       | Delivery d -> Hashtbl.replace t.delivered d.lg_msg.Wire.id d.lg_interval
       | Requeued _ -> ())
     (Store.stable_log_from t.store ~pos:(Store.log_base t.store));
-  let _, requeued = rebuild t ~now ~ck ~halt:(fun _ -> false) in
-  (* Recover the retransmission archive: replay re-released the sends of
-     replayed intervals; anything older comes from the checkpoint copy. *)
-  List.iter
-    (fun (m : 'msg Wire.app_message) ->
-      if (not (Archive.mem t.archive m.id)) && not (Hashtbl.mem t.buffered_send_ids m.id)
-      then begin
-        Archive.add t.archive m;
-        Hashtbl.replace t.released_ids m.id ()
-      end)
-    ck.ck_archive;
-  (* Requeued messages not re-delivered before the crash go back to the
-     receive buffer; known orphans and anything already delivered are
-     dropped. *)
-  List.iter
-    (fun (m : 'msg Wire.app_message) ->
-      if
-        (not (Hashtbl.mem t.delivered m.id))
-        && (not (buffered_in_recv t m.id))
-        && not (orphan_wire t m)
-      then t.recv_buf <- t.recv_buf @ [ (now, m) ])
-    requeued;
+  (ck, part_ck)
+
+(* Shared restart epilogue: announce the failure, persist the incarnation
+   bump, continue as a fresh interval and come back up.  [t.current] must
+   be the frontier of the (metadata or full) replay when this runs. *)
+let restart_epilogue t ~now =
   (* Everything reconstructed from the stable log is stable by definition. *)
   trace t ~now (Stability_advanced { pid = t.pid; upto = t.current });
   (* The failed incarnation is the highest number this process ever used,
@@ -1213,7 +1492,8 @@ let do_restart t ~now =
         match r with
         | Wire.Marker { entry; _ } -> Stdlib.max acc entry.Entry.inc
         | Wire.Ann_logged a when a.from_ = t.pid -> Stdlib.max acc a.ending.Entry.inc
-        | Wire.Ann_logged _ | Wire.Committed _ | Wire.Gc_stubs _ -> acc)
+        | Wire.Ann_logged _ | Wire.Committed _ | Wire.Gc_stubs _ | Wire.Part_ckpt _
+          -> acc)
       t.current.inc
       (Store.announcements t.store)
   in
@@ -1243,8 +1523,265 @@ let do_restart t ~now =
   t.up <- true;
   t.metrics.announcements_sent <- t.metrics.announcements_sent + 1;
   trace t ~now (Restarted { pid = t.pid; announced = fa; new_current });
-  push t (Broadcast (Wire.Ann fa));
+  push t (Broadcast (Wire.Ann fa))
+
+let do_restart t ~now =
+  let rep0 = t.metrics.replayed in
+  let ck, _part_ck = restart_prologue t in
+  let _, requeued = rebuild t ~now ~ck ~halt:(fun _ -> false) in
+  (* Recover the retransmission archive: replay re-released the sends of
+     replayed intervals; anything older comes from the checkpoint copy. *)
+  reinstate_archive t ck.ck_archive;
+  (* Requeued messages not re-delivered before the crash go back to the
+     receive buffer; known orphans and anything already delivered are
+     dropped. *)
+  List.iter
+    (fun (m : 'msg Wire.app_message) ->
+      if
+        (not (Hashtbl.mem t.delivered m.id))
+        && (not (buffered_in_recv t m.id))
+        && not (orphan_wire t m)
+      then t.recv_buf <- t.recv_buf @ [ (now, m) ])
+    requeued;
+  restart_epilogue t ~now;
+  trace t ~now
+    (Recovery_completed { pid = t.pid; replayed = t.metrics.replayed - rep0 });
   recheck t ~now
+
+(* Restart's fast-path variant: come back up {e before} replaying.  The
+   serial metadata pass reconstructs everything replay can derive from the
+   log alone (intervals, dependency snapshots, duplicate suppression,
+   direct parents) and queues the application re-execution per partition;
+   the caller then pumps {!do_replay_step} while already serving requests
+   on partitions whose queues have drained.  Falls back to the serial
+   restart when the application declares no partitioning. *)
+let do_restart_begin t ~now =
+  match t.app.App_intf.partitioning with
+  | None -> do_restart t ~now
+  | Some pt ->
+    let ck, part_ck = restart_prologue t in
+    t.state <- ck.ck_state;
+    t.current <- ck.ck_current;
+    t.tdv <- Dep_vector.of_non_null ~n:t.n ck.ck_tdv;
+    t.send_idx <- 0;
+    t.out_idx <- 0;
+    reinstate_saved_sends t ck.ck_sends;
+    reinstate_saved_outs t ck.ck_outs;
+    let records = Store.stable_log_from t.store ~pos:ck.ck_log_pos in
+    (* A barrier in the replay range reads and writes state outside any
+       single partition, so no per-partition snapshot is sound across it;
+       applications with barriers declare no export anyway. *)
+    let has_barrier =
+      List.exists
+        (function
+          | Delivery d -> pt.part_of_msg ~n:t.n d.lg_msg.Wire.payload = None
+          | Requeued _ -> false)
+        records
+    in
+    let stable_len = Store.stable_log_length t.store in
+    Array.iteri
+      (fun p slot ->
+        match slot with
+        | Some (pos, _)
+          when pt.part_import <> None
+               && (not has_barrier)
+               && pos > ck.ck_log_pos && pos <= stable_len -> ()
+        | Some _ -> part_ck.(p) <- None
+        | None -> ())
+      part_ck;
+    (* Apply the surviving per-partition checkpoints over the full
+       checkpoint's state, and re-instate the pending effects their
+       covered (skipped) records would have regenerated. *)
+    Array.iteri
+      (fun p slot ->
+        match slot with
+        | None -> ()
+        | Some (_, payload) ->
+          let (slice, sends, outs, archive)
+                : string
+                  * 'msg saved_send list
+                  * saved_output list
+                  * 'msg Wire.app_message list =
+            Marshal.from_string payload 0
+          in
+          (match pt.part_import with
+          | Some import -> t.state <- import t.state p slice
+          | None -> ());
+          reinstate_saved_sends t sends;
+          reinstate_saved_outs t outs;
+          reinstate_archive t archive)
+      part_ck;
+    (* Serial metadata pass: evolve intervals, vectors and bookkeeping
+       exactly as [rebuild] would, but defer the application handlers into
+       per-partition queues. *)
+    let markers = effective_markers t ~from_pos:ck.ck_log_pos in
+    let pos = ref ck.ck_log_pos in
+    let requeued = ref [] in
+    let fresh_queues () = Array.init pt.parts (fun _ -> Queue.create ()) in
+    let stages_rev = ref [] in
+    let cur = ref (fresh_queues ()) in
+    let part_pending = Array.make pt.parts 0 in
+    let barriers = ref 0 in
+    let frontier = ref None in
+    let rec walk markers records =
+      match markers, records with
+      | ((_, p) as m) :: ms, _ when p <= !pos ->
+        apply_marker t m;
+        walk ms records
+      | _, [] -> ()
+      | _, Requeued m :: rs ->
+        requeued := m :: !requeued;
+        incr pos;
+        walk markers rs
+      | _, Delivery d :: rs ->
+        let pred = t.current in
+        (match (proto t).tracking with
+        | Config.Transitive ->
+          Dep_vector.merge_max ~into:t.tdv
+            (Dep_vector.of_non_null ~n:t.n d.lg_msg.Wire.dep)
+        | Config.Direct -> ());
+        t.current <- Entry.next_interval t.current;
+        Dep_vector.set t.tdv t.pid (Some t.current);
+        assert (Entry.equal t.current d.lg_interval);
+        Hashtbl.replace t.direct_parents t.current
+          ((t.pid, pred)
+          ::
+          (if d.lg_msg.Wire.src >= 0 then
+             [ (d.lg_msg.Wire.src, d.lg_msg.Wire.send_interval) ]
+           else []));
+        Hashtbl.replace t.delivered d.lg_msg.Wire.id t.current;
+        let item covered =
+          {
+            ri_msg = d.lg_msg;
+            ri_interval = t.current;
+            ri_tdv = Dep_vector.copy t.tdv;
+            ri_window = d.lg_window;
+            ri_covered = covered;
+          }
+        in
+        (match pt.part_of_msg ~n:t.n d.lg_msg.Wire.payload with
+        | Some p ->
+          let covered =
+            match part_ck.(p) with
+            | Some (cpos, _) -> !pos < cpos
+            | None -> false
+          in
+          let ri = item covered in
+          Queue.add ri (!cur).(p);
+          part_pending.(p) <- part_pending.(p) + 1;
+          frontier := Some ri
+        | None ->
+          let ri = item false in
+          stages_rev := { rs_queues = !cur; rs_barrier = Some ri } :: !stages_rev;
+          cur := fresh_queues ();
+          incr barriers;
+          frontier := Some ri);
+        incr pos;
+        walk markers rs
+    in
+    walk markers records;
+    stages_rev := { rs_queues = !cur; rs_barrier = None } :: !stages_rev;
+    reinstate_archive t ck.ck_archive;
+    List.iter
+      (fun (m : 'msg Wire.app_message) ->
+        if
+          (not (Hashtbl.mem t.delivered m.Wire.id))
+          && (not (buffered_in_recv t m.Wire.id))
+          && not (orphan_wire t m)
+        then t.recv_buf <- t.recv_buf @ [ (now, m) ])
+      (List.rev !requeued);
+    restart_epilogue t ~now;
+    let pending = Array.fold_left ( + ) 0 part_pending + !barriers in
+    if pending = 0 then begin
+      trace t ~now (Recovery_completed { pid = t.pid; replayed = 0 });
+      recheck t ~now
+    end
+    else begin
+      t.recovery <-
+        Some
+          {
+            rc_parts = pt.parts;
+            rc_stages = List.rev !stages_rev;
+            rc_part_pending = part_pending;
+            rc_barriers_pending = !barriers;
+            rc_replayed = 0;
+            rc_frontier = !frontier;
+            rc_next = 0;
+            rc_live_delivered = false;
+          };
+      recheck t ~now
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Per-partition incremental checkpoints                               *)
+
+(* Snapshot the dirtiest partition's slice together with the pending
+   sends, outputs and retransmission archive (the effects replay of its
+   covered records would otherwise regenerate — a superset is safe, the
+   restore paths deduplicate by identity exactly as full-checkpoint
+   restore does).  The record is synchronous like every sync-area write;
+   superseded same-partition records are compacted away.  Returns false
+   when the application exports no slices or nothing is dirty. *)
+let do_partition_checkpoint t ~now =
+  match t.app.App_intf.partitioning with
+  | Some ({ part_export = Some export; _ } as pt) when t.recovery = None ->
+    let best = ref (-1) in
+    Array.iteri
+      (fun p c -> if c > 0 && (!best < 0 || c > t.part_dirty.(!best)) then best := p)
+      t.part_dirty;
+    if !best < 0 then false
+    else begin
+      let p = !best in
+      (* Flush first so the snapshot corresponds exactly to the stable
+         prefix it claims to cover. *)
+      do_flush t ~now ~ack:true;
+      let pos = Store.stable_log_length t.store in
+      let sends =
+        List.map
+          (fun ps ->
+            {
+              sv_id = ps.ps_id;
+              sv_dst = ps.ps_dst;
+              sv_interval = ps.ps_interval;
+              sv_dep = Dep_vector.non_null ps.ps_tdv;
+              sv_payload = ps.ps_payload;
+              sv_enqueued = ps.ps_enqueued;
+              sv_k = ps.ps_k;
+            })
+          t.send_buf
+      in
+      let outs =
+        List.map
+          (fun po ->
+            {
+              so_id = po.po_id;
+              so_text = po.po_text;
+              so_dep = Dep_vector.non_null po.po_tdv;
+              so_buffered = po.po_buffered;
+            })
+          t.out_buf
+      in
+      let payload =
+        Marshal.to_string
+          (export t.state p, sends, outs, Archive.newest_first t.archive)
+          [ Marshal.Closures ]
+      in
+      Store.log_announcement t.store
+        (Wire.Part_ckpt { pc_part = p; pc_pos = pos; pc_payload = payload });
+      (* Drop the records this one supersedes so the sync area stays
+         bounded by one snapshot per partition. *)
+      ignore
+        (Store.compact_sync t.store ~keep:(function
+           | Wire.Part_ckpt { pc_part; pc_pos; _ } ->
+             not (pc_part = p && pc_pos < pos)
+           | Wire.Ann_logged _ | Wire.Marker _ | Wire.Committed _
+           | Wire.Gc_stubs _ -> true)
+          : int);
+      ignore pt.parts;
+      t.part_dirty.(p) <- 0;
+      true
+    end
+  | Some _ | None -> false
 
 (* ------------------------------------------------------------------ *)
 (* Public driver interface                                             *)
@@ -1302,6 +1839,11 @@ let[@warning "-16"] create ~config ~pid ~app ?store_dir ~trace:tr =
       outputs_log = [];
       ckpt_ops = 0;
       actions = [];
+      recovery = None;
+      part_dirty =
+        (match app.App_intf.partitioning with
+        | Some pt -> Array.make pt.parts 0
+        | None -> [||]);
     }
   in
   (* A damaged store can come back with every checkpoint dropped (e.g. a
@@ -1472,6 +2014,25 @@ let halt t ~now =
 let restart t ~now =
   with_cost t (fun () -> if not t.up then do_restart t ~now)
 
+let restart_begin t ~now =
+  with_cost t (fun () -> if not t.up then do_restart_begin t ~now)
+
+let replay_step t ~now ?prefer ~budget () =
+  let executed = ref 0 in
+  let actions, cost =
+    with_cost t (fun () ->
+        guard t (fun () -> executed := do_replay_step t ~now ?prefer ~budget ()))
+  in
+  (!executed, actions, cost)
+
+let partition_checkpoint t ~now =
+  let did = ref false in
+  let actions, cost =
+    with_cost t (fun () ->
+        guard t (fun () -> did := do_partition_checkpoint t ~now))
+  in
+  (!did, actions, cost)
+
 let is_up t = t.up
 
 let storage_report t = Store.storage_report t.store
@@ -1524,6 +2085,33 @@ let output_buffer_size t = List.length t.out_buf
 let committed_outputs t = List.rev t.outputs_log
 
 let stable_frontier t = t.frontier
+
+(* --- fast-recovery inspection --- *)
+
+let recovery_active t = t.recovery <> None
+
+let recovery_pending t =
+  match t.recovery with
+  | None -> 0
+  | Some rc -> Array.fold_left ( + ) 0 rc.rc_part_pending + rc.rc_barriers_pending
+
+let partition_count t =
+  match t.app.App_intf.partitioning with Some pt -> pt.parts | None -> 0
+
+let partition_of_payload t payload = part_of_payload t payload
+
+let partition_recovered t p =
+  match t.recovery with
+  | None -> true
+  | Some rc ->
+    p >= 0 && p < rc.rc_parts
+    && rc.rc_part_pending.(p) = 0
+    && rc.rc_barriers_pending = 0
+
+let partition_digest t p =
+  match t.app.App_intf.partitioning with
+  | Some pt when p >= 0 && p < pt.parts -> Some (pt.part_digest t.state p)
+  | Some _ | None -> None
 
 let metrics t = t.metrics
 

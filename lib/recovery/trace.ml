@@ -37,6 +37,10 @@ type event =
   | Notice_sent of { pid : int; entries : int }
   | Output_buffered of { pid : int; id : Wire.output_id; text : string }
   | Output_committed of { pid : int; id : Wire.output_id; text : string; latency : float }
+  | Recovery_completed of { pid : int; replayed : int }
+      (** the restarted process finished replaying its log ([replayed]
+          delivery records); between [Restarted] and this event the process
+          may already have been serving requests on recovered partitions *)
 
 type entry = { time : float; seq : int; ev : event }
 
@@ -108,6 +112,8 @@ let pp_event ppf = function
   | Output_committed { pid; id; text; latency } ->
     Fmt.pf ppf "P%d commits output %a %S after %.2f" pid Wire.pp_output_id id
       text latency
+  | Recovery_completed { pid; replayed } ->
+    Fmt.pf ppf "P%d completes recovery (%d records replayed)" pid replayed
 
 let pp_entry ppf e = Fmt.pf ppf "[%8.2f] %a" e.time pp_event e.ev
 

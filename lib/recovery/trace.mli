@@ -54,6 +54,10 @@ type event =
   | Notice_sent of { pid : int; entries : int }
   | Output_buffered of { pid : int; id : Wire.output_id; text : string }
   | Output_committed of { pid : int; id : Wire.output_id; text : string; latency : float }
+  | Recovery_completed of { pid : int; replayed : int }
+      (** the restarted process finished replaying its log ([replayed]
+          delivery records); between [Restarted] and this event the process
+          may already have been serving requests on recovered partitions *)
 
 type entry = { time : float; seq : int; ev : event }
 

@@ -117,3 +117,10 @@ type sync_record =
   | Gc_stubs of identity list
       (** identities of deliveries whose log records were garbage-collected;
           retained so duplicate suppression survives GC and crashes *)
+  | Part_ckpt of { pc_part : int; pc_pos : int; pc_payload : string }
+      (** incremental per-partition checkpoint: after the first [pc_pos]
+          stable records, partition [pc_part]'s state slice (plus the
+          pending effects replay up to [pc_pos] would regenerate) is
+          [pc_payload].  Opaque at this layer — the node marshals it where
+          the message type is known; PROTOCOL.md gives the format.  A later
+          [Marker] with [log_pos < pc_pos] invalidates the record. *)

@@ -126,6 +126,15 @@ module Mem = struct
     t.anns <- a :: t.anns;
     t.sync_writes <- t.sync_writes + 1
 
+  let compact_sync t ~keep =
+    let kept = List.filter keep t.anns in
+    let dropped = List.length t.anns - List.length kept in
+    if dropped > 0 then begin
+      t.anns <- kept;
+      t.sync_writes <- t.sync_writes + 1
+    end;
+    dropped
+
   let set_incarnation t i =
     t.inc <- i;
     t.sync_writes <- t.sync_writes + 1
@@ -239,6 +248,11 @@ let log_announcement t a =
 let announcements = function
   | Mem m -> List.rev m.Mem.anns
   | Disk d -> Disk.announcements d
+
+let compact_sync t ~keep =
+  match t with
+  | Mem m -> Mem.compact_sync m ~keep
+  | Disk d -> Disk.compact_sync d ~keep
 
 let set_incarnation t i =
   match t with Mem m -> Mem.set_incarnation m i | Disk d -> Disk.set_incarnation d i

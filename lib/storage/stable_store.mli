@@ -162,6 +162,13 @@ val log_announcement : ('ckpt, 'log, 'ann) t -> 'ann -> unit
 val announcements : ('ckpt, 'log, 'ann) t -> 'ann list
 (** Oldest first. *)
 
+val compact_sync : ('ckpt, 'log, 'ann) t -> keep:('ann -> bool) -> int
+(** Rewrite the synchronous area keeping only the announcements [keep]
+    accepts; returns how many were dropped.  Counted as one synchronous
+    write when anything was dropped, free otherwise.  Lets superseded
+    per-partition checkpoint records be reclaimed so the sync area stays
+    bounded by one snapshot per partition. *)
+
 val set_incarnation : ('ckpt, 'log, 'ann) t -> int -> unit
 (** Synchronously persist the incarnation counter (counted).  Necessary so a
     process that fails right after a rollback does not reuse an incarnation

@@ -25,6 +25,7 @@ let () =
       ("explore", Test_explore.suite);
       ("corpus", Test_corpus.suite);
       ("integration", Test_integration.suite);
+      ("recovery-fast", Test_recovery_fast.suite);
       ("net-codec", Test_net_codec.suite);
       ("net-deployment", Test_net.suite);
       ("shardkv", Test_shardkv.suite);

@@ -1,7 +1,8 @@
 (* Multi-process deployment over real loopback TCP: fork koptnode daemons,
    drive a workload, SIGKILL one mid-run, and certify the merged trace with
    the causality oracle — the subsystem's end-to-end argument, exercised
-   from the test suite at a small scale. *)
+   from the test suite at a small scale.  The recovery-window tests re-kill
+   a successor mid-replay and flood one with client load during replay. *)
 
 module Deployment = Net.Deployment
 module App = App_model.Kvstore_app
@@ -9,50 +10,63 @@ module App = App_model.Kvstore_app
 let counter outcome name =
   try List.assoc name outcome.Deployment.counters with Not_found -> 0
 
+(* Every test gets its own named temp root and removes it however the test
+   exits; [destroy] also reaps any daemon a failing assertion left behind. *)
+let with_deployment ~prefix launch f =
+  let root = Durable.Temp.fresh_dir ~prefix () in
+  let t = launch ~root in
+  Fun.protect
+    ~finally:(fun () -> try Deployment.destroy t with _ -> ())
+    (fun () -> f t)
+
 (* Benign network (no proxy): the transport's own framing/reconnect path. *)
 let test_cluster_benign () =
-  let t = Deployment.launch ~n:3 ~k:1 ~seed:11 () in
-  Deployment.run_workload t ~ops:30 ~seed:3;
-  Alcotest.(check bool) "settles" true (Deployment.settle t);
-  let outcome = Deployment.finish t in
-  Alcotest.(check (list string)) "no trace damage" [] outcome.Deployment.damage;
-  Alcotest.(check (list string))
-    "oracle certifies" []
-    outcome.Deployment.oracle.Harness.Oracle.violations;
-  Alcotest.(check bool) "work happened" true (counter outcome "deliveries" > 0);
-  Alcotest.(check int) "no crash synthesized" 0 outcome.Deployment.synthesized_crashes;
-  (* Fault-free certification tightening: a benign network decodes every
-     frame, and every daemon's graceful quit flushed first, so each wrote
-     a clean [Crashed] (no lost interval) instead of leaving a torn tail. *)
-  Deployment.check_fault_free outcome;
-  let clean_quits =
-    List.length
-      (List.filter
-         (fun { Recovery.Trace.ev; _ } ->
-           match ev with
-           | Recovery.Trace.Crashed { first_lost = None; _ } -> true
-           | _ -> false)
-         (Recovery.Trace.events outcome.Deployment.trace))
-  in
-  Alcotest.(check int) "every daemon quit cleanly" 3 clean_quits;
-  Durable.Temp.rm_rf (Deployment.root t)
+  with_deployment ~prefix:"test-net-benign"
+    (fun ~root -> Deployment.launch ~n:3 ~k:1 ~seed:11 ~root ())
+    (fun t ->
+      Deployment.run_workload t ~ops:30 ~seed:3;
+      Alcotest.(check bool) "settles" true (Deployment.settle t);
+      let outcome = Deployment.finish t in
+      Alcotest.(check (list string)) "no trace damage" [] outcome.Deployment.damage;
+      Alcotest.(check (list string))
+        "oracle certifies" []
+        outcome.Deployment.oracle.Harness.Oracle.violations;
+      Alcotest.(check bool) "work happened" true (counter outcome "deliveries" > 0);
+      Alcotest.(check int)
+        "no crash synthesized" 0 outcome.Deployment.synthesized_crashes;
+      (* Fault-free certification tightening: a benign network decodes every
+         frame, and every daemon's graceful quit flushed first, so each wrote
+         a clean [Crashed] (no lost interval) instead of leaving a torn tail. *)
+      Deployment.check_fault_free outcome;
+      let clean_quits =
+        List.length
+          (List.filter
+             (fun { Recovery.Trace.ev; _ } ->
+               match ev with
+               | Recovery.Trace.Crashed { first_lost = None; _ } -> true
+               | _ -> false)
+             (Recovery.Trace.events outcome.Deployment.trace))
+      in
+      Alcotest.(check int) "every daemon quit cleanly" 3 clean_quits)
 
 (* SIGKILL one daemon mid-workload; the respawned incarnation must recover
    from its durable store and the merge must synthesize the Crashed event
    the killed incarnation never wrote. *)
 let test_cluster_kill () =
-  let t = Deployment.launch ~n:3 ~k:3 ~seed:12 () in
-  Deployment.run_workload t ~ops:24 ~seed:5;
-  Deployment.kill t ~dst:1;
-  Deployment.run_workload t ~ops:24 ~seed:6;
-  ignore (Deployment.settle t : bool);
-  let outcome = Deployment.finish t in
-  Alcotest.(check (list string))
-    "oracle certifies" []
-    outcome.Deployment.oracle.Harness.Oracle.violations;
-  Alcotest.(check int) "one synthesized crash" 1 outcome.Deployment.synthesized_crashes;
-  Alcotest.(check bool) "restart recorded" true (counter outcome "restarts" >= 1);
-  Durable.Temp.rm_rf (Deployment.root t)
+  with_deployment ~prefix:"test-net-kill"
+    (fun ~root -> Deployment.launch ~n:3 ~k:3 ~seed:12 ~root ())
+    (fun t ->
+      Deployment.run_workload t ~ops:24 ~seed:5;
+      Deployment.kill t ~dst:1;
+      Deployment.run_workload t ~ops:24 ~seed:6;
+      ignore (Deployment.settle t : bool);
+      let outcome = Deployment.finish t in
+      Alcotest.(check (list string))
+        "oracle certifies" []
+        outcome.Deployment.oracle.Harness.Oracle.violations;
+      Alcotest.(check int)
+        "one synthesized crash" 1 outcome.Deployment.synthesized_crashes;
+      Alcotest.(check bool) "restart recorded" true (counter outcome "restarts" >= 1))
 
 (* The E14 smoke path (kill + proxy faults) is what CI runs; keep a tiny
    proxied run here so `dune runtest` covers the fault-injection relay. *)
@@ -66,17 +80,148 @@ let test_cluster_proxy () =
       reorder_spread = 3.;
     }
   in
-  let t = Deployment.launch ~n:2 ~k:2 ~plan ~seed:13 () in
-  Deployment.run_workload t ~ops:30 ~seed:9;
-  ignore (Deployment.settle t : bool);
-  let outcome = Deployment.finish t in
+  with_deployment ~prefix:"test-net-proxy"
+    (fun ~root -> Deployment.launch ~n:2 ~k:2 ~plan ~seed:13 ~root ())
+    (fun t ->
+      Deployment.run_workload t ~ops:30 ~seed:9;
+      ignore (Deployment.settle t : bool);
+      let outcome = Deployment.finish t in
+      Alcotest.(check (list string))
+        "oracle certifies" []
+        outcome.Deployment.oracle.Harness.Oracle.violations;
+      match outcome.Deployment.proxy with
+      | Some p ->
+        Alcotest.(check bool) "proxy relayed" true (p.Net.Proxy.forwarded > 0)
+      | None -> Alcotest.fail "expected proxy stats")
+
+(* ------------------------------------------------------------------ *)
+(* Recovery-window chaos: what happens *during* a fast restart's replay. *)
+
+let victim = 1
+
+(* Keys the victim owns: Puts injected at it are applied locally, one log
+   record each — so the victim's replay after a kill has a known length. *)
+let victim_keys ~n ~count =
+  let rec collect i acc = function
+    | 0 -> List.rev acc
+    | left ->
+      let key = Fmt.str "chaos-%d" i in
+      if App.owner ~n key = victim then collect (i + 1) (key :: acc) (left - 1)
+      else collect (i + 1) acc left
+  in
+  collect 0 [] count
+
+(* The replay pump paces itself at t_replay abstract units per record; the
+   10x coarser clock stretches a ~200-record replay to ~100 ms of wall
+   clock, wide enough for the driver to land a second kill (or a flood of
+   client load) inside the recovery window. *)
+let chaos_time_scale = 10. *. Recovery.Config.default_time_scale
+
+let load_victim t keys =
+  List.iteri
+    (fun i key ->
+      Deployment.inject t ~dst:victim (App.Put { key; value = i });
+      if i mod 16 = 15 then Thread.delay 0.002)
+    keys
+
+(* Poll until the successor reports an active replay; [false] if the
+   window closed before we caught it (small machines can finish the replay
+   between polls — the test still re-kills, just without the guarantee). *)
+let await_recovering t =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec loop () =
+    match Deployment.status t ~dst:victim with
+    | Some s when s.Net.Wire_codec.st_recovering -> true
+    | _ -> Unix.gettimeofday () < deadline && (Thread.delay 0.005; loop ())
+  in
+  loop ()
+
+let certify ~k outcome =
   Alcotest.(check (list string))
     "oracle certifies" []
     outcome.Deployment.oracle.Harness.Oracle.violations;
-  (match outcome.Deployment.proxy with
-  | Some p -> Alcotest.(check bool) "proxy relayed" true (p.Net.Proxy.forwarded > 0)
-  | None -> Alcotest.fail "expected proxy stats");
-  Durable.Temp.rm_rf (Deployment.root t)
+  Alcotest.(check bool)
+    "risk within K" true
+    (outcome.Deployment.oracle.Harness.Oracle.max_risk <= k)
+
+(* SIGKILL, then SIGKILL the successor again mid-replay: the third
+   incarnation recovers from a store that already holds a failure
+   announcement for the second, and the merged trace must still certify. *)
+let test_kill_during_replay () =
+  let k = 2 in
+  with_deployment ~prefix:"test-net-rekill"
+    (fun ~root ->
+      Deployment.launch ~n:3 ~k ~ckpt_interval:0. ~time_scale:chaos_time_scale
+        ~seed:31 ~root ())
+    (fun t ->
+      load_victim t (victim_keys ~n:3 ~count:200);
+      Alcotest.(check bool) "settles before kill" true
+        (Deployment.settle ~timeout:120. t);
+      Deployment.kill_only t ~dst:victim;
+      Deployment.respawn t ~dst:victim;
+      let caught = await_recovering t in
+      Deployment.kill_only t ~dst:victim;
+      Deployment.respawn t ~dst:victim;
+      Alcotest.(check bool) "settles after re-kill" true
+        (Deployment.settle ~timeout:120. t);
+      let outcome = Deployment.finish t in
+      certify ~k outcome;
+      Alcotest.(check int)
+        "two synthesized crashes" 2 outcome.Deployment.synthesized_crashes;
+      (* Metrics files are written on graceful quit only, so the summed
+         restart counter sees just the surviving incarnation. *)
+      Alcotest.(check bool) "restart recorded" true (counter outcome "restarts" >= 1);
+      (* [caught] means the second kill was fired while the status socket
+         reported an active replay; either way the final incarnation must
+         have certified a completed recovery.  (When the window was hit,
+         the second incarnation died before its own [Recovery_completed],
+         so at most the first and third wrote one.) *)
+      let completions =
+        List.length
+          (List.filter
+             (fun { Recovery.Trace.ev; _ } ->
+               match ev with
+               | Recovery.Trace.Recovery_completed { pid; _ } -> pid = victim
+               | _ -> false)
+             (Recovery.Trace.events outcome.Deployment.trace))
+      in
+      Alcotest.(check bool) "final incarnation completed recovery" true
+        (completions >= 1);
+      if caught then
+        Alcotest.(check bool) "mid-replay kill left at most two completions" true
+          (completions <= 2))
+
+(* Flood the successor with client load while it replays: parked requests
+   for unrecovered partitions must all drain, and certification must hold
+   with the replay and the fresh deliveries interleaved in the trace. *)
+let test_flood_during_replay () =
+  let k = 2 in
+  with_deployment ~prefix:"test-net-flood"
+    (fun ~root ->
+      Deployment.launch ~n:3 ~k ~ckpt_interval:0. ~time_scale:chaos_time_scale
+        ~seed:32 ~root ())
+    (fun t ->
+      let keys = victim_keys ~n:3 ~count:200 in
+      load_victim t keys;
+      Alcotest.(check bool) "settles before kill" true
+        (Deployment.settle ~timeout:120. t);
+      Deployment.kill_only t ~dst:victim;
+      Deployment.respawn t ~dst:victim;
+      (* No waiting: the flood races the replay — overwrites of replayed
+         keys plus Gets that park on unrecovered partitions. *)
+      List.iteri
+        (fun i key ->
+          Deployment.inject t ~dst:victim
+            (if i mod 3 = 2 then App.Get key
+             else App.Put { key; value = 10_000 + i }))
+        (List.filteri (fun i _ -> i mod 4 = 0) keys);
+      Alcotest.(check bool) "settles after flood" true
+        (Deployment.settle ~timeout:120. t);
+      let outcome = Deployment.finish t in
+      certify ~k outcome;
+      Alcotest.(check bool) "flood was delivered" true
+        (counter outcome "outputs_committed" > 0);
+      Alcotest.(check bool) "replay happened" true (counter outcome "replayed" > 0))
 
 let suite =
   [
@@ -84,4 +229,8 @@ let suite =
       test_cluster_benign;
     Alcotest.test_case "SIGKILL + respawn from durable store" `Slow test_cluster_kill;
     Alcotest.test_case "through the fault proxy" `Slow test_cluster_proxy;
+    Alcotest.test_case "SIGKILL again mid-replay, certified" `Slow
+      test_kill_during_replay;
+    Alcotest.test_case "client flood during replay, certified" `Slow
+      test_flood_during_replay;
   ]

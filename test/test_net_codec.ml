@@ -87,7 +87,7 @@ let gen_packet =
 
 let gen_status =
   map
-    (fun ((up, pending), (sb, rb), (ob, del), (tl, cur)) ->
+    (fun (((up, pending), (sb, rb), (ob, del), (tl, cur)), (recovering, rp)) ->
       {
         Wire_codec.st_up = up;
         st_pending = pending;
@@ -97,9 +97,13 @@ let gen_status =
         st_deliveries = del;
         st_trace_len = tl;
         st_current = cur;
+        st_recovering = recovering;
+        st_replay_pending = rp;
       })
-    (tup4 (pair bool small_nat) (pair small_nat small_nat)
-       (pair small_nat small_nat) (pair small_nat gen_entry))
+    (pair
+       (tup4 (pair bool small_nat) (pair small_nat small_nat)
+          (pair small_nat small_nat) (pair small_nat gen_entry))
+       (pair bool small_nat))
 
 let gen_tick = oneofl [ `Flush; `Checkpoint; `Notice ]
 

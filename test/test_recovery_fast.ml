@@ -1,0 +1,213 @@
+(* Fast-recovery unit + property tests, on a single node over the
+   in-memory store (crash + restart on the same handle):
+
+   - QCheck law: partitioned replay ([restart_begin] + [replay_step] in
+     any preference order, any budgets) reaches the same per-partition
+     digests as Figure 3's serial [restart], for any op sequence and any
+     stability point at the crash.
+   - QCheck law: a prefix captured by incremental [Part_ckpt] snapshots
+     plus replay of the remainder equals one-shot replay of the whole log.
+   - Scripted on-demand timeline: a Get for an already-replayed partition
+     is answered while another partition is still replaying; a Get parked
+     on an unrecovered partition is answered only after that partition's
+     replay completes — from the replayed state, never the pre-crash
+     (wiped) one. *)
+
+module Node = Recovery.Node
+module Trace = Recovery.Trace
+module App = App_model.Kvstore_app
+module D = Util.Driver
+
+(* One process, K = 0, no timers: kvstore keys are all locally owned
+   (owner hash mod 1), so every Put is one local log record and the
+   recovery partitioning (the second, independent key hash) is the only
+   sharding in play. *)
+let config () = Recovery.Config.k_optimistic ~timing:Util.quiet_timing ~n:1 ~k:0 ()
+
+let parts = App.parts
+
+(* A small key pool with a known partition for each key. *)
+let key_of i = Fmt.str "law-%d" i
+
+let feed d ops ~flush_at =
+  List.iteri
+    (fun i (ki, v) ->
+      D.inject d ~seq:(i + 1) (App.Put { key = key_of ki; value = v });
+      if i + 1 = flush_at then D.flush d)
+    ops
+
+let drain_replay ?(rng = fun _ -> 0) node =
+  let fuel = ref 10_000 in
+  while Node.recovery_active node do
+    decr fuel;
+    if !fuel = 0 then Alcotest.fail "replay made no progress";
+    let prefer = rng parts in
+    let budget = 1 + rng 3 in
+    ignore
+      (Node.replay_step node ~now:2000. ~prefer ~budget () : int * _ list * _)
+  done
+
+let check_digests ~msg a b =
+  for p = 0 to parts - 1 do
+    Alcotest.(check (option int))
+      (Fmt.str "%s: partition %d digest" msg p)
+      (Node.partition_digest b p) (Node.partition_digest a p)
+  done
+
+(* Generator: an op sequence over a 24-key pool, a stability point (flush
+   position) and a seed for the replay preference/budget walk. *)
+let gen_case =
+  QCheck2.Gen.(
+    triple
+      (list_size (int_range 1 40) (pair (int_bound 23) (int_bound 99)))
+      (int_bound 40) (int_bound 1000))
+
+let law_partitioned_eq_serial =
+  Util.qtest ~count:80 "partitioned replay == serial replay (digests)" gen_case
+    (fun (ops, flush_at, seed) ->
+      let flush_at = min flush_at (List.length ops) in
+      let a = D.make (config ()) App.app in
+      let b = D.make (config ()) App.app in
+      feed a ops ~flush_at;
+      feed b ops ~flush_at;
+      D.crash a;
+      D.crash b;
+      (* A: incremental, replayed in a seed-dependent preference order
+         with small uneven budgets; B: Figure 3's serial restart. *)
+      ignore (Node.restart_begin a.D.node ~now:1000. : _ list * _);
+      let state = ref seed in
+      let rng bound =
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        !state mod bound
+      in
+      drain_replay ~rng a.D.node;
+      ignore (Node.restart b.D.node ~now:1000. : _ list * _);
+      check_digests ~msg:"law1" a.D.node b.D.node;
+      true)
+
+let law_ckpt_prefix_eq_oneshot =
+  Util.qtest ~count:80 "Part_ckpt prefix + remainder == one-shot replay" gen_case
+    (fun (ops, split, seed) ->
+      let split = min split (List.length ops) in
+      let prefix = List.filteri (fun i _ -> i < split) ops in
+      let rest = List.filteri (fun i _ -> i >= split) ops in
+      let a = D.make (config ()) App.app in
+      let b = D.make (config ()) App.app in
+      (* A snapshots every dirty partition after the prefix; B never
+         snapshots.  Same injects, same stability points on both. *)
+      feed a prefix ~flush_at:split;
+      feed b prefix ~flush_at:split;
+      let rec snap n =
+        if n > 0 then begin
+          let did, _, _ = Node.partition_checkpoint a.D.node ~now:500. in
+          if did then snap (n - 1)
+        end
+      in
+      snap parts;
+      List.iteri
+        (fun i (ki, v) ->
+          let seq = split + i + 1 in
+          D.inject a ~seq (App.Put { key = key_of ki; value = v });
+          D.inject b ~seq (App.Put { key = key_of ki; value = v }))
+        rest;
+      D.flush a;
+      D.flush b;
+      D.crash a;
+      D.crash b;
+      ignore (Node.restart_begin a.D.node ~now:1000. : _ list * _);
+      let state = ref seed in
+      let rng bound =
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        !state mod bound
+      in
+      drain_replay ~rng a.D.node;
+      ignore (Node.restart b.D.node ~now:1000. : _ list * _);
+      check_digests ~msg:"law2" a.D.node b.D.node;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Scripted on-demand timeline                                         *)
+
+let committed_outputs trace =
+  List.filter_map
+    (fun { Trace.ev; _ } ->
+      match ev with
+      | Trace.Output_committed { text; _ } -> Some text
+      | _ -> None)
+    (Trace.events trace)
+
+let test_on_demand_timeline () =
+  (* Two keys in different recovery partitions. *)
+  let ka = key_of 0 in
+  let pa = App.part_of_key ka in
+  let kb =
+    let rec find i =
+      if App.part_of_key (key_of i) <> pa then key_of i else find (i + 1)
+    in
+    find 1
+  in
+  let pb = App.part_of_key kb in
+  let d = D.make (config ()) App.app in
+  D.inject d ~seq:1 (App.Put { key = ka; value = 5 });
+  D.inject d ~seq:2 (App.Put { key = kb; value = 6 });
+  D.inject d ~seq:3 (App.Put { key = ka; value = 7 });
+  D.inject d ~seq:4 (App.Put { key = kb; value = 8 });
+  D.flush d;
+  D.crash d;
+  ignore (Node.restart_begin d.D.node ~now:1000. : _ list * _);
+  Alcotest.(check bool) "recovery active" true (Node.recovery_active d.D.node);
+  Alcotest.(check int) "four records pending" 4 (Node.recovery_pending d.D.node);
+  (* Replay exactly partition A (two records); B stays pending. *)
+  let executed, _, _ =
+    Node.replay_step d.D.node ~now:1001. ~prefer:pa ~budget:2 ()
+  in
+  Alcotest.(check int) "A's two records replayed" 2 executed;
+  Alcotest.(check bool) "A recovered" true (Node.partition_recovered d.D.node pa);
+  Alcotest.(check bool) "B not recovered" false
+    (Node.partition_recovered d.D.node pb);
+  (* A Get on the recovered partition is answered now — mid-recovery —
+     and from the replayed state (v7, version 2). *)
+  D.inject d ~seq:10 (App.Get ka);
+  D.flush d;
+  Alcotest.(check bool) "still recovering" true (Node.recovery_active d.D.node);
+  Alcotest.(check (list string))
+    "Get on recovered partition answered mid-replay"
+    [ Fmt.str "get %s -> 7 (v2)" ka ]
+    (committed_outputs d.D.trace);
+  (* A Get on the unrecovered partition parks: no answer, not even a
+     wrong one from the wiped pre-crash state. *)
+  D.inject d ~seq:11 (App.Get kb);
+  D.flush d;
+  Alcotest.(check int) "parked in the receive buffer" 1
+    (Node.receive_buffer_size d.D.node);
+  Alcotest.(check (list string))
+    "parked Get not answered"
+    [ Fmt.str "get %s -> 7 (v2)" ka ]
+    (committed_outputs d.D.trace);
+  (* Finish B's replay: recovery completes, the parked Get drains and is
+     answered from the replayed state. *)
+  let executed, _, _ =
+    Node.replay_step d.D.node ~now:1002. ~prefer:pb ~budget:100 ()
+  in
+  Alcotest.(check int) "B's two records replayed" 2 executed;
+  Alcotest.(check bool) "recovery complete" false (Node.recovery_active d.D.node);
+  D.flush d;
+  Alcotest.(check (list string))
+    "parked Get answered after its partition's replay"
+    [ Fmt.str "get %s -> 7 (v2)" ka; Fmt.str "get %s -> 8 (v2)" kb ]
+    (committed_outputs d.D.trace);
+  let completed =
+    List.exists
+      (fun { Trace.ev; _ } ->
+        match ev with Trace.Recovery_completed _ -> true | _ -> false)
+      (Trace.events d.D.trace)
+  in
+  Alcotest.(check bool) "Recovery_completed traced" true completed
+
+let suite =
+  [
+    law_partitioned_eq_serial;
+    law_ckpt_prefix_eq_oneshot;
+    Alcotest.test_case "on-demand timeline: serve early, park until replayed"
+      `Quick test_on_demand_timeline;
+  ]

@@ -203,7 +203,11 @@ let test_multi_put_gating_k0 () =
 (* Live: multi-put across shards survives killing a participant        *)
 
 let test_live_multi_put_under_kill () =
-  let t = Deployment.launch ~n:3 ~k:0 ~app:"shardkv" ~seed:21 () in
+  let root = Durable.Temp.fresh_dir ~prefix:"test-shardkv-live" () in
+  let t = Deployment.launch ~n:3 ~k:0 ~app:"shardkv" ~seed:21 ~root () in
+  Fun.protect
+    ~finally:(fun () -> try Deployment.destroy t with _ -> ())
+  @@ fun () ->
   let svc = Shardkv.Service.connect t in
   let ring = Shardkv.Service.ring svc in
   let coord = Ring.owner ring "key-0" in
@@ -240,8 +244,7 @@ let test_live_multi_put_under_kill () =
       (Recovery.Trace.events outcome.Deployment.trace)
   in
   Alcotest.(check int) "exactly one ack in the merged trace" 1
-    (List.length acks);
-  Durable.Temp.rm_rf (Deployment.root t)
+    (List.length acks)
 
 let suite =
   [
