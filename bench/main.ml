@@ -484,8 +484,25 @@ let run_check_net_floors () =
          "E16 ops=1200: incremental checkpoints did not beat whole-log \
           replay (%.1f ms vs %.1f ms)"
          pckpt ttfull);
-  Fmt.pr "net floors ok: %s = %.1f; E16 ttfr %.1f < ttfull %.1f ms (pckpt %.1f)@."
-    smoke_key smoke ttfr ttfull pckpt
+  (* Committed E17 keys: the churn run certified with risk at most K at
+     the grown membership width, delivered traffic throughout, and the
+     brownout window actually refused flushes (degradation was reported,
+     not silently absorbed). *)
+  let e17_width = find "E17 membership width k=2" in
+  if e17_width < 4. then
+    failwith
+      (Fmt.str "E17 membership width k=2: cluster never grew (%.0f)" e17_width);
+  if find "E17 deliveries k=2" <= 0. then
+    failwith "E17 deliveries k=2: non-positive";
+  let e17_risk = find "E17 max risk k=2" in
+  if e17_risk > 2. then
+    failwith (Fmt.str "E17 max risk k=2: exceeds K (%.0f)" e17_risk);
+  if find "E17 degraded flushes k=2" < 1. then
+    failwith "E17 degraded flushes k=2: brownout refused no flush";
+  Fmt.pr
+    "net floors ok: %s = %.1f; E16 ttfr %.1f < ttfull %.1f ms (pckpt %.1f); \
+     E17 width %.0f risk %.0f@."
+    smoke_key smoke ttfr ttfull pckpt e17_width e17_risk
 
 (* ------------------------------------------------------------------ *)
 

@@ -163,6 +163,41 @@ let recovery_cmd =
   in
   Cmd.v (Cmd.info "recovery" ~doc) Term.(const run $ smoke $ json_arg)
 
+let churn_cmd =
+  let doc =
+    "Run E17: membership churn and degraded modes on live clusters — add a \
+     daemon mid-run (Join handshake widens incumbent dependency vectors), \
+     SIGKILL+respawn an incumbent, retire a daemon gracefully (frontier \
+     broadcast), rejoin it over its own store, rolling-restart the widened \
+     cluster, and arm a disk-full brownout window on one store; every run \
+     must oracle-certify at the final membership width with risk at most K, \
+     and the brownout must be reported (refused-flush counter) without ever \
+     being visible to the oracle."
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Time-capped CI mode: one small k=1 run covering the full churn \
+             sequence, oracle-certified.")
+  in
+  let run smoke json =
+    match Net.Churn_exp.experiment ~smoke () with
+    | report, bench ->
+      Harness.Report.print report;
+      if bench <> [] then begin
+        Harness.Report.merge_bench "BENCH_net.json" bench;
+        Fmt.pr "merged %d E17 keys into BENCH_net.json@." (List.length bench)
+      end;
+      write_json json [ report ];
+      0
+    | exception Failure msg ->
+      Fmt.epr "FAIL: %s@." msg;
+      1
+  in
+  Cmd.v (Cmd.info "churn" ~doc) Term.(const run $ smoke $ json_arg)
+
 let breakage_conv =
   Arg.enum
     [
@@ -430,4 +465,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; run_cmd; chaos_cmd; explore_cmd; net_cmd; kv_cmd; recovery_cmd ]))
+          [
+            list_cmd; run_cmd; chaos_cmd; explore_cmd; net_cmd; kv_cmd;
+            recovery_cmd; churn_cmd;
+          ]))

@@ -153,7 +153,7 @@ let metrics_lines (m : Recovery.Metrics.t) =
 let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
     ~(wire : msg App_model.App_intf.wire_format) ~pid ~n ~k ~listen_port ~peers
     ~control_port ~store_dir ~trace_file ~metrics_file ~epoch ~time_scale
-    ~retransmit ~ckpt_interval ~part_ckpt =
+    ~retransmit ~ckpt_interval ~part_ckpt ~join =
   let config =
     Config.harden ?retransmit_interval:retransmit
       (Config.k_optimistic ~n ~k ())
@@ -273,6 +273,10 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
      [replay_step] in the background. *)
   if not (Node.is_up !node) then
     dispatch (fst (Node.restart_begin !node ~now:(now ())));
+  (* A joiner introduces itself: the Join broadcast carries its current
+     frontier, and every incumbent widens its dependency vector on receipt
+     (the driver has already pointed them at our data port via Add_peer). *)
+  if join then dispatch (fst (Node.announce_join !node ~now:(now ())));
   Trace_codec.sync writer trace;
 
   let prof = Sys.getenv_opt "KOPT_PROF" <> None in
@@ -315,6 +319,8 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
         ("transport_frames_received", st.Net.Transport.frames_received);
         ("transport_decode_errors", st.Net.Transport.decode_errors);
         ("transport_reconnects", st.Net.Transport.reconnects);
+        ("storage_degraded_flushes", Node.storage_degraded_flushes !node);
+        ("storage_slowed_fsyncs", Node.storage_slowed_fsyncs !node);
       ];
     close_out oc;
     Net.Transport.close transport;
@@ -414,6 +420,21 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
                  st_recovering = Node.recovery_active !node;
                  st_replay_pending = Node.recovery_pending !node;
                })
+        | Wire_codec.Add_peer { pid = peer_pid; port } ->
+          (* Live membership: a joiner's data port.  The transport treats a
+             known pid as a no-op, so re-announcement is harmless. *)
+          Net.Transport.add_peer transport ~pid:peer_pid ~port
+        | Wire_codec.Retire_req ->
+          (* Graceful permanent leave: broadcast the final frontier (a
+             forced flush inside [Node.retire] makes it stable first), then
+             drain and exit exactly like Quit — the accumulated Retire
+             broadcast goes on the wire before the drain closes shop. *)
+          step_up (fun nd ~now -> Node.retire nd ~now);
+          quit_fd := Some fd
+        | Wire_codec.Arm_brownout { slow; rounds } -> (
+          match slow with
+          | None -> Node.arm_storage_disk_full !node ~rounds
+          | Some delay -> Node.arm_storage_slow_fsync !node ~delay ~rounds)
         | Wire_codec.Quit -> quit_fd := Some fd
         | Wire_codec.Hello _ | Wire_codec.Status _ | Wire_codec.Bye -> ())
     in
@@ -585,13 +606,19 @@ let cmd =
       & opt (enum [ ("kvstore", `Kvstore); ("shardkv", `Shardkv) ]) `Kvstore
       & info [ "app" ] ~doc:"Application to run: $(b,kvstore) or $(b,shardkv).")
   in
+  let join =
+    Arg.(
+      value & flag
+      & info [ "join" ]
+          ~doc:"Announce this process as a joiner on boot (membership churn).")
+  in
   let run' app pid n k listen_port peers control_port store_dir trace_file
-      metrics_file epoch time_scale retransmit ckpt_interval part_ckpt =
+      metrics_file epoch time_scale retransmit ckpt_interval part_ckpt join =
     let go (type state msg) ((app, wire) :
           (state, msg) App_model.App_intf.t * msg App_model.App_intf.wire_format) =
       run ~app ~wire ~pid ~n ~k ~listen_port ~peers ~control_port ~store_dir
         ~trace_file ~metrics_file ~epoch ~time_scale ~retransmit ~ckpt_interval
-        ~part_ckpt
+        ~part_ckpt ~join
     in
     match app with
     | `Kvstore -> go (App.app, App.wire)
@@ -602,6 +629,6 @@ let cmd =
     Term.(
       const run' $ app_t $ pid $ n $ k $ listen_port $ peers $ control_port
       $ store_dir $ trace_file $ metrics_file $ epoch $ time_scale $ retransmit
-      $ ckpt_interval $ part_ckpt)
+      $ ckpt_interval $ part_ckpt $ join)
 
 let () = exit (Cmd.eval cmd)

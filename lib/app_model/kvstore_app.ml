@@ -133,11 +133,24 @@ let partitioning : (state, msg) App_intf.partitioning =
     part_export =
       Some
         (fun s p ->
-          Marshal.to_string (Str_map.bindings (part_slice s p)) []);
+          (* Sealed (length + CRC witness over the marshalled bytes) so
+             import can verify integrity before [Marshal] ever runs on
+             disk-sourced input. *)
+          Durable.Codec.seal
+            (Marshal.to_string (Str_map.bindings (part_slice s p)) []));
     part_import =
       Some
         (fun s p bytes ->
-          let bindings : (string * (int * int)) list = Marshal.from_string bytes 0 in
+          let payload =
+            match Durable.Codec.unseal bytes with
+            | Ok payload -> payload
+            | Error e -> failwith ("kvstore slice: " ^ e)
+          in
+          let bindings : (string * (int * int)) list =
+            try Marshal.from_string payload 0
+            with Invalid_argument _ | End_of_file ->
+              failwith "kvstore slice: truncated marshal"
+          in
           (* Keys only ever gain versions (no delete), so the exported
              slice supersedes whatever the partial state holds for [p]:
              overwrite binding by binding. *)

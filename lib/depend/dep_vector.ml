@@ -8,6 +8,28 @@ let n = Array.length
 
 let copy = Array.copy
 
+let grow t ~n:n' =
+  let n = Array.length t in
+  if n' < n then invalid_arg "Dep_vector.grow: would shrink";
+  if n' = n then t
+  else begin
+    let t' = Array.make n' None in
+    Array.blit t 0 t' 0 n;
+    t'
+  end
+
+let shrink t ~n:n' =
+  let n = Array.length t in
+  if n' <= 0 then invalid_arg "Dep_vector.shrink: n must be positive";
+  if n' > n then invalid_arg "Dep_vector.shrink: would grow";
+  for j = n' to n - 1 do
+    match t.(j) with
+    | None -> ()
+    | Some _ ->
+      invalid_arg "Dep_vector.shrink: dropped slot holds a live dependency"
+  done;
+  Array.sub t 0 n'
+
 let get t j = t.(j)
 
 let set t j e = t.(j) <- e

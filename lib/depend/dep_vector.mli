@@ -20,6 +20,22 @@ val n : t -> int
 
 val copy : t -> t
 
+val grow : t -> n:int -> t
+(** Identity-preserving resize for membership growth: slot [j] of the
+    result is slot [j] of the input, new slots are NULL.  Sound by
+    Corollary 3 — a process nobody has ever depended on contributes only
+    NULL entries, so widening the vector changes no verdict.  Returns the
+    input unchanged when [n] equals the current width.
+    @raise Invalid_argument if [n] is smaller than the current width. *)
+
+val shrink : t -> n:int -> t
+(** Drop trailing slots after a retirement.  Only NULL slots may be
+    dropped: by Theorem 2 a NULL entry carries no dependency information,
+    so removing it changes no orphan verdict — whereas dropping a live
+    entry would forget a dependency.
+    @raise Invalid_argument if any dropped slot is non-NULL, or [n] is
+    not in [(0, width]]. *)
+
 val get : t -> int -> Entry.t option
 
 val set : t -> int -> Entry.t option -> unit

@@ -96,6 +96,25 @@ let decode s ~pos =
           }
   end
 
+(* A sealed blob is a one-record envelope (fixed kind) whose checksum
+   witnesses the exact bytes handed to [seal].  [Marshal] output travels
+   inside these, so a damaged or version-skewed blob is rejected by the
+   witness before [Marshal.from_string] ever sees it. *)
+let k_sealed = 0x53 (* 'S' *)
+
+let seal payload = encode ~kind:k_sealed payload
+
+let unseal s =
+  match decode s ~pos:0 with
+  | Record { kind; payload; next }
+    when kind = k_sealed && next = String.length s ->
+    Ok payload
+  | Record _ -> Error "sealed blob: wrong kind or trailing bytes"
+  | Truncated -> Error "sealed blob: truncated"
+  | Corrupt -> Error "sealed blob: checksum mismatch"
+  | End -> Error "sealed blob: empty"
+  | exception Invalid_argument _ -> Error "sealed blob: bad position"
+
 type tail = Clean | Torn | Corrupt_tail
 
 type scan_result = {

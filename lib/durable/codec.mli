@@ -43,6 +43,16 @@ type decoded =
 
 val decode : string -> pos:int -> decoded
 
+val seal : string -> string
+(** Wrap a blob in a one-record envelope whose CRC32 witnesses the exact
+    sealed bytes.  Everything [Marshal]-encoded that touches disk travels
+    sealed, so {!unseal} rejects damaged or version-skewed bytes before
+    [Marshal.from_string] can crash (or worse, misread) on them. *)
+
+val unseal : string -> (string, string) result
+(** Recover the sealed blob; [Error] (with a reason) on any mismatch —
+    truncation, checksum failure, trailing bytes.  Never raises. *)
+
 type tail = Clean | Torn | Corrupt_tail
 
 type scan_result = {

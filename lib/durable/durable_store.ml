@@ -10,9 +10,20 @@ let k_len = 0x4E (* 'N': stable-length witness, recorded after each flush *)
 
 let k_base = 0x42 (* 'B': logical log base after prefix compaction *)
 
-let to_bin v = Marshal.to_string v [ Marshal.Closures ]
+(* Every Marshal blob travels sealed: the envelope's CRC witnesses the
+   exact marshalled bytes, so [of_bin_opt] rejects damaged or skewed input
+   before [Marshal.from_string] can crash on it.  Decode failures are
+   never raised out of [open_] — they are counted into the open report. *)
+let to_bin v = Codec.seal (Marshal.to_string v [ Marshal.Closures ])
 
-let of_bin (s : string) = Marshal.from_string s 0
+let of_bin_opt (s : string) =
+  match Codec.unseal s with
+  | Error _ -> None
+  | Ok p -> (
+    match Marshal.from_string p 0 with
+    | v -> Some v
+    | exception (Failure _ | Invalid_argument _ | End_of_file) -> None)
+
 
 type open_report = {
   fresh : bool;
@@ -57,6 +68,11 @@ type ('ckpt, 'log, 'ann) t = {
   mutable sync_writes : int;
   mutable flushes : int;
   mutable sync_fd : Unix.file_descr; (* sync.dat, appended under the lock *)
+  mutable disk_full : int; (* flush rounds still refused (ENOSPC brownout) *)
+  mutable slow_fsync : (float * int) option; (* extra seconds, rounds left *)
+  mutable round_slow : float; (* slow-down of the round in flight *)
+  mutable degraded_flushes : int;
+  mutable slowed_fsyncs : int;
   mutable alive : bool;
   gc : Group_commit.t; (* flush coalescing; its lock guards all state *)
   report : open_report;
@@ -131,17 +147,46 @@ let open_ ~dir ?segment_bytes () =
   let inc = ref 0 in
   let witness_len = ref None in
   let logical_base = ref 0 in
+  (* A record whose seal or Marshal header is damaged (in a way the frame
+     CRC happened to miss, or after version skew) is dropped and its bytes
+     counted — reported damage, never a crash and never silent
+     acceptance. *)
   List.iter
     (fun (kind, payload) ->
-      if kind = k_ann then anns := of_bin payload :: !anns
-      else if kind = k_inc then inc := (of_bin payload : int)
-      else if kind = k_len then witness_len := Some (of_bin payload : int)
-      else if kind = k_base then logical_base := (of_bin payload : int))
+      let undecodable () =
+        sync_bytes_dropped :=
+          !sync_bytes_dropped + String.length payload + Codec.header_bytes
+      in
+      let absorb f = match of_bin_opt payload with
+        | Some v -> f v
+        | None -> undecodable ()
+      in
+      if kind = k_ann then absorb (fun a -> anns := a :: !anns)
+      else if kind = k_inc then absorb (fun (i : int) -> inc := i)
+      else if kind = k_len then absorb (fun (w : int) -> witness_len := Some w)
+      else if kind = k_base then absorb (fun (b : int) -> logical_base := b))
     !sync_records;
-  (* Message log. *)
+  (* Message log.  An undecodable record breaks the gap-free prefix the
+     log promises, so recovery truncates there — the suffix is counted as
+     dropped bytes, exactly like a torn tail. *)
   let log, recovered = Segment_log.open_ ~dir ?segment_bytes () in
+  let log_undecodable_bytes = ref 0 in
   let stable_log =
-    List.rev_map (fun payload -> of_bin payload) recovered.Segment_log.payloads
+    let rec decode_prefix idx acc = function
+      | [] -> acc
+      | payload :: rest -> (
+        match of_bin_opt payload with
+        | Some r -> decode_prefix (idx + 1) (r :: acc) rest
+        | None ->
+          List.iter
+            (fun p ->
+              log_undecodable_bytes :=
+                !log_undecodable_bytes + String.length p + Codec.header_bytes)
+            (payload :: rest);
+          Segment_log.truncate_after log ~keep:idx;
+          acc)
+    in
+    decode_prefix recovered.Segment_log.first [] recovered.Segment_log.payloads
   in
   let stable_len = Segment_log.next_index log in
   let missing =
@@ -165,10 +210,10 @@ let open_ ~dir ?segment_bytes () =
       let usable =
         match Codec.decode (read_file path) ~pos:0 with
         | Codec.Record { kind; payload; _ } when kind = k_ckpt -> (
-          match (of_bin payload : int * _) with
-          | log_pos, snapshot when log_pos <= stable_len -> Some (seq, snapshot)
-          | _ -> None
-          | exception _ -> None)
+          match (of_bin_opt payload : (int * _) option) with
+          | Some (log_pos, snapshot) when log_pos <= stable_len ->
+            Some (seq, snapshot)
+          | Some _ | None -> None)
         | _ -> None
         | exception _ -> None
       in
@@ -181,8 +226,9 @@ let open_ ~dir ?segment_bytes () =
   let report =
     {
       fresh;
-      recovered_log = List.length recovered.Segment_log.payloads;
-      log_bytes_dropped = recovered.Segment_log.bytes_dropped;
+      recovered_log = List.length stable_log;
+      log_bytes_dropped =
+        recovered.Segment_log.bytes_dropped + !log_undecodable_bytes;
       log_segments_dropped = recovered.Segment_log.segments_dropped;
       missing_log_records = missing;
       recovered_checkpoints = List.length !ckpts;
@@ -207,6 +253,11 @@ let open_ ~dir ?segment_bytes () =
       ckpt_seq = 1 + List.fold_left (fun m s -> max m s) (-1) ckpt_seqs;
       anns = !anns;
       inc = !inc;
+      disk_full = 0;
+      slow_fsync = None;
+      round_slow = 0.;
+      degraded_flushes = 0;
+      slowed_fsyncs = 0;
       sync_writes = 0;
       flushes = 0;
       sync_fd;
@@ -248,28 +299,74 @@ let append_volatile t r =
    would have accused, so the witness can only ever under-claim — it
    never fabricates damage).  Crucially it does {e not} ride the log's
    fsync, so a lying log fsync still leaves a truthful witness behind. *)
-let flush t =
+(* Brownout degradation.  A disk-full window makes [flush] {e refuse} —
+   nothing is drained, the volatile queue is retained intact and the
+   refusal is counted — so the caller's records stay volatile and the
+   K-rule keeps the node's sends gated: the protocol degrades to blocking
+   at the K boundary instead of ever claiming stability the disk did not
+   provide, and the first flush after the window drains everything in one
+   synchronous round.  A slow-fsync window stretches each fsync, which the
+   group-commit coordinator absorbs by coalescing more callers per round
+   (its stats report the shed). *)
+(* The group-commit round itself, shared by the refusable and the forced
+   ([flush_forced]) entry points. *)
+let flush_run t =
   Group_commit.force t.gc
-    ~pending:(fun () ->
-      guard t;
-      not (Queue.is_empty t.volatile))
-    ~prepare:(fun () ->
-      let n = Queue.length t.volatile in
-      Queue.iter
-        (fun r ->
-          ignore (Segment_log.append t.log (to_bin r) : int);
-          t.stable_log <- r :: t.stable_log)
-        t.volatile;
-      Queue.clear t.volatile;
-      t.stable_len <- t.stable_len + n;
-      (n, t.stable_len))
-    ~sync:(fun () -> Segment_log.sync t.log)
-    ~commit:(fun (_, len) ->
-      sync_put ~fsync:false t ~kind:k_len (to_bin len);
-      t.flushes <- t.flushes + 1;
-      t.sync_writes <- t.sync_writes + 1)
-    ~default:(0, 0) ()
+      ~pending:(fun () ->
+        guard t;
+        not (Queue.is_empty t.volatile))
+      ~prepare:(fun () ->
+        let n = Queue.length t.volatile in
+        Queue.iter
+          (fun r ->
+            ignore (Segment_log.append t.log (to_bin r) : int);
+            t.stable_log <- r :: t.stable_log)
+          t.volatile;
+        Queue.clear t.volatile;
+        t.stable_len <- t.stable_len + n;
+        (* Only one leader is ever between prepare and sync, so a per-round
+           slow-down recorded here (under the lock) can be consumed in
+           [sync] (outside it) without a race. *)
+        (match t.slow_fsync with
+        | Some (delay, rounds) when rounds > 0 ->
+          t.slow_fsync <- (if rounds = 1 then None else Some (delay, rounds - 1));
+          t.slowed_fsyncs <- t.slowed_fsyncs + 1;
+          t.round_slow <- delay
+        | Some _ | None -> t.round_slow <- 0.);
+        (n, t.stable_len))
+      ~sync:(fun () ->
+        Segment_log.sync t.log;
+        let s = t.round_slow in
+        if s > 0. then begin
+          t.round_slow <- 0.;
+          Thread.delay s
+        end)
+      ~commit:(fun (_, len) ->
+        sync_put ~fsync:false t ~kind:k_len (to_bin len);
+        t.flushes <- t.flushes + 1;
+        t.sync_writes <- t.sync_writes + 1)
+      ~default:(0, 0) ()
   |> fst
+
+let flush t =
+  let refused =
+    with_lock t (fun () ->
+        guard t;
+        if t.disk_full > 0 && not (Queue.is_empty t.volatile) then begin
+          t.disk_full <- t.disk_full - 1;
+          t.degraded_flushes <- t.degraded_flushes + 1;
+          true
+        end
+        else false)
+  in
+  if refused then 0 else flush_run t
+
+(* Critical-path flush (checkpoints, rollback): models a writer that
+   blocks until space frees, so an armed disk-full window never refuses
+   it.  Without this, a checkpoint taken during a brownout would capture
+   state whose covering log prefix the refused flush left volatile —
+   restart would then replay records the checkpoint already absorbed. *)
+let flush_forced t = flush_run t
 
 let stable_log_length t = with_lock t (fun () -> t.stable_len)
 
@@ -332,7 +429,7 @@ let log_base t = with_lock t (fun () -> t.base)
 let live_log_records t = with_lock t (fun () -> t.stable_len - t.base)
 
 let save_checkpoint t c =
-  ignore (flush t : int);
+  ignore (flush_forced t : int);
   exclusive t (fun () ->
       guard t;
       let seq = t.ckpt_seq in
@@ -497,3 +594,19 @@ let arm_fsync_failure t =
   exclusive t (fun () ->
       guard t;
       Segment_log.arm_fsync_failure t.log)
+
+let arm_disk_full t ~rounds =
+  if rounds < 0 then invalid_arg "Durable_store.arm_disk_full";
+  with_lock t (fun () ->
+      guard t;
+      t.disk_full <- rounds)
+
+let arm_slow_fsync t ~delay ~rounds =
+  if delay < 0. || rounds < 0 then invalid_arg "Durable_store.arm_slow_fsync";
+  with_lock t (fun () ->
+      guard t;
+      t.slow_fsync <- (if rounds = 0 then None else Some (delay, rounds)))
+
+let degraded_flushes t = with_lock t (fun () -> t.degraded_flushes)
+
+let slowed_fsyncs t = with_lock t (fun () -> t.slowed_fsyncs)

@@ -74,6 +74,13 @@ val append_volatile : ('ckpt, 'log, 'ann) t -> 'log -> unit
 
 val flush : ('ckpt, 'log, 'ann) t -> int
 
+val flush_forced : ('ckpt, 'log, 'ann) t -> int
+(** Like {!flush}, but an armed disk-full window ({!arm_disk_full}) never
+    refuses it: the critical-path flushes of checkpointing and rollback
+    model a writer that blocks until space frees.  A refused ordinary
+    flush before a checkpoint would otherwise let the checkpoint capture
+    state whose covering log prefix is still volatile. *)
+
 val stable_log_length : ('ckpt, 'log, 'ann) t -> int
 
 val volatile_length : ('ckpt, 'log, 'ann) t -> int
@@ -152,5 +159,25 @@ val arm_fsync_failure : ('ckpt, 'log, 'ann) t -> unit
     now on; the synchronous area keeps its own descriptor and stays honest,
     which is what lets the stable-length witness expose the loss at the
     next open. *)
+
+val arm_disk_full : ('ckpt, 'log, 'ann) t -> rounds:int -> unit
+(** ENOSPC brownout: the next [rounds] non-empty {!flush} attempts refuse
+    — nothing is drained or dropped, the volatile queue stays intact, and
+    each refusal is counted in {!degraded_flushes}.  Degradation is
+    graceful by construction: records the disk refused remain volatile, so
+    the K-rule keeps the owning node's sends gated instead of ever
+    claiming stability the disk did not provide; the first flush after the
+    window drains the backlog in one synchronous round. *)
+
+val arm_slow_fsync : ('ckpt, 'log, 'ann) t -> delay:float -> rounds:int -> unit
+(** Slow-disk brownout: the next [rounds] flush rounds stretch their fsync
+    by [delay] seconds (counted in {!slowed_fsyncs}).  The group-commit
+    coordinator absorbs the slowdown by coalescing more callers per round. *)
+
+val degraded_flushes : ('ckpt, 'log, 'ann) t -> int
+(** Flush attempts refused by a disk-full window — the brownout
+    degradation report. *)
+
+val slowed_fsyncs : ('ckpt, 'log, 'ann) t -> int
 
 val dir : ('ckpt, 'log, 'ann) t -> string

@@ -19,6 +19,9 @@ type fault = Schedule.fault =
   | Partition of { group : int list; from_ : float; until : float; drop : bool }
   | Crash of { kind : crash_kind; time : float }
   | Kill of { pid : int; time : float; storage : Durable.Fault.t option }
+  | Join of { pid : int; time : float }
+  | Retire of { pid : int; time : float }
+  | Brownout of { pid : int; time : float; rounds : int }
 
 type case = Schedule.case = { n : int; k : int; seed : int; faults : fault list }
 
@@ -43,6 +46,10 @@ let pp_fault ppf = function
     Fmt.pf ppf "kill P%d at %.0f%a" pid time
       Fmt.(option (any " + storage fault " ++ Durable.Fault.pp))
       storage
+  | Join { pid; time } -> Fmt.pf ppf "join P%d at %.0f" pid time
+  | Retire { pid; time } -> Fmt.pf ppf "retire P%d at %.0f" pid time
+  | Brownout { pid; time; rounds } ->
+    Fmt.pf ppf "brownout P%d at %.0f for %d flushes" pid time rounds
 
 let pp_case ppf c =
   Fmt.pf ppf "@[<v2>n=%d K=%d seed=%d, %d fault(s):@,%a@]" c.n c.k c.seed
@@ -77,7 +84,7 @@ let plan_of_faults faults =
             }
             :: plan.partitions;
         }
-      | Crash _ | Kill _ -> plan)
+      | Crash _ | Kill _ | Join _ | Retire _ | Brownout _ -> plan)
     Netmodel.benign faults
 
 let schedule_crashes cluster faults =
@@ -92,7 +99,11 @@ let schedule_crashes cluster faults =
         | Group pids -> Cluster.crash_group_at cluster ~time ~pids
         | Cascade pids -> Cluster.cascade_crash_at cluster ~time ~pids ()
         | In_checkpoint pid -> Cluster.crash_during_checkpoint_at cluster ~time ~pid
-        | In_flush pid -> Cluster.crash_during_flush_at cluster ~time ~pid))
+        | In_flush pid -> Cluster.crash_during_flush_at cluster ~time ~pid)
+      | Join { pid; time } -> Cluster.join_at cluster ~time ~pid
+      | Retire { pid; time } -> Cluster.retire_at cluster ~time ~pid
+      | Brownout { pid; time; rounds } ->
+        Cluster.arm_disk_full_at cluster ~time ~pid ~rounds)
     faults
 
 let needs_store faults = List.exists (function Kill _ -> true | _ -> false) faults
@@ -150,7 +161,11 @@ let run_case ?(breakage = Config.no_breakage) ?(calls = 60) case =
         Workload.telecom cluster ~rng ~calls ~hops:4 ~start:10. ~rate:1.0;
         schedule_crashes cluster case.faults;
         Cluster.run cluster;
-        let oracle = Oracle.check ~k:case.k ~n:case.n (Cluster.trace cluster) in
+        (* A [Join] directive can grow membership mid-run; certify at the
+           cluster's final width, not the case's starting one. *)
+        let oracle =
+          Oracle.check ~k:case.k ~n:(Cluster.n cluster) (Cluster.trace cluster)
+        in
         let stats = Some (Cluster.stats cluster) in
         let damage =
           List.filter_map
@@ -214,6 +229,29 @@ let random_case ?(storage_faults = false) rng ~index =
       | i -> Some (List.nth Durable.Fault.all (i - 1))
     in
     add (Kill { pid = Sim.Rng.int rng n; time = crash_time (); storage })
+  end;
+  (* A quarter of cases add membership churn on top of everything else,
+     cycling through the three shapes: a brand-new joiner, a graceful
+     retirement followed by a later rejoin, and a disk-full brownout.
+     Each directive is still independently removable: a rejoin of a pid
+     that never retired is just a re-announcement, and a retirement whose
+     rejoin is dropped leaves a permanently silent (but certified) node. *)
+  if index mod 4 = 3 then begin
+    match index / 4 mod 3 with
+    | 0 -> add (Join { pid = n; time = Sim.Rng.uniform rng ~lo:60. ~hi:180. })
+    | 1 ->
+      let pid = Sim.Rng.int rng n in
+      let leave = Sim.Rng.uniform rng ~lo:60. ~hi:140. in
+      add (Retire { pid; time = leave });
+      add (Join { pid; time = leave +. Sim.Rng.uniform rng ~lo:60. ~hi:120. })
+    | _ ->
+      add
+        (Brownout
+           {
+             pid = Sim.Rng.int rng n;
+             time = Sim.Rng.uniform rng ~lo:40. ~hi:120.;
+             rounds = 2 + Sim.Rng.int rng 4;
+           })
   end;
   { n; k; seed; faults = List.rev !faults }
 

@@ -28,6 +28,17 @@ type fault = Schedule.fault =
       (** process death over a durable store, optionally followed by
           post-mortem file damage; the respawned process recovers solely
           from disk *)
+  | Join of { pid : int; time : float }
+      (** membership churn: a brand-new process joins ([pid = n]) or a
+          retired one rejoins under its old identity ([pid < n]); the run
+          is certified at the cluster's final width *)
+  | Retire of { pid : int; time : float }
+      (** graceful leave: force-flush, broadcast the final frontier
+          (Theorem 2 — survivors treat the entries as stable forever),
+          fall permanently silent *)
+  | Brownout of { pid : int; time : float; rounds : int }
+      (** disk-full window: the node's next [rounds] ordinary flushes
+          refuse; the K-rule must keep degradation graceful *)
 
 type case = Schedule.case = { n : int; k : int; seed : int; faults : fault list }
 
@@ -71,7 +82,9 @@ val random_case : ?storage_faults:bool -> Sim.Rng.t -> index:int -> case
     directives cycle through the correlated-failure kinds; K cycles
     through [{0, 2, N}].  With [storage_faults] (default [false]) every
     case also kills one process, cycling through clean kills and the four
-    storage faults of {!Durable.Fault}. *)
+    storage faults of {!Durable.Fault}.  A quarter of cases add membership
+    churn, cycling through a brand-new joiner, a retire-then-rejoin pair,
+    and a disk-full brownout window. *)
 
 type summary = {
   runs : int;

@@ -14,6 +14,9 @@ type 'msg event =
   | Arm_fsync_failure of int
   | Kill of { pid : int; fault : Durable.Fault.t option }
   | Respawn of int
+  | Join_node of int
+  | Retire_node of int
+  | Arm_disk_full of { pid : int; rounds : int }
 
 type ('state, 'msg) t = {
   cfg : Config.t;
@@ -27,8 +30,10 @@ type ('state, 'msg) t = {
   trace_ : Recovery.Trace.t;
   horizon : float;
   mutable now : float;
-  next_free : float array;
-  down : bool array;
+  auto_timers_ : bool;
+  mutable next_free : float array;
+  mutable down : bool array;
+  mutable retired_pids : int list; (* pids gone for good: packets to them drop *)
   mutable held : (int * int * 'msg Wire.packet) list;
       (* packets addressed to down nodes: (src, dst, packet), oldest last *)
   mutable inject_seq : int;
@@ -67,6 +72,7 @@ let entries_of_packet = function
   | Wire.Notice notice -> Wire.notice_entry_count notice
   | Wire.Dep_query { intervals; _ } -> List.length intervals
   | Wire.Dep_reply { infos; _ } -> List.length infos
+  | Wire.Join _ | Wire.Retire _ -> 1 (* one frontier entry each *)
   | Wire.Ann _ | Wire.Ack _ | Wire.Flush_request _ -> 0
 
 let send_packet t ~src ~dst packet =
@@ -119,6 +125,25 @@ let rearm t ~pid kind =
   | Some p -> schedule t ~time:(t.now +. p) (Timer { pid; kind; periodic = true })
   | None -> ()
 
+let node_dir_of t pid =
+  Option.map (fun root -> Filename.concat root (Printf.sprintf "p%d" pid)) t.store_root
+
+(* Arm the periodic timers of one node, staggering first firings so the
+   cluster does not flush in lockstep.  Used at create for the initial
+   membership and again for every joiner. *)
+let arm_timers t ~pid =
+  if t.auto_timers_ then begin
+    let n = Array.length t.nodes in
+    List.iter
+      (fun kind ->
+        match period t kind with
+        | None -> ()
+        | Some p ->
+          let phase = p *. (float_of_int (pid + 1) /. float_of_int (n + 1)) in
+          schedule t ~time:(t.now +. phase) (Timer { pid; kind; periodic = true }))
+      [ Flush_timer; Checkpoint_timer; Notice_timer; Retransmit_timer ]
+  end
+
 let fire_timer t ~pid kind =
   let node = t.nodes.(pid) in
   if Node.is_up node then begin
@@ -139,13 +164,14 @@ let release_held t ~pid =
 
 let handle_event t = function
   | Packet { src; dst; packet } ->
-    if t.down.(dst) then t.held <- (src, dst, packet) :: t.held
+    if List.mem dst t.retired_pids then () (* gone for good: the wire eats it *)
+    else if t.down.(dst) then t.held <- (src, dst, packet) :: t.held
     else begin
       let ann_from =
         match packet with
         | Wire.Ann ann when ann.Wire.failure -> Some ann.Wire.from_
         | Wire.Ann _ | Wire.App _ | Wire.Notice _ | Wire.Ack _ | Wire.Flush_request _
-        | Wire.Dep_query _ | Wire.Dep_reply _ ->
+        | Wire.Dep_query _ | Wire.Dep_reply _ | Wire.Join _ | Wire.Retire _ ->
           None
       in
       consume t ~pid:dst (Node.handle_packet t.nodes.(dst) ~now:t.now packet);
@@ -225,6 +251,50 @@ let handle_event t = function
     t.down.(pid) <- false;
     consume t ~pid (Node.restart fresh ~now:t.now);
     release_held t ~pid
+  | Join_node pid ->
+    if pid = Array.length t.nodes then begin
+      (* A brand-new process.  Its own config already counts itself
+         (n = pid + 1): by Corollary 3 it starts with no dependency entries,
+         so a vector covering [0..pid] is trivially conservative.  The
+         incumbents learn of it from the Join broadcast and widen their
+         vectors then — membership growth is protocol traffic, not an
+         out-of-band reconfiguration. *)
+      let jcfg = Config.validate_exn { t.cfg with Config.n = pid + 1 } in
+      let fresh =
+        Node.create ~config:jcfg ~pid ~app:t.app ?store_dir:(node_dir_of t pid)
+          ~trace:t.trace_
+      in
+      t.nodes <- Array.append t.nodes [| fresh |];
+      t.next_free <- Array.append t.next_free [| t.now |];
+      t.down <- Array.append t.down [| false |];
+      arm_timers t ~pid;
+      consume t ~pid (Node.announce_join fresh ~now:t.now)
+    end
+    else begin
+      (* Rejoin of a known pid (typically after retirement): same identity,
+         same store, so it resumes where it left off and re-announces. *)
+      t.retired_pids <- List.filter (fun p -> p <> pid) t.retired_pids;
+      if t.down.(pid) then begin
+        t.down.(pid) <- false;
+        consume t ~pid (Node.restart t.nodes.(pid) ~now:t.now);
+        release_held t ~pid
+      end;
+      consume t ~pid (Node.announce_join t.nodes.(pid) ~now:t.now)
+    end
+  | Retire_node pid ->
+    if (not t.down.(pid)) && not (List.mem pid t.retired_pids) then begin
+      (* Graceful leave: flush everything, tell the survivors the final
+         frontier (so they can treat this pid's entries as stable forever),
+         then fall silent.  No restart is scheduled — the pid is gone until
+         an explicit rejoin. *)
+      consume t ~pid (Node.retire t.nodes.(pid) ~now:t.now);
+      Node.crash t.nodes.(pid) ~now:t.now;
+      t.down.(pid) <- true;
+      t.retired_pids <- pid :: t.retired_pids;
+      t.next_free.(pid) <- t.now
+    end
+  | Arm_disk_full { pid; rounds } ->
+    if not t.down.(pid) then Node.arm_storage_disk_full t.nodes.(pid) ~rounds
 
 let busy_gate t ev_time pid =
   (* A node processes one event at a time; arrivals during busy periods are
@@ -236,8 +306,9 @@ let event_pid = function
   | Timer { pid; _ } -> Some pid
   | Inject { dst; _ } -> Some dst
   | Perform { pid; _ } -> Some pid
-  | Crash _ | Restart _ | Arm_fsync_failure _ | Kill _ | Respawn _ ->
-    None (* crashes/kills preempt; restarts are external *)
+  | Crash _ | Restart _ | Arm_fsync_failure _ | Kill _ | Respawn _ | Join_node _
+  | Retire_node _ | Arm_disk_full _ ->
+    None (* crashes/kills/membership changes preempt; restarts are external *)
 
 let exec_cell t (time, ev) =
   t.now <- Stdlib.max t.now time;
@@ -297,6 +368,9 @@ let describe_event = function
   | Arm_fsync_failure pid -> Fmt.str "arm-fsync-failure P%d" pid
   | Kill { pid; _ } -> Fmt.str "kill P%d" pid
   | Respawn pid -> Fmt.str "respawn P%d" pid
+  | Join_node pid -> Fmt.str "join P%d" pid
+  | Retire_node pid -> Fmt.str "retire P%d" pid
+  | Arm_disk_full { pid; rounds } -> Fmt.str "arm-disk-full P%d (%d)" pid rounds
 
 let enabled_events t =
   List.map
@@ -376,8 +450,10 @@ let create ~config ~app ?(seed = 42) ?(horizon = 10_000.) ?net_override
       trace_;
       horizon;
       now = 0.;
+      auto_timers_ = auto_timers;
       next_free = Array.make n 0.;
       down = Array.make n false;
+      retired_pids = [];
       held = [];
       inject_seq = 0;
       client_log = [];
@@ -387,24 +463,7 @@ let create ~config ~app ?(seed = 42) ?(horizon = 10_000.) ?net_override
       fault_notes = [];
     }
   in
-  if auto_timers then
-    Array.iteri
-      (fun pid _ ->
-        let stagger kind idx =
-          match period t kind with
-          | None -> ()
-          | Some p ->
-            (* Spread first firings so the cluster does not flush in
-               lockstep. *)
-            let phase = p *. (float_of_int (pid + 1) /. float_of_int (n + 1)) in
-            ignore idx;
-            schedule t ~time:phase (Timer { pid; kind; periodic = true })
-        in
-        stagger Flush_timer 0;
-        stagger Checkpoint_timer 1;
-        stagger Notice_timer 2;
-        stagger Retransmit_timer 3)
-      nodes;
+  Array.iteri (fun pid _ -> arm_timers t ~pid) nodes;
   t
 
 let inject_at t ~time ~dst payload =
@@ -457,6 +516,30 @@ let cascade_crash_at t ~time ?gap ~pids () =
     (fun i pid -> crash_at t ~time:(time +. (gap *. float_of_int i)) ~pid)
     pids
 
+
+(* --- Membership churn ------------------------------------------------ *)
+
+let join_at t ~time ~pid = schedule t ~time (Join_node pid)
+
+let retire_at t ~time ~pid = schedule t ~time (Retire_node pid)
+
+(* Restart every listed node one at a time, each crash spaced so the
+   previous victim has fully recovered before the next goes down (the
+   classic rolling upgrade).  [gap] defaults to twice the restart delay. *)
+let rolling_restart_at t ~time ?gap ~pids () =
+  let gap =
+    match gap with
+    | Some g -> g
+    | None -> 2.0 *. t.cfg.Config.timing.restart_delay
+  in
+  List.iteri
+    (fun i pid -> crash_at t ~time:(time +. (gap *. float_of_int i)) ~pid)
+    pids
+
+let arm_disk_full_at t ~time ~pid ~rounds =
+  schedule t ~time (Arm_disk_full { pid; rounds })
+
+let retired t = t.retired_pids
 
 let perform_at t ~time ~pid effects = schedule t ~time (Perform { pid; effects })
 

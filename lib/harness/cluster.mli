@@ -74,6 +74,43 @@ val cascade_crash_at :
     restart delay, i.e. while the previous victim is still down) after the
     previous one. *)
 
+(** {1 Membership churn} *)
+
+val join_at : ('state, 'msg) t -> time:float -> pid:int -> unit
+(** Bring process [pid] into the cluster at [time].
+
+    - [pid = n t]: a {e brand-new} process joins.  It is created with a
+      config counting itself ([n = pid + 1]); by Corollary 3 it starts with
+      no dependency entries, and the incumbents widen their vectors when the
+      Join broadcast reaches them.
+    - [pid < n t]: a {e rejoin} under the same identity (e.g. after
+      {!retire_at}); any retirement record is cleared, the node restarts if
+      it was down, and it re-announces itself. *)
+
+val retire_at : ('state, 'msg) t -> time:float -> pid:int -> unit
+(** Graceful leave at [time]: the node force-flushes its log, broadcasts its
+    final frontier (survivors treat its entries as stable forever — the
+    Theorem 2 justification), and falls permanently silent.  Packets
+    addressed to a retired pid are dropped.  No restart is scheduled; the
+    pid can come back only through an explicit {!join_at}. *)
+
+val rolling_restart_at :
+  ('state, 'msg) t -> time:float -> ?gap:float -> pids:int list -> unit -> unit
+(** Rolling restart: each listed node crashes [gap] (default: twice the
+    restart delay, i.e. after the previous victim fully recovered) after
+    the previous one — the classic zero-downtime upgrade pattern. *)
+
+val arm_disk_full_at :
+  ('state, 'msg) t -> time:float -> pid:int -> rounds:int -> unit
+(** Brownout injection: from [time], the node's next [rounds] ordinary
+    flushes refuse as if the disk were full (see
+    {!Storage.Stable_store.arm_disk_full}).  Degradation is graceful: the
+    volatile buffer is retained and the K-rule keeps sends gated until the
+    window passes. *)
+
+val retired : ('state, 'msg) t -> int list
+(** Pids currently retired (newest first). *)
+
 val crash_during_checkpoint_at : ('state, 'msg) t -> time:float -> pid:int -> unit
 (** Force a checkpoint at [time] and crash the node mid-way through the
     checkpoint's busy window. *)

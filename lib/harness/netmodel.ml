@@ -39,7 +39,8 @@ type t = {
   fault_rng : Sim.Rng.t;
   plan : fault_plan;
   override : override option;
-  channel_last : float array array; (* last scheduled arrival per (src,dst) *)
+  mutable channel_last : float array array;
+      (* last scheduled arrival per (src,dst); grows when membership does *)
   counts : (string, int) Hashtbl.t;
   mutable entries : int;
   mutable lost : int;
@@ -69,6 +70,22 @@ let create ~n ~timing ~rng ?fault_rng ?(plan = benign) ?override () =
     partition_queued = 0;
   }
 
+(* Widen the per-channel FIFO matrix when a joiner brings a pid the
+   cluster was not created with.  New channels start at 0 (no previous
+   arrival), exactly like the channels of the original membership. *)
+let ensure_pid t pid =
+  let size = Array.length t.channel_last in
+  if pid + 1 >= size then begin
+    let size' = pid + 2 in
+    let fresh =
+      Array.init size' (fun i ->
+          let row = Array.make size' 0. in
+          if i < size then Array.blit t.channel_last.(i) 0 row 0 size;
+          row)
+    in
+    t.channel_last <- fresh
+  end
+
 let transit t ~now ~src ~dst ~kind ~entries =
   Hashtbl.replace t.counts kind (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts kind));
   t.entries <- t.entries + entries;
@@ -89,6 +106,7 @@ let transit t ~now ~src ~dst ~kind ~entries =
   in
   let arrival = now +. Stdlib.max 0. delay in
   if tm.fifo && src >= 0 && dst >= 0 then begin
+    ensure_pid t (Stdlib.max src dst);
     let last = t.channel_last.(src).(dst) in
     let arrival = Stdlib.max arrival (last +. 1e-9) in
     t.channel_last.(src).(dst) <- arrival;

@@ -14,6 +14,9 @@ type fault =
   | Partition of { group : int list; from_ : float; until : float; drop : bool }
   | Crash of { kind : crash_kind; time : float }
   | Kill of { pid : int; time : float; storage : Durable.Fault.t option }
+  | Join of { pid : int; time : float }
+  | Retire of { pid : int; time : float }
+  | Brownout of { pid : int; time : float; rounds : int }
 
 type case = { n : int; k : int; seed : int; faults : fault list }
 
@@ -72,6 +75,10 @@ let fault_line = function
   | Kill { pid; time; storage } ->
     Fmt.str "kill %d at=%s storage=%s" pid (float_str time)
       (match storage with None -> "none" | Some f -> Durable.Fault.to_string f)
+  | Join { pid; time } -> Fmt.str "join %d at=%s" pid (float_str time)
+  | Retire { pid; time } -> Fmt.str "retire %d at=%s" pid (float_str time)
+  | Brownout { pid; time; rounds } ->
+    Fmt.str "brownout %d at=%s rounds=%d" pid (float_str time) rounds
 
 let expect_to_string = function
   | Certified -> "certified"
@@ -221,6 +228,20 @@ let parse_fault s =
         | None -> perr "unknown storage fault %S" name)
     in
     Kill { pid = int_of pid; time = float_of (field kvs "at"); storage }
+  | "join" :: pid :: rest ->
+    let kvs = kv_list rest in
+    Join { pid = int_of pid; time = float_of (field kvs "at") }
+  | "retire" :: pid :: rest ->
+    let kvs = kv_list rest in
+    Retire { pid = int_of pid; time = float_of (field kvs "at") }
+  | "brownout" :: pid :: rest ->
+    let kvs = kv_list rest in
+    Brownout
+      {
+        pid = int_of pid;
+        time = float_of (field kvs "at");
+        rounds = int_of (field kvs "rounds");
+      }
   | _ -> perr "unparseable fault line %S" s
 
 (* Scenario as parsed from its header line; chaos faults arrive on

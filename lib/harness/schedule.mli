@@ -40,6 +40,16 @@ type fault =
   | Kill of { pid : int; time : float; storage : Durable.Fault.t option }
       (** process death over a durable store, optionally followed by
           post-mortem file damage *)
+  | Join of { pid : int; time : float }
+      (** membership churn: a brand-new process joins ([pid = n]) or a
+          retired/crashed one rejoins under its old identity ([pid < n]) *)
+  | Retire of { pid : int; time : float }
+      (** graceful leave: force-flush, broadcast the final frontier, fall
+          permanently silent *)
+  | Brownout of { pid : int; time : float; rounds : int }
+      (** disk-full window: the node's next [rounds] ordinary flushes
+          refuse; degradation must stay graceful (sends gated, no data
+          loss) *)
 
 type case = { n : int; k : int; seed : int; faults : fault list }
 (** One chaos campaign case. *)

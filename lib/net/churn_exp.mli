@@ -1,0 +1,25 @@
+(** E17: membership churn and degraded modes on the live deployment.
+
+    One oracle-certified run per K walks a real cluster through every
+    membership transition — join (vector widening per Corollary 3),
+    mid-churn SIGKILL, graceful retire (Theorem 2 frontier broadcast),
+    rejoin over the retiree's own store, a rolling restart of the full
+    widened cluster — and then arms a disk-full brownout window on one
+    daemon's store, checking the degradation is reported (refused-flush
+    counter) but never visible to the oracle: zero violations and
+    measured risk at most K over the merged trace at the final
+    membership width. *)
+
+type measure = {
+  width : int;  (** final membership width (launch n + joins) *)
+  deliveries : int;
+  degraded : int;  (** flushes refused during the brownout window *)
+  risk : int;  (** max measured risk over the merged trace *)
+}
+
+val experiment : ?smoke:bool -> unit -> Harness.Report.t * (string * float) list
+(** Run E17; [smoke] shrinks it to one small k=1 run covering the full
+    churn sequence.  Returns the report and the bench keys to merge into
+    BENCH_net.json (full mode only).
+    @raise Failure on any oracle violation, on risk exceeding K, or if
+    the brownout window refused no flush. *)

@@ -27,13 +27,18 @@ type t = {
   app : string;
   ckpt_interval : float option;  (** [--ckpt-interval] override, 0 disables *)
   part_ckpt : float option;  (** [--part-ckpt] period, incremental snapshots *)
-  nodes : node array;
+  mutable nodes : node array; (* grows on add_node; slots never removed *)
   proxy : Proxy.t option;
   mutable seq : int;  (** outside-world injection sequence numbers *)
+  mutable retired_pids : int list;
   mutable alive : bool;
 }
 
 let n t = t.n
+
+let width t = Array.length t.nodes
+
+let retired t = t.retired_pids
 
 let config t = t.config
 
@@ -121,7 +126,7 @@ let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 (* ------------------------------------------------------------------ *)
 (* Daemon lifecycle                                                    *)
 
-let spawn t node =
+let spawn ?(join = false) t node =
   let peers =
     Array.to_list t.nodes
     |> List.filter (fun p -> p.pid <> node.pid)
@@ -147,7 +152,11 @@ let spawn t node =
   in
   let argv =
     [
-      t.exe; "--pid"; string_of_int node.pid; "--nodes"; string_of_int t.n;
+      t.exe; "--pid"; string_of_int node.pid;
+      (* A joiner's own config counts itself (Corollary 3: it starts with no
+         dependency entries); incumbents keep the launch width and widen
+         their vectors when the Join broadcast reaches them. *)
+      "--nodes"; string_of_int (Stdlib.max t.n (node.pid + 1));
       "--app"; t.app;
       "--optimism"; string_of_int t.k; "--listen"; string_of_int node.data_port;
       "--control";
@@ -157,6 +166,7 @@ let spawn t node =
       Fmt.str "%g" t.time_scale;
     ]
     @ retransmit @ ckpt @ part_ckpt
+    @ (if join then [ "--join" ] else [])
   in
   let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
   let log =
@@ -305,6 +315,7 @@ let launch ~n ~k ?(app = "kvstore") ?retransmit ?ckpt_interval ?part_ckpt
       nodes;
       proxy;
       seq = 0;
+      retired_pids = [];
       alive = true;
     }
   in
@@ -339,6 +350,48 @@ let kill_only t ~dst =
 
 let respawn t ~dst = spawn t t.nodes.(dst)
 
+(* ------------------------------------------------------------------ *)
+(* Membership churn                                                    *)
+
+(* Bring a brand-new daemon into a live cluster.  The incumbents are told
+   its data port first (Add_peer), so the Join broadcast the joiner emits
+   on boot can be answered immediately; the joiner itself is spawned with
+   [--join] and a config counting itself.  Returns the new pid. *)
+let add_node t =
+  if not t.alive then invalid_arg "Deployment.add_node: deployment finished";
+  let pid = Array.length t.nodes in
+  let ports = free_ports 2 in
+  let node =
+    {
+      pid;
+      data_port = ports.(0);
+      (* Joiners bypass the fault proxy: its route table is fixed at
+         launch.  Churn experiments run proxyless or accept direct links
+         for late joiners. *)
+      proxy_port = None;
+      control_port = ports.(1);
+      store_dir = Filename.concat t.root (Fmt.str "store-%d" pid);
+      trace_file = Filename.concat t.root (Fmt.str "trace-%d.bin" pid);
+      metrics_file = Filename.concat t.root (Fmt.str "metrics-%d.txt" pid);
+      log_file = Filename.concat t.root (Fmt.str "daemon-%d.log" pid);
+      os_pid = -1;
+      ctl = None;
+    }
+  in
+  t.nodes <- Array.append t.nodes [| node |];
+  Array.iter
+    (fun peer ->
+      if peer.pid <> pid && not (List.mem peer.pid t.retired_pids) then
+        ignore
+          (ctl_send peer (Wire_codec.Add_peer { pid; port = node.data_port })
+            : bool))
+    t.nodes;
+  spawn ~join:true t node;
+  pid
+
+let arm_brownout t ~dst ?slow ~rounds () =
+  ignore (ctl_send t.nodes.(dst) (Wire_codec.Arm_brownout { slow; rounds }) : bool)
+
 let kill t ~dst =
   kill_only t ~dst;
   (* The detection + reboot outage of the cost model, in wall-clock terms —
@@ -359,13 +412,18 @@ let run_workload t ~ops ~seed =
     if i mod 8 = 7 then Thread.delay 0.002
   done
 
+let live_pids t =
+  Array.to_list t.nodes
+  |> List.filter_map (fun node ->
+         if List.mem node.pid t.retired_pids then None else Some node.pid)
+
 let settle ?(timeout = 30.) t =
   let deadline = Unix.gettimeofday () +. timeout in
   let prev_deliveries = ref (-1) in
   let rec loop () =
     if Unix.gettimeofday () > deadline then false
     else begin
-      let statuses = List.init t.n (fun pid -> status t ~dst:pid) in
+      let statuses = List.map (fun pid -> status t ~dst:pid) (live_pids t) in
       let all_ok =
         List.for_all
           (function
@@ -558,31 +616,71 @@ let reap node =
     node.os_pid <- -1
   end
 
+(* The daemon exits by itself after Bye; reap, falling back to SIGKILL
+   only if it wedges. *)
+let wait_exit node =
+  if node.os_pid > 0 then begin
+    let deadline = Unix.gettimeofday () +. 10. in
+    let rec wait () =
+      match Unix.waitpid [ Unix.WNOHANG ] node.os_pid with
+      | 0, _ ->
+        if Unix.gettimeofday () > deadline then reap node
+        else begin
+          Thread.delay 0.02;
+          wait ()
+        end
+      | _ -> node.os_pid <- -1
+      | exception Unix.Unix_error _ -> node.os_pid <- -1
+    in
+    wait ()
+  end
+
 let quit_node node =
-  match ctl_fd ~attempts:10 node with
-  | None -> reap node
-  | Some fd ->
-    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
-    (match ctl_rpc node Wire_codec.Quit with
+  if node.os_pid < 0 then () (* already gone (retired or reaped) *)
+  else
+    match ctl_fd ~attempts:10 node with
+    | None -> reap node
+    | Some fd ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+      (match ctl_rpc node Wire_codec.Quit with
+      | Some Wire_codec.Bye | Some _ | None -> ());
+      ctl_drop node;
+      wait_exit node
+
+(* Graceful permanent leave: the daemon force-flushes, broadcasts its final
+   frontier (Retire), drains and exits.  The pid stays in the node table so
+   its trace and metrics join the merge, but no successor is ever spawned. *)
+let retire t ~dst =
+  let node = t.nodes.(dst) in
+  if not (List.mem dst t.retired_pids) then begin
+    (match ctl_rpc node Wire_codec.Retire_req with
     | Some Wire_codec.Bye | Some _ | None -> ());
     ctl_drop node;
-    (* The daemon exits by itself after Bye; reap, falling back to SIGKILL
-       only if it wedges. *)
-    if node.os_pid > 0 then begin
-      let deadline = Unix.gettimeofday () +. 10. in
-      let rec wait () =
-        match Unix.waitpid [ Unix.WNOHANG ] node.os_pid with
-        | 0, _ ->
-          if Unix.gettimeofday () > deadline then reap node
-          else begin
-            Thread.delay 0.02;
-            wait ()
-          end
-        | _ -> node.os_pid <- -1
-        | exception Unix.Unix_error _ -> node.os_pid <- -1
-      in
-      wait ()
-    end
+    wait_exit node;
+    t.retired_pids <- dst :: t.retired_pids
+  end
+
+(* Rejoin after retirement: a fresh daemon under the same pid, over the
+   same store directory (so it resumes from its retirement frontier with a
+   bumped incarnation), announcing itself like any joiner.  The incumbents
+   still know the pid and its ports, so their transports simply re-dial. *)
+let rejoin t ~dst =
+  let node = t.nodes.(dst) in
+  if List.mem dst t.retired_pids then begin
+    t.retired_pids <- List.filter (fun p -> p <> dst) t.retired_pids;
+    spawn ~join:true t node
+  end
+
+(* Rolling restart: SIGKILL + respawn each live daemon in turn, letting the
+   cluster settle between victims so at most one process is ever down —
+   the zero-downtime upgrade pattern.  Returns [false] if any settle timed
+   out. *)
+let rolling_restart ?(timeout = 30.) t =
+  List.fold_left
+    (fun ok pid ->
+      kill t ~dst:pid;
+      settle ~timeout t && ok)
+    true (live_pids t)
 
 let finish t =
   if not t.alive then invalid_arg "Deployment.finish: already finished";
@@ -594,7 +692,10 @@ let finish t =
     sum_counters
       (Array.to_list t.nodes |> List.map (fun n -> parse_metrics_file n.metrics_file))
   in
-  let oracle = Harness.Oracle.check ~k:t.k ~n:t.n trace in
+  (* [n] is the final membership width: joins may have widened the cluster
+     past the launch size, and every pid that ever existed must be in
+     range for the oracle's per-process tables. *)
+  let oracle = Harness.Oracle.check ~k:t.k ~n:(Array.length t.nodes) trace in
   {
     trace;
     damage;

@@ -48,6 +48,14 @@ val launch :
     given period — both in abstract time units. *)
 
 val n : t -> int
+(** Launch-time cluster size (the width incumbents were configured with). *)
+
+val width : t -> int
+(** Current membership width: [n] plus every {!add_node} since launch
+    (retired pids keep their slots, so the width never shrinks). *)
+
+val retired : t -> int list
+(** Pids gracefully retired so far, newest first. *)
 
 val config : t -> Recovery.Config.t
 (** The (hardened) configuration every daemon runs. *)
@@ -91,6 +99,42 @@ val kill_only : t -> dst:int -> unit
 val respawn : t -> dst:int -> unit
 (** Start a fresh incarnation of a {!kill_only}ed daemon over its store
     directory. *)
+
+(** {1 Membership churn} *)
+
+val add_node : t -> int
+(** Grow the cluster by one live daemon: allocates ports and a store
+    directory for the next pid, tells every incumbent to start dialling it
+    ([Add_peer] control), and spawns it with [--join] so it announces
+    itself — incumbents widen their dependency vectors when the Join
+    broadcast reaches them (Corollary 3 makes the joiner's empty vector
+    sound).  Returns the new pid.  Joiners bypass the fault proxy (its
+    route table is fixed at launch). *)
+
+val retire : t -> dst:int -> unit
+(** Graceful permanent leave: the daemon flushes, broadcasts its final
+    frontier ({!Recovery.Wire.packet.Retire} — survivors treat its entries
+    as stable forever, per Theorem 2), drains and exits.  No successor is
+    spawned; the pid's trace and metrics still join the final merge. *)
+
+val rejoin : t -> dst:int -> unit
+(** Bring a {!retire}d pid back: a fresh daemon over the same store
+    directory, spawned with [--join] so it re-announces itself (a
+    rejoining process is just a joiner whose stable past the survivors
+    already hold, per Theorem 2).  A no-op for pids not retired. *)
+
+val rolling_restart : ?timeout:float -> t -> bool
+(** SIGKILL + respawn every live daemon in turn, waiting for the cluster
+    to {!settle} between victims so at most one process is down at a time.
+    [false] if any settle timed out. *)
+
+val arm_brownout :
+  t -> dst:int -> ?slow:float -> rounds:int -> unit -> unit
+(** Degrade daemon [dst]'s store for its next [rounds] flush rounds: with
+    [slow] each fsync stretches by that many seconds; without it, flushes
+    refuse as if the disk were full (ENOSPC brownout).  Degradation is
+    graceful: refused records stay volatile and the K-rule keeps the
+    daemon's sends gated, so correctness is never traded for progress. *)
 
 val run_workload : t -> ops:int -> seed:int -> unit
 (** Inject a deterministic kvstore workload (Puts with interleaved Gets)

@@ -18,7 +18,8 @@ type peer = {
 type t = {
   self : int;
   listen_sock : Unix.file_descr;
-  peers : peer list;
+  mutable peers : peer list;
+  peers_mutex : Mutex.t; (* guards [peers] updates; reads see a whole list *)
   on_frame : src:int -> kind:int -> body:string -> unit;
   on_error : string -> unit;
   max_queue : int;
@@ -144,6 +145,20 @@ let hello_frame self =
   Wire_codec.encode_control App_model.App_intf.string_wire_format
     (Wire_codec.Hello { pid = self })
 
+(* Sleep [d] seconds in small slices, returning early once [close] sets
+   the stop flag — a writer parked in a multi-second backoff must not hold
+   shutdown hostage for the remainder of its nap (the graceful-quit test
+   asserts a bound on shutdown latency). *)
+let interruptible_delay t d =
+  let slice = 0.02 in
+  let rec nap remaining =
+    if (not t.stopping) && remaining > 0. then begin
+      Thread.delay (Float.min slice remaining);
+      nap (remaining -. slice)
+    end
+  in
+  nap d
+
 (* Dial with exponential backoff until connected or shutdown. *)
 let rec dial t peer ~backoff ~first =
   if t.stopping then None
@@ -158,12 +173,12 @@ let rec dial t peer ~backoff ~first =
       if write_all fd (hello_frame t.self) then Some fd
       else begin
         close_quiet fd;
-        Thread.delay backoff;
+        interruptible_delay t backoff;
         dial t peer ~backoff:(Float.min (2. *. backoff) t.backoff_cap) ~first:false
       end
     | exception Unix.Unix_error _ ->
       close_quiet fd;
-      Thread.delay backoff;
+      interruptible_delay t backoff;
       dial t peer ~backoff:(Float.min (2. *. backoff) t.backoff_cap) ~first:false
   end
 
@@ -245,24 +260,23 @@ let create ~self ~listen_port ~peers ~on_frame ?(on_error = fun _ -> ())
   Unix.setsockopt listen_sock Unix.SO_REUSEADDR true;
   Unix.bind listen_sock (loopback listen_port);
   Unix.listen listen_sock 64;
-  let peers =
-    List.map
-      (fun (pid, port) ->
-        {
-          pid;
-          port;
-          queue = Queue.create ();
-          mutex = Mutex.create ();
-          nonempty = Condition.create ();
-          sock = None;
-        })
-      peers
+  let make_peer (pid, port) =
+    {
+      pid;
+      port;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      sock = None;
+    }
   in
+  let peers = List.map make_peer peers in
   let t =
     {
       self;
       listen_sock;
       peers;
+      peers_mutex = Mutex.create ();
       on_frame;
       on_error;
       max_queue;
@@ -276,6 +290,32 @@ let create ~self ~listen_port ~peers ~on_frame ?(on_error = fun _ -> ())
   ignore (Thread.create accept_loop t : Thread.t);
   List.iter (fun peer -> ignore (Thread.create (writer_loop t) peer : Thread.t)) peers;
   t
+
+(* Late peer registration: a joiner dialled after creation.  Known pids are
+   a no-op (re-announcing an existing peer must not spawn a second writer);
+   new ones get the same queue + writer-thread setup as creation-time
+   peers.  The list is replaced whole under the mutex, so concurrent
+   [send]/[broadcast] reads see either the old or the new membership,
+   never a torn list. *)
+let add_peer t ~pid ~port =
+  Mutex.lock t.peers_mutex;
+  if List.exists (fun p -> p.pid = pid) t.peers || t.stopping then
+    Mutex.unlock t.peers_mutex
+  else begin
+    let peer =
+      {
+        pid;
+        port;
+        queue = Queue.create ();
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        sock = None;
+      }
+    in
+    t.peers <- t.peers @ [ peer ];
+    Mutex.unlock t.peers_mutex;
+    ignore (Thread.create (writer_loop t) peer : Thread.t)
+  end
 
 let send t ~dst frame =
   match List.find_opt (fun p -> p.pid = dst) t.peers with

@@ -57,6 +57,11 @@ val create :
     [backoff_base] (default 0.05 s) and doubles to [backoff_cap] (default
     2 s). *)
 
+val add_peer : t -> pid:int -> port:int -> unit
+(** Register a peer that joined after {!create} (membership churn): frames
+    for [pid] can be sent from now on, dialled on demand like any other
+    peer.  A pid already known is a no-op, so re-announcement is safe. *)
+
 val send : t -> dst:int -> string -> unit
 (** Enqueue a full frame for [dst]; drops (and counts) on overflow or
     unknown destination. *)
@@ -68,4 +73,6 @@ val stats : t -> stats
 
 val close : t -> unit
 (** Stop accepting, close every socket and wake the writer threads.
-    Reader threads exit as their sockets die. *)
+    Reader threads exit as their sockets die.  A writer parked in dial
+    backoff notices the stop flag within tens of milliseconds (the backoff
+    sleep is sliced), so shutdown latency is bounded even mid-reconnect. *)

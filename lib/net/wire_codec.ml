@@ -243,6 +243,10 @@ let k_dep_reply = 8
 
 let k_app_notice = 9 (* App + piggybacked logging-progress Notice *)
 
+let k_join = 10
+
+let k_retire = 11
+
 let k_inject = 16
 
 let k_tick_flush = 17
@@ -261,13 +265,19 @@ let k_quit = 23
 
 let k_bye = 24
 
+let k_add_peer = 25
+
+let k_retire_req = 26
+
+let k_arm_brownout = 27
+
 let hello_kind = k_hello
 
 let app_notice_kind = k_app_notice
 
-let is_packet_kind k = k >= k_app && k <= k_app_notice
+let is_packet_kind k = k >= k_app && k <= k_retire
 
-let is_control_kind k = k = k_hello || (k >= k_inject && k <= k_bye)
+let is_control_kind k = k = k_hello || (k >= k_inject && k <= k_arm_brownout)
 
 let packet_kind_code : type msg. msg Wire.packet -> int = function
   | Wire.App _ -> k_app
@@ -277,6 +287,8 @@ let packet_kind_code : type msg. msg Wire.packet -> int = function
   | Wire.Flush_request _ -> k_flush_request
   | Wire.Dep_query _ -> k_dep_query
   | Wire.Dep_reply _ -> k_dep_reply
+  | Wire.Join _ -> k_join
+  | Wire.Retire _ -> k_retire
 
 let put_dep b (pid, entry) =
   put_int b pid;
@@ -370,7 +382,14 @@ let encode_packet (wf : 'msg App_intf.wire_format) (p : 'msg Wire.packet) =
       (fun b (interval, info) ->
         put_entry b interval;
         put_dep_info b info)
-      infos);
+      infos
+  | Wire.Join { from_; n; current } ->
+    put_int b from_;
+    put_int b n;
+    put_entry b current
+  | Wire.Retire { from_; upto } ->
+    put_int b from_;
+    put_entry b upto);
   frame ~kind:(packet_kind_code p) (Buffer.contents b)
 
 let decode_packet_body (wf : 'msg App_intf.wire_format) ~kind body =
@@ -405,6 +424,19 @@ let decode_packet_body (wf : 'msg App_intf.wire_format) ~kind body =
                 (interval, info))
           in
           Wire.Dep_reply { from_; infos }
+        end
+        else if kind = k_join then begin
+          let from_ = get_int c in
+          let n = get_int c in
+          let current = get_entry c in
+          if from_ < 0 || n < from_ + 1 then failwith "bad join widths";
+          Wire.Join { from_; n; current }
+        end
+        else if kind = k_retire then begin
+          let from_ = get_int c in
+          let upto = get_entry c in
+          if from_ < 0 then failwith "bad retire pid";
+          Wire.Retire { from_; upto }
         end
         else fail c (Fmt.str "unknown packet kind %d" kind))
       body
@@ -479,6 +511,9 @@ type 'msg control =
   | Status of status
   | Quit
   | Bye
+  | Add_peer of { pid : int; port : int }
+  | Retire_req
+  | Arm_brownout of { slow : float option; rounds : int }
 
 let control_kind_code : type msg. msg control -> int = function
   | Hello _ -> k_hello
@@ -491,6 +526,9 @@ let control_kind_code : type msg. msg control -> int = function
   | Status _ -> k_status
   | Quit -> k_quit
   | Bye -> k_bye
+  | Add_peer _ -> k_add_peer
+  | Retire_req -> k_retire_req
+  | Arm_brownout _ -> k_arm_brownout
 
 let encode_control (wf : 'msg App_intf.wire_format) (c : 'msg control) =
   let b = Buffer.create 32 in
@@ -499,7 +537,13 @@ let encode_control (wf : 'msg App_intf.wire_format) (c : 'msg control) =
   | Inject { seq; payload } ->
     put_int b seq;
     put_string b (wf.App_intf.write payload)
-  | Tick _ | Crash | Status_req | Quit | Bye -> ()
+  | Tick _ | Crash | Status_req | Quit | Bye | Retire_req -> ()
+  | Add_peer { pid; port } ->
+    put_int b pid;
+    put_int b port
+  | Arm_brownout { slow; rounds } ->
+    put_option b put_float slow;
+    put_int b rounds
   | Status s ->
     put_bool b s.st_up;
     put_int b s.st_pending;
@@ -562,6 +606,17 @@ let decode_control_body (wf : 'msg App_intf.wire_format) ~kind body =
         end
         else if kind = k_quit then Quit
         else if kind = k_bye then Bye
+        else if kind = k_add_peer then begin
+          let pid = get_int c in
+          let port = get_int c in
+          Add_peer { pid; port }
+        end
+        else if kind = k_retire_req then Retire_req
+        else if kind = k_arm_brownout then begin
+          let slow = get_option c get_float in
+          let rounds = get_int c in
+          Arm_brownout { slow; rounds }
+        end
         else fail c (Fmt.str "unknown control kind %d" kind))
       body
 

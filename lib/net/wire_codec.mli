@@ -132,6 +132,15 @@ type 'msg control =
   | Status of status
   | Quit  (** drain: persist trace + metrics files and exit cleanly *)
   | Bye
+  | Add_peer of { pid : int; port : int }
+      (** live membership: start dialling a (possibly brand-new) peer *)
+  | Retire_req
+      (** graceful permanent leave: flush, broadcast {!Recovery.Wire.packet.Retire},
+          then drain and exit like [Quit] *)
+  | Arm_brownout of { slow : float option; rounds : int }
+      (** degrade the daemon's store for the next [rounds] flush rounds:
+          with [slow = Some d] each fsync is stretched by [d] seconds,
+          with [slow = None] flushes refuse as if the disk were full *)
 
 val control_kind_code : 'msg control -> int
 

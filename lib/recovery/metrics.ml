@@ -23,6 +23,7 @@ type t = {
   mutable retransmissions : int;
   mutable gc_records : int;
   mutable dep_queries : int;
+  mutable part_ckpt_dropped : int;
 }
 
 let create () =
@@ -51,4 +52,5 @@ let create () =
     retransmissions = 0;
     gc_records = 0;
     dep_queries = 0;
+    part_ckpt_dropped = 0;
   }

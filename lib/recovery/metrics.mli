@@ -38,6 +38,10 @@ type t = {
       (** stable-log records reclaimed by garbage collection *)
   mutable dep_queries : int;
       (** direct-tracking assembly queries sent (commit-time cost) *)
+  mutable part_ckpt_dropped : int;
+      (** damaged or unreadable {!Wire.sync_record.Part_ckpt} payloads
+          dropped at restart; the covered partitions fell back to replay
+          from the full checkpoint *)
 }
 
 val create : unit -> t

@@ -165,7 +165,20 @@ type 'msg recovery = {
 type ('state, 'msg) t = {
   cfg : Config.t;
   pid : int;
-  n : int;
+  mutable n : int;
+      (* protocol membership width: how many processes the dependency
+         vector and per-process tables cover.  Grows (never shrinks) on any
+         evidence of a wider cluster — a Join handshake, a piggybacked
+         dependency, an announcement or notice row from an unknown pid, or
+         sync-area records from a previous, wider incarnation.  Corollary 3
+         makes the widening verdict-preserving: a process nobody has yet
+         depended on contributes only NULL entries. *)
+  app_n : int;
+      (* the width the application was initialised with, frozen at
+         [create].  All application calls ([handle], [part_of_msg]) use
+         this, not [n]: apps route by [~n] (e.g. [owner ~n key]), so the
+         value must be identical between a delivery and its post-crash
+         replay — and membership can change between the two. *)
   app : ('state, 'msg) App_intf.t;
   trace : Trace.t;
   metrics : Metrics.t;
@@ -215,6 +228,13 @@ type ('state, 'msg) t = {
   part_dirty : int array;
       (* per-partition deliveries since that partition's last incremental
          checkpoint; [[||]] for unpartitioned applications *)
+  retired : (int, Entry.t) Hashtbl.t;
+      (* pid -> retirement frontier: the process announced (via
+         {!Wire.packet.Retire}) that it left for good after flushing, so
+         every interval up to the frontier is stable and its vector slot
+         drains to NULL (Theorem 2).  Volatile — a restarted node relearns
+         retirements from re-broadcasts or simply never hears from the
+         retiree again. *)
 }
 
 module Store = Storage.Stable_store
@@ -238,9 +258,43 @@ let gossip_anns t =
   if (proto t).gossip_announcements then List.rev t.anns_order else []
 
 (* ------------------------------------------------------------------ *)
+(* Membership                                                          *)
+
+(* Grow the protocol membership to cover pid [j].  Every per-process table
+   widens with its neutral element (no stability knowledge, no incarnation
+   endings, no announced incarnations) and the dependency vector widens
+   with NULL entries — Corollary 3: a process execution "can be considered
+   as starting with an initial checkpoint", so before anyone acquires a
+   dependency on the newcomer, every orphan and stability verdict computed
+   over the narrower vector is preserved by the wider one.  Called on any
+   evidence of a wider cluster; idempotent and cheap when [j] is already
+   covered. *)
+let ensure_member t j =
+  if j >= t.n then begin
+    let n' = j + 1 in
+    let grow_tab a neutral =
+      let a' = Array.make n' neutral in
+      Array.blit a 0 a' 0 t.n;
+      a'
+    in
+    t.tdv <- Dep_vector.grow t.tdv ~n:n';
+    t.log_tab <- grow_tab t.log_tab Entry_set.empty;
+    t.iet <- grow_tab t.iet Entry_set.empty;
+    t.max_ann_inc <- grow_tab t.max_ann_inc (-1);
+    t.n <- n'
+  end
+
+(* Dependency lists arrive from the wire, from checkpoints and from log
+   records written by a (possibly wider) previous incarnation: each pid in
+   one is membership evidence. *)
+let ensure_deps t dep = List.iter (fun (j, (_ : Entry.t)) -> ensure_member t j) dep
+
+(* ------------------------------------------------------------------ *)
 (* Dependency bookkeeping                                              *)
 
-let stable_in_log t j e = Entry_set.covers t.log_tab.(j) e
+let stable_in_log t j e =
+  ensure_member t j;
+  Entry_set.covers t.log_tab.(j) e
 
 (* Theorem 2: dependencies on stable intervals are redundant. *)
 let elide_tdv t =
@@ -252,6 +306,7 @@ let orphan_entry (ann : Wire.announcement) (e : Entry.t) =
 
 (* Check_orphan of Figure 2, applied to a wire message. *)
 let orphan_wire t (m : 'msg Wire.app_message) =
+  ensure_deps t m.dep;
   List.exists (fun (j, e) -> Entry_set.orphans t.iet.(j) e) m.dep
 
 (* A copy of this message is already waiting in the receive buffer.
@@ -282,6 +337,7 @@ let advance_stability t ~now =
 (* Check_deliverability (Figure 2)                                     *)
 
 let deliverable t (m : 'msg Wire.app_message) =
+  ensure_deps t m.dep;
   match (proto t).delivery_rule with
   | Config.Corollary1 ->
     (* Delivering must not leave us depending on two incarnations of the
@@ -573,10 +629,25 @@ let rec buffer_output_at t ~now ~interval ~tdv ~idx text =
 (* ------------------------------------------------------------------ *)
 (* Flush: asynchronous logging progress                                *)
 
-and do_flush t ~now ~ack =
-  ignore (Store.flush t.store : int);
-  advance_stability t ~now;
-  elide_tdv t;
+and do_flush ?(forced = false) t ~now ~ack =
+  ignore
+    ((if forced then Store.flush_forced t.store else Store.flush t.store) : int);
+  (* A brownout-refused flush left records volatile: nothing new is stable,
+     so neither stability nor acks may advance — the K rule keeps holding
+     the affected sends, which is the graceful-degradation contract. *)
+  if Store.volatile_length t.store > 0 then begin
+    check_send_buffer t ~now;
+    check_output_buffer t ~now
+  end
+  else begin
+    advance_stability t ~now;
+    elide_tdv t;
+    do_flush_acks t ~ack;
+    check_send_buffer t ~now;
+    check_output_buffer t ~now
+  end
+
+and do_flush_acks t ~ack =
   if ack && t.unacked <> [] then begin
     (* Everything delivered so far is now stable: tell the senders so they
        can garbage-collect their retransmission archives. *)
@@ -592,9 +663,7 @@ and do_flush t ~now ~ack =
         push t (Unicast { dst = src; packet = Wire.Ack { from_ = t.pid; to_ = src; ids } }))
       by_src;
     t.unacked <- []
-  end;
-  check_send_buffer t ~now;
-  check_output_buffer t ~now
+  end
 
 let buffer_output t ~now text =
   let idx = t.out_idx in
@@ -609,7 +678,7 @@ let buffer_output t ~now text =
 let part_of_payload t payload =
   match t.app.App_intf.partitioning with
   | None -> None
-  | Some pt -> pt.part_of_msg ~n:t.n payload
+  | Some pt -> pt.part_of_msg ~n:t.app_n payload
 
 let mark_part_dirty t payload =
   if t.part_dirty <> [||] then
@@ -619,6 +688,7 @@ let mark_part_dirty t payload =
 
 let deliver t ~now ~replay (m : 'msg Wire.app_message) =
   let pred = t.current in
+  ensure_deps t m.dep;
   (match (proto t).tracking with
   | Config.Transitive ->
     let wire_vec = Dep_vector.of_non_null ~n:t.n m.dep in
@@ -652,7 +722,7 @@ let deliver t ~now ~replay (m : 'msg Wire.app_message) =
     trace t ~now (Message_delivered { id = m.id; dst = t.pid; interval = t.current })
   end;
   mark_part_dirty t m.payload;
-  let state', effects = t.app.handle ~pid:t.pid ~n:t.n t.state ~src:m.src m.payload in
+  let state', effects = t.app.handle ~pid:t.pid ~n:t.app_n t.state ~src:m.src m.payload in
   t.state <- state';
   trace t ~now
     (Interval_started
@@ -730,7 +800,7 @@ let recheck t ~now =
 let replay_exec t ~now (ri : 'msg replay_item) =
   t.metrics.replayed <- t.metrics.replayed + 1;
   let state', effects =
-    t.app.handle ~pid:t.pid ~n:t.n t.state ~src:ri.ri_msg.Wire.src
+    t.app.handle ~pid:t.pid ~n:t.app_n t.state ~src:ri.ri_msg.Wire.src
       ri.ri_msg.Wire.payload
   in
   t.state <- state';
@@ -884,6 +954,7 @@ let reinstate_saved_sends t svs =
         (not (Hashtbl.mem t.released_ids sv.sv_id))
         && not (Hashtbl.mem t.buffered_send_ids sv.sv_id)
       then begin
+        ensure_deps t sv.sv_dep;
         Hashtbl.replace t.buffered_send_ids sv.sv_id ();
         t.send_buf <-
           t.send_buf
@@ -908,6 +979,7 @@ let reinstate_saved_outs t sos =
         (not (Hashtbl.mem t.committed_ids so.so_id))
         && not (Hashtbl.mem t.buffered_out_ids so.so_id)
       then begin
+        ensure_deps t so.so_dep;
         Hashtbl.replace t.buffered_out_ids so.so_id ();
         t.out_buf <-
           t.out_buf
@@ -942,6 +1014,7 @@ let reinstate_archive t msgs =
 let rebuild t ~now ~ck ~halt =
   t.state <- ck.ck_state;
   t.current <- ck.ck_current;
+  ensure_deps t ck.ck_tdv;
   t.tdv <- Dep_vector.of_non_null ~n:t.n ck.ck_tdv;
   t.send_idx <- 0;
   t.out_idx <- 0;
@@ -992,8 +1065,10 @@ let rollback t ~now ~(because : Wire.announcement) =
   let old_current = t.current in
   (* "Log all the unlogged messages to the stable storage": the surviving
      prefix must be replayable.  No stability is claimed here — part of
-     what we just wrote is about to be truncated. *)
-  ignore (Store.flush t.store : int);
+     what we just wrote is about to be truncated.  Forced: a brownout
+     refusal here would let the truncation below drop still-volatile
+     deliveries the process has already absorbed. *)
+  ignore (Store.flush_forced t.store : int);
   let j = ann.from_ in
   let ck_ok =
     match (proto t).tracking with
@@ -1082,7 +1157,7 @@ let rollback t ~now ~(because : Wire.announcement) =
         && not (orphan_wire t m)
       then t.recv_buf <- t.recv_buf @ [ (now, m) ])
     walked_requeued;
-  ignore (Store.flush t.store : int);
+  ignore (Store.flush_forced t.store : int);
   (* Prune volatile structures of the undone intervals.  State-interval
      indices are monotone along a process history, so "undone" is exactly
      "index greater than the replay stop point". *)
@@ -1196,6 +1271,7 @@ let receive_ann t ~now (ann : Wire.announcement) =
      unique per rollback/restart, so structural equality identifies them). *)
   if j = t.pid || Hashtbl.mem t.anns_seen ann then ()
   else begin
+    ensure_member t j;
     note_ann t ann;
     trace t ~now (Announcement_received { pid = t.pid; ann });
     (* "Synchronously log the received announcement". *)
@@ -1234,6 +1310,7 @@ let receive_ann t ~now (ann : Wire.announcement) =
 let receive_notice t ~now (notice : Wire.notice) =
   List.iter
     (fun (j, entries) ->
+      ensure_member t j;
       List.iter (fun e -> t.log_tab.(j) <- Entry_set.insert t.log_tab.(j) e) entries)
     notice.Wire.rows;
   elide_tdv t;
@@ -1339,9 +1416,11 @@ let run_gc t =
 
 let do_checkpoint t ~now =
   (* A full checkpoint snapshots the whole state; a partially replayed
-     hybrid is not a state serial replay can reach, so drain first. *)
+     hybrid is not a state serial replay can reach, so drain first.  The
+     flush is forced: the checkpoint's log position must cover every
+     delivery its state absorbed, brownout or not. *)
   finish_recovery t ~now;
-  do_flush t ~now ~ack:true;
+  do_flush ~forced:true t ~now ~ack:true;
   let ck =
     {
       ck_current = t.current;
@@ -1442,6 +1521,9 @@ let restart_prologue t =
   List.iter
     (function
       | Wire.Ann_logged (ann : Wire.announcement) ->
+        (* Announcements persisted by a previous, wider incarnation are
+           membership evidence too. *)
+        ensure_member t ann.from_;
         note_ann t ann;
         t.iet.(ann.from_) <- Entry_set.insert_min t.iet.(ann.from_) ann.ending;
         t.log_tab.(ann.from_) <- Entry_set.insert t.log_tab.(ann.from_) ann.ending;
@@ -1562,6 +1644,7 @@ let do_restart_begin t ~now =
     let ck, part_ck = restart_prologue t in
     t.state <- ck.ck_state;
     t.current <- ck.ck_current;
+    ensure_deps t ck.ck_tdv;
     t.tdv <- Dep_vector.of_non_null ~n:t.n ck.ck_tdv;
     t.send_idx <- 0;
     t.out_idx <- 0;
@@ -1574,7 +1657,7 @@ let do_restart_begin t ~now =
     let has_barrier =
       List.exists
         (function
-          | Delivery d -> pt.part_of_msg ~n:t.n d.lg_msg.Wire.payload = None
+          | Delivery d -> pt.part_of_msg ~n:t.app_n d.lg_msg.Wire.payload = None
           | Requeued _ -> false)
         records
     in
@@ -1597,19 +1680,48 @@ let do_restart_begin t ~now =
         match slot with
         | None -> ()
         | Some (_, payload) ->
-          let (slice, sends, outs, archive)
-                : string
-                  * 'msg saved_send list
-                  * saved_output list
-                  * 'msg Wire.app_message list =
-            Marshal.from_string payload 0
+          (* The payload is a sealed (length- and CRC-witnessed) blob; the
+             witness covers exactly the marshalled bytes, so [Marshal] never
+             runs on damaged input it could crash on — and a blob that fails
+             the witness (or the unmarshal, or the app's import) is a
+             {e reported} loss: the slot is dropped, the partition falls
+             back to replaying from the full checkpoint, and the drop is
+             counted.  Never a silent acceptance, never an abort. *)
+          let decoded =
+            match Durable.Codec.unseal payload with
+            | Error _ -> None
+            | Ok bytes -> (
+              match
+                (Marshal.from_string bytes 0
+                  : string
+                    * 'msg saved_send list
+                    * saved_output list
+                    * 'msg Wire.app_message list)
+              with
+              | v -> Some v
+              | exception (Failure _ | Invalid_argument _ | End_of_file) -> None)
           in
-          (match pt.part_import with
-          | Some import -> t.state <- import t.state p slice
-          | None -> ());
-          reinstate_saved_sends t sends;
-          reinstate_saved_outs t outs;
-          reinstate_archive t archive)
+          let imported =
+            match decoded with
+            | None -> None
+            | Some ((slice, _, _, _) as v) -> (
+              match pt.part_import with
+              | None -> Some v
+              | Some import -> (
+                match import t.state p slice with
+                | state' ->
+                  t.state <- state';
+                  Some v
+                | exception Failure _ -> None))
+          in
+          match imported with
+          | None ->
+            part_ck.(p) <- None;
+            t.metrics.part_ckpt_dropped <- t.metrics.part_ckpt_dropped + 1
+          | Some (_, sends, outs, archive) ->
+            reinstate_saved_sends t sends;
+            reinstate_saved_outs t outs;
+            reinstate_archive t archive)
       part_ck;
     (* Serial metadata pass: evolve intervals, vectors and bookkeeping
        exactly as [rebuild] would, but defer the application handlers into
@@ -1635,6 +1747,7 @@ let do_restart_begin t ~now =
         walk markers rs
       | _, Delivery d :: rs ->
         let pred = t.current in
+        ensure_deps t d.lg_msg.Wire.dep;
         (match (proto t).tracking with
         | Config.Transitive ->
           Dep_vector.merge_max ~into:t.tdv
@@ -1659,7 +1772,7 @@ let do_restart_begin t ~now =
             ri_covered = covered;
           }
         in
-        (match pt.part_of_msg ~n:t.n d.lg_msg.Wire.payload with
+        (match pt.part_of_msg ~n:t.app_n d.lg_msg.Wire.payload with
         | Some p ->
           let covered =
             match part_ck.(p) with
@@ -1732,9 +1845,9 @@ let do_partition_checkpoint t ~now =
     if !best < 0 then false
     else begin
       let p = !best in
-      (* Flush first so the snapshot corresponds exactly to the stable
-         prefix it claims to cover. *)
-      do_flush t ~now ~ack:true;
+      (* Flush first (forced, like the full checkpoint's) so the snapshot
+         corresponds exactly to the stable prefix it claims to cover. *)
+      do_flush ~forced:true t ~now ~ack:true;
       let pos = Store.stable_log_length t.store in
       let sends =
         List.map
@@ -1762,9 +1875,12 @@ let do_partition_checkpoint t ~now =
           t.out_buf
       in
       let payload =
-        Marshal.to_string
-          (export t.state p, sends, outs, Archive.newest_first t.archive)
-          [ Marshal.Closures ]
+        (* Sealed so restart can witness integrity before unmarshalling;
+           see the decode side in [do_restart_begin]. *)
+        Durable.Codec.seal
+          (Marshal.to_string
+             (export t.state p, sends, outs, Archive.newest_first t.archive)
+             [ Marshal.Closures ])
       in
       Store.log_announcement t.store
         (Wire.Part_ckpt { pc_part = p; pc_pos = pos; pc_payload = payload });
@@ -1807,6 +1923,7 @@ let[@warning "-16"] create ~config ~pid ~app ?store_dir ~trace:tr =
       cfg = config;
       pid;
       n;
+      app_n = n;
       app;
       trace = tr;
       metrics = Metrics.create ();
@@ -1844,6 +1961,7 @@ let[@warning "-16"] create ~config ~pid ~app ?store_dir ~trace:tr =
         (match app.App_intf.partitioning with
         | Some pt -> Array.make pt.parts 0
         | None -> [||]);
+      retired = Hashtbl.create 4;
     }
   in
   (* A damaged store can come back with every checkpoint dropped (e.g. a
@@ -1935,7 +2053,44 @@ let handle_packet t ~now packet =
                       assembly_absorb t asm (from_, interval) info)
                   infos)
               t.assemblies;
-            check_output_buffer t ~now))
+            check_output_buffer t ~now
+          | Wire.Join { from_; n; current } ->
+            if from_ >= 0 && n >= from_ + 1 then begin
+              (* Widen to the joiner's view of the cluster (Corollary 3)
+                 and adopt its current interval as stable: a joiner's
+                 pre-join history is recovered-from-log or initial, hence
+                 logged.  A {e re}-join (known pid, fresh incarnation
+                 after a retire or a long partition) takes the same path —
+                 the widening is a no-op and the adoption refreshes the
+                 stability row. *)
+              ensure_member t (n - 1);
+              Hashtbl.remove t.retired from_;
+              t.log_tab.(from_) <- Entry_set.insert t.log_tab.(from_) current;
+              elide_tdv t;
+              recheck t ~now;
+              (* Hand the joiner our stability knowledge so its own vector
+                 entries start draining without waiting a notice period. *)
+              let rows = [ (t.pid, Entry_set.entries t.log_tab.(t.pid)) ] in
+              push t
+                (Unicast
+                   {
+                     dst = from_;
+                     packet = Wire.Notice { from_ = t.pid; rows; anns = gossip_anns t };
+                   })
+            end
+          | Wire.Retire { from_; upto } ->
+            if from_ >= 0 && from_ <> t.pid then begin
+              ensure_member t from_;
+              (* The retiree flushed before announcing: everything up to
+                 [upto] is stable, and nothing after [upto] will ever
+                 exist.  Recording the frontier lets Theorem 2 elide its
+                 entries, so no send blocks forever on a process that is
+                 gone. *)
+              Hashtbl.replace t.retired from_ upto;
+              t.log_tab.(from_) <- Entry_set.insert t.log_tab.(from_) upto;
+              elide_tdv t;
+              recheck t ~now
+            end))
 
 let inject t ~now ~seq payload =
   with_cost t (fun () ->
@@ -2038,6 +2193,39 @@ let is_up t = t.up
 let storage_report t = Store.storage_report t.store
 
 let arm_storage_fsync_failure t = Store.arm_fsync_failure t.store
+
+let arm_storage_disk_full t ~rounds = Store.arm_disk_full t.store ~rounds
+
+let arm_storage_slow_fsync t ~delay ~rounds =
+  Store.arm_slow_fsync t.store ~delay ~rounds
+
+let storage_degraded_flushes t = Store.degraded_flushes t.store
+
+let storage_slowed_fsyncs t = Store.slowed_fsyncs t.store
+
+(* ------------------------------------------------------------------ *)
+(* Membership                                                          *)
+
+let membership_n t = t.n
+
+let is_retired t j = Hashtbl.mem t.retired j
+
+let retired_frontier t j = Hashtbl.find_opt t.retired j
+
+let announce_join t ~now =
+  ignore now;
+  with_cost t (fun () ->
+      guard t (fun () ->
+          push t (Broadcast (Wire.Join { from_ = t.pid; n = t.n; current = t.current }))))
+
+let retire t ~now =
+  with_cost t (fun () ->
+      guard t (fun () ->
+          (* Flush first (forced — a leaver must not be stoppable by a
+             brownout window): the Retire frontier claims stability up to
+             [t.current], so make it true before anyone hears the claim. *)
+          do_flush ~forced:true t ~now ~ack:true;
+          push t (Broadcast (Wire.Retire { from_ = t.pid; upto = t.current }))))
 
 (* ------------------------------------------------------------------ *)
 (* Inspection                                                          *)

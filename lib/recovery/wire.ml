@@ -92,6 +92,21 @@ type 'msg packet =
       (** direct-tracking assembly: asks the receiver about its own
           intervals *)
   | Dep_reply of { from_ : int; infos : (Entry.t * dep_info) list }
+  | Join of { from_ : int; n : int; current : Entry.t }
+      (** membership join handshake: [from_] (a pid at or beyond the
+          receiver's current width) announces itself; [n] is the joiner's
+          own view of the cluster width (at least [from_ + 1]) and
+          [current] its current state interval.  Receivers grow their
+          vectors and tables to width [n] (Corollary 3 makes the widening
+          verdict-preserving: a process nobody has depended on contributes
+          only NULL entries) and adopt [current] as stable — a joiner's
+          pre-join intervals are recovered or initial, hence logged. *)
+  | Retire of { from_ : int; upto : Entry.t }
+      (** membership retirement: [from_] leaves for good after flushing, so
+          every interval up to and including [upto] is stable.  Receivers
+          record the frontier and elide the retiree's entries (Theorem 2),
+          so its vector slot drains to NULL and no send ever blocks on a
+          process that is gone. *)
 
 let packet_kind = function
   | App _ -> "app"
@@ -101,6 +116,8 @@ let packet_kind = function
   | Flush_request _ -> "flush-req"
   | Dep_query _ -> "dep-query"
   | Dep_reply _ -> "dep-reply"
+  | Join _ -> "join"
+  | Retire _ -> "retire"
 
 (** Identity of an output sent to the outside world. *)
 type output_id = { out_interval : Entry.t; out_idx : int }

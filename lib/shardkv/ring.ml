@@ -82,6 +82,23 @@ let owner_of_hash t h =
 
 let owner t key = owner_of_hash t (key_hash t key)
 
+let grow t ~shards =
+  if shards < t.shards then invalid_arg "Ring.grow: cannot shrink";
+  if shards = t.shards then t
+  else begin
+    (* Only the new shards' points are added; existing points — including
+       the absence of previously removed shards — are untouched, so the
+       remap-iff-new-owner-is-new law holds even mid-churn. *)
+    let fresh =
+      Array.init
+        ((shards - t.shards) * t.vnodes)
+        (fun i ->
+          let shard = t.shards + (i / t.vnodes) and vnode = i mod t.vnodes in
+          (point_hash ~seed:t.seed ~shard ~vnode, shard))
+    in
+    { t with shards; points = sort_points (Array.append t.points fresh) }
+  end
+
 let remove t i =
   if i < 0 || i >= t.shards then invalid_arg "Ring.remove: shard out of range";
   let points = Array.of_list (List.filter (fun (_, s) -> s <> i) (Array.to_list t.points)) in

@@ -43,6 +43,14 @@ val owner : t -> string -> int
 val owner_of_hash : t -> int -> int
 (** [owner] of a precomputed {!key_hash} position. *)
 
+val grow : t -> shards:int -> t
+(** The ring widened to [shards]: points for the new shards are appended,
+    existing points (including the absence of any previously removed
+    shard) are untouched — so a key is remapped iff its new owner is one
+    of the new shards.  On a pristine ring, [grow (make ~shards:n ())
+    ~shards:m] equals [make ~shards:m ()].
+    @raise Invalid_argument if [shards < shards t]. *)
+
 val remove : t -> int -> t
 (** The ring without shard [i]'s points: where keys of a lost shard land.
     Keys not owned by [i] keep their owner (the minimal-movement law).

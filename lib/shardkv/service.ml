@@ -1,6 +1,6 @@
 type t = {
   dep : Net.Deployment.t;
-  ring : Ring.t;
+  mutable ring : Ring.t;
   issued : (string, float) Hashtbl.t;  (* output tag -> injection wall time *)
   mutable next_get : int;
   mutable next_mp : int;
@@ -30,6 +30,40 @@ let get t ~key =
   t.next_get <- g + 1;
   Hashtbl.replace t.issued (Fmt.str "get:%d" g) (Unix.gettimeofday ());
   inject t ~dst:(Ring.owner t.ring key) (Shard_app.Get { g; key })
+
+let live_shards t =
+  let retired = Net.Deployment.retired t.dep in
+  List.filter
+    (fun p -> not (List.mem p retired))
+    (List.init (Net.Deployment.width t.dep) Fun.id)
+
+(* Live membership drives the ring.  The joiner's own init ring is already
+   [pid + 1] shards wide (config [n] counts it), but it knows nothing of
+   earlier retirements; incumbents are the mirror image.  Both config
+   messages are ordinary logged app messages, so every shard's ring stays
+   a deterministic fold of its log and replay reproduces the routing. *)
+let grow t =
+  let pid = Net.Deployment.add_node t.dep in
+  let w = Net.Deployment.width t.dep in
+  List.iter
+    (fun dst -> if dst <> pid then inject t ~dst (Shard_app.Grow { w }))
+    (live_shards t);
+  List.iter
+    (fun shard -> inject t ~dst:pid (Shard_app.Retire_shard { shard }))
+    (Net.Deployment.retired t.dep);
+  t.ring <- Ring.grow t.ring ~shards:w;
+  pid
+
+let retire_shard t ~shard =
+  (* Route away first — client and survivors drop the shard's points, so
+     no new traffic can chase a process that is about to fall silent —
+     then let the graceful leave flush and broadcast its final frontier. *)
+  t.ring <- Ring.remove t.ring shard;
+  List.iter
+    (fun dst ->
+      if dst <> shard then inject t ~dst (Shard_app.Retire_shard { shard }))
+    (live_shards t);
+  Net.Deployment.retire t.dep ~dst:shard
 
 let multi_put t pairs =
   match pairs with

@@ -32,6 +32,24 @@ val get : t -> key:string -> unit
 (** Tagged read; the owner commits an output ["get:<tag> <key> -> ..."]
     whose commit time the handle later matches for latency. *)
 
+val grow : t -> int
+(** Wire a live join to the ring: spawn a new daemon
+    ({!Net.Deployment.add_node}), widen the client ring, and send every
+    incumbent a [Grow] app message (a logged message, so replay reproduces
+    the routing change); the joiner is additionally told about earlier
+    retirements.  Returns the new shard's pid.  Consistent-hash
+    semantics: ~1/N of keys remap onto the joiner, and values written
+    under a remapped key {e before} the grow are not migrated — they
+    simply become unreachable under the new routing, as in any
+    consistent-hash deployment without data movement. *)
+
+val retire_shard : t -> shard:int -> unit
+(** Wire a graceful leave to the ring: drop [shard]'s points from the
+    client ring, tell every survivor ([Retire_shard] app message) so no
+    traffic is forwarded to a permanently silent process, then retire the
+    daemon ({!Net.Deployment.retire}).  Keys the shard owned remap to
+    survivors (minimal movement: only those keys move). *)
+
 val multi_put : t -> (string * int) list -> unit
 (** Cross-shard batch, injected at the coordinator (owner of the first
     key).  The client ack is the coordinator's ["mp:<tag> ok"] output —

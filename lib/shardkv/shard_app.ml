@@ -32,6 +32,13 @@ type msg =
       (** client-injected at the coordinator; [m] tags the ack output *)
   | Mp_apply of { m : int; coord : int; pairs : (string * int) list }
   | Mp_ack of { m : int; from_ : int }
+  | Grow of { w : int }
+      (** membership grew: widen the local ring to [w] shards.  Logged and
+          replayed like any other message, so every incarnation of a shard
+          folds the same ring history. *)
+  | Retire_shard of { shard : int }
+      (** [shard] left the cluster: drop its points so no traffic is
+          forwarded to a permanently silent process *)
 
 type state = {
   pid : int;
@@ -51,6 +58,8 @@ let pp_msg ppf = function
   | Mp_apply { m; coord; pairs } ->
     Fmt.pf ppf "MpApply#%d coord=%d (%d keys)" m coord (List.length pairs)
   | Mp_ack { m; from_ } -> Fmt.pf ppf "MpAck#%d from %d" m from_
+  | Grow { w } -> Fmt.pf ppf "Grow w=%d" w
+  | Retire_shard { shard } -> Fmt.pf ppf "RetireShard %d" shard
 
 let lookup state key = Str_map.find_opt key state.store
 
@@ -119,10 +128,20 @@ let handle ~pid ~n:_ state ~src:_ msg =
         [ App_model.App_intf.output (mp_ack_text m) ] )
     | Some left ->
       ({ state with pending = Int_map.add m (left - 1) state.pending }, []))
+  | Grow { w } ->
+    if w <= Ring.shards state.ring then (state, [])
+    else ({ state with ring = Ring.grow state.ring ~shards:w }, [])
+  | Retire_shard { shard } -> (
+    (* [remove] is idempotent on an already-absent shard; a decode-valid
+       but out-of-range shard id must not crash the daemon. *)
+    match Ring.remove state.ring shard with
+    | ring -> ({ state with ring }, [])
+    | exception Invalid_argument _ -> (state, []))
 
 let digest s =
-  (* The ring is a constant of (n, seed) — identical on every incarnation —
-     so it stays out of the digest. *)
+  (* The ring is a deterministic fold of the logged [Grow]/[Retire_shard]
+     messages over the [(n, seed)] starting point — identical on every
+     incarnation replaying the same log — so it stays out of the digest. *)
   let h =
     Str_map.fold
       (fun key (value, version) h ->
@@ -177,7 +196,13 @@ let wire : msg App_model.App_intf.wire_format =
     | Mp_ack { m; from_ } ->
       Buffer.add_char b '\x05';
       put_int b m;
-      put_int b from_);
+      put_int b from_
+    | Grow { w } ->
+      Buffer.add_char b '\x06';
+      put_int b w
+    | Retire_shard { shard } ->
+      Buffer.add_char b '\x07';
+      put_int b shard);
     Buffer.contents b
   in
   let read s =
@@ -229,6 +254,8 @@ let wire : msg App_model.App_intf.wire_format =
           | '\x05' ->
             let m = get_int () in
             Mp_ack { m; from_ = get_int () }
+          | '\x06' -> Grow { w = get_int () }
+          | '\x07' -> Retire_shard { shard = get_int () }
           | c -> failwith (Fmt.str "shardkv wire: unknown tag %#x" (Char.code c))
         in
         if !pos <> String.length s then failwith "shardkv wire: trailing bytes";
@@ -258,7 +285,9 @@ let partitioning : (state, msg) App_model.App_intf.partitioning =
     part_of_msg =
       (fun ~n:_ -> function
         | Put { key; _ } | Get { key; _ } -> Some (part_of_key key)
-        | Multi_put _ | Mp_apply _ | Mp_ack _ -> None);
+        | Multi_put _ | Mp_apply _ | Mp_ack _ -> None
+        (* Ring changes redirect every partition's routing: barriers. *)
+        | Grow _ | Retire_shard _ -> None);
     part_digest =
       (fun s p ->
         Str_map.fold

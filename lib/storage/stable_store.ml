@@ -14,6 +14,8 @@ module Mem = struct
     mutable inc : int;
     mutable sync_writes : int;
     mutable flushes : int;
+    mutable disk_full : int; (* flush rounds left to refuse (brownout) *)
+    mutable degraded_flushes : int;
   }
 
   let create () =
@@ -27,11 +29,15 @@ module Mem = struct
       inc = 0;
       sync_writes = 0;
       flushes = 0;
+      disk_full = 0;
+      degraded_flushes = 0;
     }
 
   let append_volatile t r = Queue.add r t.volatile
 
-  let flush t =
+  (* Critical-path flush (checkpoints, rollback): models a writer that
+     blocks until space frees, so it never refuses. *)
+  let flush_force t =
     let n = Queue.length t.volatile in
     if n > 0 then begin
       Queue.iter (fun r -> t.stable_log <- r :: t.stable_log) t.volatile;
@@ -41,6 +47,17 @@ module Mem = struct
       t.sync_writes <- t.sync_writes + 1
     end;
     n
+
+  let flush t =
+    if t.disk_full > 0 && not (Queue.is_empty t.volatile) then begin
+      (* Same degradation contract as the durable backend: the flush
+         refuses, the volatile buffer is retained intact, and the refusal
+         is counted.  Stability simply does not advance this round. *)
+      t.disk_full <- t.disk_full - 1;
+      t.degraded_flushes <- t.degraded_flushes + 1;
+      0
+    end
+    else flush_force t
 
   let stable_log_from t ~pos =
     if pos < t.base || pos > t.stable_len then
@@ -83,7 +100,7 @@ module Mem = struct
     end
 
   let save_checkpoint t c =
-    ignore (flush t : int);
+    ignore (flush_force t : int);
     t.ckpts <- c :: t.ckpts;
     t.sync_writes <- t.sync_writes + 1
 
@@ -185,6 +202,10 @@ let append_volatile t r =
 
 let flush = function Mem m -> Mem.flush m | Disk d -> Disk.flush d
 
+let flush_forced = function
+  | Mem m -> Mem.flush_force m
+  | Disk d -> Disk.flush_forced d
+
 let stable_log_length = function
   | Mem m -> m.Mem.stable_len
   | Disk d -> Disk.stable_log_length d
@@ -272,3 +293,24 @@ let kill = function
 let arm_fsync_failure = function
   | Mem _ -> invalid_arg "Stable_store.arm_fsync_failure: in-memory store"
   | Disk d -> Disk.arm_fsync_failure d
+
+let arm_disk_full t ~rounds =
+  match t with
+  | Mem m ->
+    if rounds < 0 then invalid_arg "Stable_store.arm_disk_full";
+    m.Mem.disk_full <- rounds
+  | Disk d -> Disk.arm_disk_full d ~rounds
+
+let arm_slow_fsync t ~delay ~rounds =
+  match t with
+  | Mem _ ->
+    (* Simulated time has no real fsync to stretch; the disk-full window is
+       the brownout the simulation can express. *)
+    invalid_arg "Stable_store.arm_slow_fsync: in-memory store"
+  | Disk d -> Disk.arm_slow_fsync d ~delay ~rounds
+
+let degraded_flushes = function
+  | Mem m -> m.Mem.degraded_flushes
+  | Disk d -> Disk.degraded_flushes d
+
+let slowed_fsyncs = function Mem _ -> 0 | Disk d -> Disk.slowed_fsyncs d

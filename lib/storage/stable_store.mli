@@ -83,6 +83,25 @@ val arm_fsync_failure : ('ckpt, 'log, 'ann) t -> unit
 (** Storage fault injection (durable backend only): from now on the log's
     fsync lies.  See {!Durable.Durable_store.arm_fsync_failure}. *)
 
+val arm_disk_full : ('ckpt, 'log, 'ann) t -> rounds:int -> unit
+(** Brownout fault injection (both backends): the next [rounds] {!flush}
+    attempts refuse as if the disk were full.  The volatile buffer is
+    retained intact — nothing is lost, stability just stops advancing
+    until the window passes; refusals are counted
+    ({!degraded_flushes}).  {!flush_forced}, checkpoints and rollback are
+    exempt (they model writers that block until space frees). *)
+
+val arm_slow_fsync : ('ckpt, 'log, 'ann) t -> delay:float -> rounds:int -> unit
+(** Brownout fault injection (durable backend only): the next [rounds]
+    flush rounds stretch their fsync by [delay] seconds, outside the
+    group-commit lock.  See {!Durable.Durable_store.arm_slow_fsync}. *)
+
+val degraded_flushes : ('ckpt, 'log, 'ann) t -> int
+(** Flushes refused by an armed disk-full window. *)
+
+val slowed_fsyncs : ('ckpt, 'log, 'ann) t -> int
+(** Flush rounds stretched by an armed slow-fsync window (0 in memory). *)
+
 (** {1 Message log} *)
 
 val append_volatile : ('ckpt, 'log, 'ann) t -> 'log -> unit
@@ -91,7 +110,14 @@ val append_volatile : ('ckpt, 'log, 'ann) t -> 'log -> unit
 val flush : ('ckpt, 'log, 'ann) t -> int
 (** Write the whole volatile buffer to stable storage in one operation;
     returns the number of records made stable.  Counted as one flush (and as
-    a synchronous write only when records were actually written). *)
+    a synchronous write only when records were actually written).  An armed
+    disk-full window ({!arm_disk_full}) makes this refuse (return 0 with the
+    buffer intact) instead. *)
+
+val flush_forced : ('ckpt, 'log, 'ann) t -> int
+(** Critical-path variant of {!flush} that an armed disk-full window never
+    refuses — used where a refusal would be unsound (checkpointing,
+    rollback's log-everything step). *)
 
 val stable_log_length : ('ckpt, 'log, 'ann) t -> int
 

@@ -26,6 +26,7 @@ let () =
       ("corpus", Test_corpus.suite);
       ("integration", Test_integration.suite);
       ("recovery-fast", Test_recovery_fast.suite);
+      ("churn", Test_churn.suite);
       ("net-codec", Test_net_codec.suite);
       ("net-deployment", Test_net.suite);
       ("shardkv", Test_shardkv.suite);

@@ -223,8 +223,62 @@ let test_flood_during_replay () =
         (counter outcome "outputs_committed" > 0);
       Alcotest.(check bool) "replay happened" true (counter outcome "replayed" > 0))
 
+(* Satellite of the churn work: a writer parked in a multi-second dial
+   backoff must notice [close]'s stop flag within a slice, not sleep out
+   the rest of its nap.  We point the transport at a port nothing listens
+   on with a 3 s backoff floor, let the writer fail its first dial and
+   park, then close and require the queued frame to be accounted (sent +
+   dropped covers every accepted frame) well inside one second. *)
+let test_shutdown_latency_bounded () =
+  let reserve_port () =
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let port =
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false
+    in
+    Unix.close sock;
+    port
+  in
+  let dead_port = reserve_port () in
+  let transport =
+    Net.Transport.create ~self:0 ~listen_port:(reserve_port ())
+      ~peers:[ (1, dead_port) ]
+      ~on_frame:(fun ~src:_ ~kind:_ ~body:_ -> ())
+      ~backoff_base:3.0 ~backoff_cap:3.0 ()
+  in
+  Net.Transport.send transport ~dst:1 "doomed frame";
+  (* Let the writer pop the frame, fail the dial, and park in backoff. *)
+  Thread.delay 0.3;
+  let t0 = Unix.gettimeofday () in
+  Net.Transport.close transport;
+  let deadline = t0 +. 1.0 in
+  let rec await_accounting () =
+    let s = Net.Transport.stats transport in
+    if s.Net.Transport.frames_sent + s.Net.Transport.frames_dropped >= 1 then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail
+        "shutdown latency unbounded: frame still unaccounted 1 s after close \
+         (writer slept out its backoff)"
+    else begin
+      Thread.delay 0.01;
+      await_accounting ()
+    end
+  in
+  await_accounting ();
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Fmt.str "close interrupted a 3 s backoff in %.3f s" elapsed)
+    true
+    (elapsed < 1.0);
+  Alcotest.(check int) "frame counted dropped, not lost" 1
+    (Net.Transport.stats transport).Net.Transport.frames_dropped
+
 let suite =
   [
+    Alcotest.test_case "shutdown interrupts dial backoff" `Quick
+      test_shutdown_latency_bounded;
     Alcotest.test_case "3 daemons on loopback, oracle-certified" `Slow
       test_cluster_benign;
     Alcotest.test_case "SIGKILL + respawn from durable store" `Slow test_cluster_kill;

@@ -77,9 +77,15 @@ let test_ring_grow_law =
   qtest "grow n->n+1 remaps only onto the new shard"
     QCheck2.Gen.(pair (int_range 1 32) gen_ring_key)
     (fun (n, key) ->
-      let before = Ring.owner (Ring.make ~shards:n ()) key in
+      let r = Ring.make ~shards:n () in
+      let before = Ring.owner r key in
       let after = Ring.owner (Ring.make ~shards:(n + 1) ()) key in
-      after = before || after = n)
+      (* Incremental widening is the same ring as rebuilding from scratch,
+         so a daemon that grows via a [Grow] message and one that boots at
+         the new width agree point-for-point. *)
+      Ring.points (Ring.grow r ~shards:(n + 1))
+      = Ring.points (Ring.make ~shards:(n + 1) ())
+      && (after = before || after = n))
 
 let test_ring_remove_law =
   qtest "remove i remaps only keys i owned"
@@ -119,6 +125,8 @@ let gen_shard_msg =
         map2
           (fun m from_ -> Shard_app.Mp_ack { m; from_ })
           (int_bound 10000) (int_bound 64);
+        map (fun w -> Shard_app.Grow { w }) (int_bound 128);
+        map (fun shard -> Shard_app.Retire_shard { shard }) (int_bound 128);
       ])
 
 let test_wire_roundtrip =
@@ -246,6 +254,75 @@ let test_live_multi_put_under_kill () =
   Alcotest.(check int) "exactly one ack in the merged trace" 1
     (List.length acks)
 
+(* ------------------------------------------------------------------ *)
+(* Live: ring grow/remove wired to real membership churn               *)
+
+(* Grow the live cluster by one shard, route fresh traffic onto the
+   joiner, then gracefully retire an incumbent and keep serving: the
+   law-checked ring transitions ([grow] appends the new shard's points,
+   [remove] drops the retiree's) are driven here by actual join/retire,
+   with the [Grow]/[Retire_shard] config messages logged like any other
+   message so replayed incarnations reproduce the routing. *)
+let test_live_grow_retire () =
+  let root = Durable.Temp.fresh_dir ~prefix:"test-shardkv-churn" () in
+  let t = Deployment.launch ~n:3 ~k:1 ~app:"shardkv" ~seed:31 ~root () in
+  Fun.protect
+    ~finally:(fun () -> try Deployment.destroy t with _ -> ())
+  @@ fun () ->
+  let svc = Shardkv.Service.connect t in
+  for i = 0 to 9 do
+    Shardkv.Service.put svc ~key:(Fmt.str "pre-%d" i) ~value:i
+  done;
+  Alcotest.(check bool) "settles at width 3" true (Deployment.settle t);
+  let joiner = Shardkv.Service.grow svc in
+  Alcotest.(check int) "joiner is shard 3" 3 joiner;
+  let ring = Shardkv.Service.ring svc in
+  Alcotest.(check int) "client ring widened" 4 (Ring.shards ring);
+  (* Fresh keys after the grow; the namespace is wide enough that some
+     land on the joiner (minimal movement puts ~1/4 of keys there). *)
+  let post_keys = List.init 24 (Fmt.str "post-%d") in
+  Alcotest.(check bool) "some fresh keys belong to the joiner" true
+    (List.exists (fun k -> Ring.owner ring k = joiner) post_keys);
+  List.iteri
+    (fun i k -> Shardkv.Service.put svc ~key:k ~value:(100 + i))
+    post_keys;
+  List.iter (fun k -> Shardkv.Service.get svc ~key:k) post_keys;
+  Alcotest.(check bool) "settles at width 4" true (Deployment.settle t);
+  Shardkv.Service.retire_shard svc ~shard:1;
+  let ring = Shardkv.Service.ring svc in
+  let pre_retire = Ring.make ~shards:4 () in
+  let moved = List.filter (fun k -> Ring.owner pre_retire k = 1) post_keys in
+  Alcotest.(check bool) "retiree owned some keys" true (moved <> []);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Fmt.str "%s no longer routes to the retiree" k)
+        true
+        (Ring.owner ring k <> 1))
+    post_keys;
+  (* Rewrite and re-read the moved keys: their new owners must answer. *)
+  List.iteri (fun i k -> Shardkv.Service.put svc ~key:k ~value:(500 + i)) moved;
+  List.iter (fun k -> Shardkv.Service.get svc ~key:k) moved;
+  Alcotest.(check bool) "settles after retirement" true (Deployment.settle t);
+  let outcome = Deployment.finish t in
+  Alcotest.(check (list string))
+    "oracle certifies at the final width" []
+    outcome.Deployment.oracle.Harness.Oracle.violations;
+  Alcotest.(check bool) "risk within K=1" true
+    (outcome.Deployment.oracle.Harness.Oracle.max_risk <= 1);
+  let stats = Shardkv.Service.latency_stats svc outcome.Deployment.trace in
+  Alcotest.(check int) "every get acked" 0 stats.Shardkv.Service.outstanding;
+  let joiner_served =
+    List.exists
+      (fun { Recovery.Trace.ev; _ } ->
+        match ev with
+        | Recovery.Trace.Output_committed { pid; _ } -> pid = joiner
+        | _ -> false)
+      (Recovery.Trace.events outcome.Deployment.trace)
+  in
+  Alcotest.(check bool) "the joiner committed client outputs" true
+    joiner_served
+
 let suite =
   [
     Alcotest.test_case "ring: golden values and determinism" `Quick
@@ -260,4 +337,6 @@ let suite =
       `Quick test_multi_put_gating_k0;
     Alcotest.test_case "live: multi-put survives participant SIGKILL" `Slow
       test_live_multi_put_under_kill;
+    Alcotest.test_case "live: ring grow/remove wired to join/retire" `Slow
+      test_live_grow_retire;
   ]
