@@ -65,7 +65,7 @@ let bench_node_step () =
     (Bechamel.Staged.stage (fun () ->
          let trace = Recovery.Trace.create () in
          let node =
-           Node.create ~config ~pid:0 ~app:App_model.Counter_app.app ?store_dir:None
+           Node.create ~config ~pid:0 ~app:App_model.Counter_app.app ?store_dir:None ?obs:None
              ~trace
          in
          for seq = 1 to 16 do
@@ -80,7 +80,7 @@ let bench_crash_recovery () =
     (Bechamel.Staged.stage (fun () ->
          let trace = Recovery.Trace.create () in
          let node =
-           Node.create ~config ~pid:0 ~app:App_model.Counter_app.app ?store_dir:None
+           Node.create ~config ~pid:0 ~app:App_model.Counter_app.app ?store_dir:None ?obs:None
              ~trace
          in
          for seq = 1 to 32 do
@@ -193,6 +193,34 @@ let bench_durable_flush () =
          done;
          ignore (Durable.Durable_store.flush store : int)))
 
+(* B13: the observability plane's hot path — one counter bump and one
+   histogram observation, the per-event price of leaving the registry
+   always on (the daemon pays it per delivered frame and per timed
+   phase).  64 operations per run so the Staged closure overhead is
+   amortised; the per-op figure is the estimate divided by 64, which the
+   [check] mode guards. *)
+let b13_ops = 64
+
+let bench_obs_counter () =
+  let obs = Obs.Registry.create () in
+  let c = Obs.Registry.counter obs "bench_total" in
+  Bechamel.Test.make
+    ~name:(Fmt.str "B13 obs: counter incr (x%d)" b13_ops)
+    (Bechamel.Staged.stage (fun () ->
+         for _ = 1 to b13_ops do
+           Obs.Counter.incr c
+         done))
+
+let bench_obs_histogram () =
+  let obs = Obs.Registry.create () in
+  let h = Obs.Registry.histogram obs "bench_seconds" in
+  Bechamel.Test.make
+    ~name:(Fmt.str "B13 obs: histogram observe (x%d)" b13_ops)
+    (Bechamel.Staged.stage (fun () ->
+         for i = 1 to b13_ops do
+           Obs.Histogram.observe h (float_of_int i *. 1.3e-6)
+         done))
+
 let micro_tests () =
   [
     bench_merge 8;
@@ -206,6 +234,8 @@ let micro_tests () =
     bench_archive_keyed ();
     bench_codec ();
     bench_durable_flush ();
+    bench_obs_counter ();
+    bench_obs_histogram ();
   ]
 
 let run_micro () =
@@ -294,27 +324,6 @@ let run_b10 rows =
 (* B11: real loopback deployment — delivered-message throughput and mean
    output-commit latency as a function of K, benign network (the proxy and
    kill costs are E14's subject; this is the failure-free wire price). *)
-let parse_output_latency path =
-  (* "summary output_latency <count> <total> <max>" from the daemon's
-     metrics file; mean = total/count, in abstract units (ms at the
-     default time scale). *)
-  if not (Sys.file_exists path) then None
-  else begin
-    let ic = open_in path in
-    let rec loop acc =
-      match input_line ic with
-      | line -> (
-        match String.split_on_char ' ' line with
-        | [ "summary"; "output_latency"; count; total; _max ] ->
-          loop (Some (int_of_string count, float_of_string total))
-        | _ -> loop acc)
-      | exception End_of_file -> acc
-    in
-    let acc = loop None in
-    close_in ic;
-    acc
-  end
-
 let run_b11 rows =
   let n = 3 in
   let ops = 150 in
@@ -329,19 +338,19 @@ let run_b11 rows =
       if outcome.Net.Deployment.oracle.Harness.Oracle.violations <> [] then
         failwith "B11: oracle violations in a benign run";
       let delivs =
-        try List.assoc "deliveries" outcome.Net.Deployment.counters
+        try List.assoc "deliveries_total" outcome.Net.Deployment.counters
         with Not_found -> 0
       in
+      (* Mean output-commit latency from the cluster-merged snapshot's
+         [output_latency] histogram — sum and count are exact (the
+         daemons rebuild the histogram from raw samples at collect), in
+         abstract units (ms at the default time scale). *)
       let lat_count, lat_total =
-        List.fold_left
-          (fun (c, tot) pid ->
-            match
-              parse_output_latency
-                (Filename.concat (Net.Deployment.root t) (Fmt.str "metrics-%d.txt" pid))
-            with
-            | Some (c', tot') -> (c + c', tot +. tot')
-            | None -> (c, tot))
-          (0, 0.) (List.init n Fun.id)
+        match
+          Obs.Snapshot.hist outcome.Net.Deployment.obs "output_latency"
+        with
+        | Some h -> (Obs.Snapshot.hist_count h, h.Obs.Snapshot.sum)
+        | None -> (0, 0.)
       in
       let throughput = float_of_int delivs /. elapsed in
       Fmt.pr "B11 k=%d: %d deliveries in %.2f s (%.0f delivs/s)" k delivs elapsed
@@ -392,7 +401,7 @@ let b12_run ~n ~k ~ops ~seed =
   if outcome.Net.Deployment.oracle.Harness.Oracle.violations <> [] then
     failwith "B12: oracle violations in a benign run";
   let delivs =
-    try List.assoc "deliveries" outcome.Net.Deployment.counters with Not_found -> 0
+    try List.assoc "deliveries_total" outcome.Net.Deployment.counters with Not_found -> 0
   in
   let lats =
     output_latencies outcome.Net.Deployment.trace
@@ -504,6 +513,31 @@ let run_check_net_floors () =
      E17 width %.0f risk %.0f@."
     smoke_key smoke ttfr ttfull pckpt e17_width e17_risk
 
+(* Floor guard over the committed BENCH_micro.json: the B13 keys must
+   exist, and the per-operation cost of the always-on metrics plane must
+   stay low — the ceilings are an order of magnitude above any measured
+   figure, so they only trip on a genuine hot-path regression (a lock on
+   the increment path, a float box per observation), never on CI machine
+   noise. *)
+let run_check_micro_floors () =
+  let entries = Harness.Report.load_bench "BENCH_micro.json" in
+  let find key =
+    match List.assoc_opt key entries with
+    | Some v -> v
+    | None -> failwith (Fmt.str "BENCH_micro.json: missing key %S" key)
+  in
+  let per_op key ceiling =
+    let est = find key in
+    let ns = est /. float_of_int b13_ops in
+    if ns > ceiling then
+      failwith
+        (Fmt.str "%s: %.1f ns/op exceeds the %.0f ns ceiling" key ns ceiling);
+    ns
+  in
+  let c = per_op (Fmt.str "B13 obs: counter incr (x%d)" b13_ops) 500. in
+  let h = per_op (Fmt.str "B13 obs: histogram observe (x%d)" b13_ops) 1500. in
+  Fmt.pr "micro floors ok: obs counter %.1f ns/op, histogram %.1f ns/op@." c h
+
 (* ------------------------------------------------------------------ *)
 
 let run_macro () = List.iter Harness.Report.print (Harness.Experiments.all ())
@@ -516,6 +550,9 @@ let () =
   | "net" -> run_net ()
   | "b12-smoke" -> run_b12_smoke ()
   | "check-net-floors" -> run_check_net_floors ()
+  | "check" ->
+    run_check_net_floors ();
+    run_check_micro_floors ()
   | _ ->
     run_macro ();
     run_micro ();

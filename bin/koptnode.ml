@@ -119,35 +119,42 @@ let read_control wire fd =
           | Error _ -> None
           | Ok ctl -> Some ctl))))
 
-let metrics_lines (m : Recovery.Metrics.t) =
-  let counter name v = Fmt.str "counter %s %d" name v in
-  let summary name s =
-    Fmt.str "summary %s %d %.9g %.9g" name (Sim.Summary.count s)
-      (Sim.Summary.total s)
-      (let v = Sim.Summary.max s in
-       if Float.is_nan v then 0. else v)
-  in
+(* The node's protocol metrics are a single-threaded record bumped by the
+   main loop; rather than scatter registry calls through lib/recovery, a
+   collect hook mirrors them into the daemon's registry whenever a
+   snapshot is taken (Stats scrape or the Quit-time metrics file).  The
+   latency summaries keep their raw samples, so the hook rebuilds exact
+   histograms — sum/min/max are exact, only the quantile estimates are
+   bucket-quantised.  Counter names carry the [_total] suffix the
+   exposition format uses throughout. *)
+let node_metric_counters : (string * (Recovery.Metrics.t -> int)) list =
   [
-    counter "deliveries" m.deliveries;
-    counter "sends" m.sends;
-    counter "releases" m.releases;
-    counter "orphans_discarded" m.orphans_discarded;
-    counter "duplicates_dropped" m.duplicates_dropped;
-    counter "cancelled_sends" m.cancelled_sends;
-    counter "induced_rollbacks" m.induced_rollbacks;
-    counter "restarts" m.restarts;
-    counter "undone_intervals" m.undone_intervals;
-    counter "lost_intervals" m.lost_intervals;
-    counter "replayed" m.replayed;
-    counter "outputs_committed" m.outputs_committed;
-    counter "notices" m.notices;
-    counter "announcements_sent" m.announcements_sent;
-    counter "acks_sent" m.acks_sent;
-    counter "retransmissions" m.retransmissions;
-    summary "blocked_time" m.blocked_time;
-    summary "release_dep_entries" m.release_dep_entries;
-    summary "delivery_delay" m.delivery_delay;
-    summary "output_latency" m.output_latency;
+    ("deliveries_total", fun m -> m.Recovery.Metrics.deliveries);
+    ("sends_total", fun m -> m.Recovery.Metrics.sends);
+    ("releases_total", fun m -> m.Recovery.Metrics.releases);
+    ("orphans_discarded_total", fun m -> m.Recovery.Metrics.orphans_discarded);
+    ("duplicates_dropped_total", fun m -> m.Recovery.Metrics.duplicates_dropped);
+    ("cancelled_sends_total", fun m -> m.Recovery.Metrics.cancelled_sends);
+    ("induced_rollbacks_total", fun m -> m.Recovery.Metrics.induced_rollbacks);
+    ("restarts_total", fun m -> m.Recovery.Metrics.restarts);
+    ("undone_intervals_total", fun m -> m.Recovery.Metrics.undone_intervals);
+    ("lost_intervals_total", fun m -> m.Recovery.Metrics.lost_intervals);
+    ("replayed_total", fun m -> m.Recovery.Metrics.replayed);
+    ("outputs_committed_total", fun m -> m.Recovery.Metrics.outputs_committed);
+    ("notices_total", fun m -> m.Recovery.Metrics.notices);
+    ("announcements_sent_total", fun m -> m.Recovery.Metrics.announcements_sent);
+    ("acks_sent_total", fun m -> m.Recovery.Metrics.acks_sent);
+    ("retransmissions_total", fun m -> m.Recovery.Metrics.retransmissions);
+  ]
+
+(* Histograms of the node's abstract-unit latency summaries (config time
+   units, not seconds — the bucket grid is unit-agnostic). *)
+let node_metric_summaries : (string * (Recovery.Metrics.t -> Sim.Summary.t)) list =
+  [
+    ("blocked_time", fun m -> m.Recovery.Metrics.blocked_time);
+    ("release_dep_entries", fun m -> m.Recovery.Metrics.release_dep_entries);
+    ("delivery_delay", fun m -> m.Recovery.Metrics.delivery_delay);
+    ("output_latency", fun m -> m.Recovery.Metrics.output_latency);
   ]
 
 let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
@@ -171,7 +178,49 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
   let trace = Trace.create () in
   let writer = Trace_codec.open_writer trace_file in
   let mb = mailbox () in
-  let node = ref (Node.create ~config ~pid ~app ~store_dir ~trace) in
+  (* One registry for the whole process: the store (and its group-commit
+     layer), the transport, the main loop's phase spans and the
+     metrics-record bridge below all land in it, so a single Stats scrape
+     — or the Quit-time metrics file — is the full picture.  A [Crash]
+     respawn reuses it: the reopened store's counters continue rather
+     than reset, matching the incarnation-spanning metrics record. *)
+  let obs = Obs.Registry.create () in
+  let node = ref (Node.create ~config ~pid ~app ~store_dir ~obs ~trace) in
+  (* Bridge the node's single-threaded metrics record into the registry
+     at collect time (see [node_metric_counters] above).  The hook reads
+     [!node] each collect, so it survives Crash respawns. *)
+  let bridge_counters =
+    List.map
+      (fun (name, read) -> (Obs.Registry.counter obs name, read))
+      node_metric_counters
+  in
+  let bridge_hists =
+    List.map
+      (fun (name, read) -> (Obs.Registry.histogram obs name, read))
+      node_metric_summaries
+  in
+  let g_recovery_active = Obs.Registry.gauge obs "recovery_active" in
+  let g_replay_pending = Obs.Registry.gauge obs "recovery_replay_pending" in
+  let g_parts_total = Obs.Registry.gauge obs "recovery_partitions_total" in
+  let g_parts_recovered = Obs.Registry.gauge obs "recovery_partitions_recovered" in
+  Obs.Registry.on_collect obs (fun () ->
+      let m = Node.metrics !node in
+      List.iter (fun (c, read) -> Obs.Counter.set c (read m)) bridge_counters;
+      List.iter
+        (fun (h, read) ->
+          Obs.Histogram.reset h;
+          List.iter (Obs.Histogram.observe h) (Sim.Summary.samples (read m)))
+        bridge_hists;
+      Obs.Gauge.set g_recovery_active
+        (if Node.recovery_active !node then 1. else 0.);
+      Obs.Gauge.set g_replay_pending (float_of_int (Node.recovery_pending !node));
+      let parts = Node.partition_count !node in
+      Obs.Gauge.set g_parts_total (float_of_int parts);
+      let recovered = ref 0 in
+      for p = 0 to parts - 1 do
+        if Node.partition_recovered !node p then incr recovered
+      done;
+      Obs.Gauge.set g_parts_recovered (float_of_int !recovered));
 
   (* Transport: frames from peers become mailbox events; decode failures
      are reported on stderr (and counted by the transport), never lost. *)
@@ -191,7 +240,7 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
       | Error e -> on_error (Fmt.str "undecodable packet (kind %d): %s" kind e)
   in
   let transport =
-    Net.Transport.create ~self:pid ~listen_port ~peers ~on_frame ~on_error ()
+    Net.Transport.create ~self:pid ~listen_port ~peers ~on_frame ~on_error ~obs ()
   in
   let dispatch actions =
     List.iter
@@ -279,49 +328,29 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
   if join then dispatch (fst (Node.announce_join !node ~now:(now ())));
   Trace_codec.sync writer trace;
 
-  let prof = Sys.getenv_opt "KOPT_PROF" <> None in
-  let pt_handle = ref 0. in
-  let pt_flush = ref 0. in
-  let pt_sync = ref 0. in
-  let pt_dispatch = ref 0. in
-  let pn_events = ref 0 in
-  let pn_batches = ref 0 in
-  let pn_flushes = ref 0 in
-  let timed acc f =
-    if not prof then f ()
-    else begin
-      let t0 = Unix.gettimeofday () in
-      let r = f () in
-      acc := !acc +. (Unix.gettimeofday () -. t0);
-      r
-    end
+  (* Main-loop phase timing, always on: what the retired KOPT_PROF env
+     knob printed at exit is now four [phase_seconds] histograms in the
+     registry, readable live over the Stats arm.  B13 pins the per-record
+     cost low enough to leave enabled unconditionally. *)
+  let span phase =
+    Obs.Span.create obs ~labels:[ ("phase", phase) ] "phase_seconds"
   in
+  let sp_handle = span "handle" in
+  let sp_flush = span "flush" in
+  let sp_sync = span "sync" in
+  let sp_dispatch = span "dispatch" in
+  let c_batches = Obs.Registry.counter obs "batches_total" in
+  let c_batch_events = Obs.Registry.counter obs "batch_events_total" in
+  let c_eager_flushes = Obs.Registry.counter obs "eager_flushes_total" in
   let reply fd ctl =
     ignore (write_all fd (Wire_codec.encode_control wire ctl) : bool)
   in
   let finish () =
-    if prof then
-      Fmt.epr
-        "[prof %d] batches=%d events=%d flushes=%d handle=%.2f flush=%.2f sync=%.2f dispatch=%.2f@."
-        pid !pn_batches !pn_events !pn_flushes !pt_handle !pt_flush !pt_sync
-        !pt_dispatch;
     stopping := true;
     Trace_codec.sync writer trace;
     Trace_codec.close_writer writer;
     let oc = open_out metrics_file in
-    List.iter (fun l -> output_string oc (l ^ "\n")) (metrics_lines (Node.metrics !node));
-    let st = Net.Transport.stats transport in
-    List.iter
-      (fun (name, v) -> output_string oc (Fmt.str "counter %s %d\n" name v))
-      [
-        ("transport_frames_sent", st.Net.Transport.frames_sent);
-        ("transport_frames_dropped", st.Net.Transport.frames_dropped);
-        ("transport_frames_received", st.Net.Transport.frames_received);
-        ("transport_decode_errors", st.Net.Transport.decode_errors);
-        ("transport_reconnects", st.Net.Transport.reconnects);
-        ("storage_degraded_flushes", Node.storage_degraded_flushes !node);
-        ("storage_slowed_fsyncs", Node.storage_slowed_fsyncs !node);
-      ];
+    output_string oc (Obs.Snapshot.to_text (Obs.Registry.snapshot obs));
     close_out oc;
     Net.Transport.close transport;
     (try Unix.close control_sock with Unix.Unix_error _ -> ())
@@ -402,7 +431,7 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
           Node.halt !node ~now:(now ());
           Trace_codec.sync writer trace;
           Thread.delay (Config.real_restart_delay ~time_scale config.Config.timing);
-          node := Node.create ~config ~pid ~app ~store_dir ~trace;
+          node := Node.create ~config ~pid ~app ~store_dir ~obs ~trace;
           add (fst (Node.restart_begin !node ~now:(now ())))
         | Wire_codec.Status_req ->
           let m = Node.metrics !node in
@@ -435,8 +464,15 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
           match slow with
           | None -> Node.arm_storage_disk_full !node ~rounds
           | Some delay -> Node.arm_storage_slow_fsync !node ~delay ~rounds)
+        | Wire_codec.Stats_req ->
+          (* Live scrape: a full consistent snapshot of the registry (the
+             collect hook above refreshes the bridged node metrics first),
+             serialised as the versioned text exposition. *)
+          reply fd
+            (Wire_codec.Stats (Obs.Snapshot.to_text (Obs.Registry.snapshot obs)))
         | Wire_codec.Quit -> quit_fd := Some fd
-        | Wire_codec.Hello _ | Wire_codec.Status _ | Wire_codec.Bye -> ())
+        | Wire_codec.Hello _ | Wire_codec.Status _ | Wire_codec.Stats _
+        | Wire_codec.Bye -> ())
     in
     let rec consume = function
       | [] -> ()
@@ -453,9 +489,9 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
         Trace_codec.sync writer trace;
         if !quit_fd = None then consume rest
     in
-    incr pn_batches;
-    pn_events := !pn_events + List.length batch;
-    timed pt_handle (fun () -> consume batch);
+    Obs.Counter.incr c_batches;
+    Obs.Counter.add c_batch_events (List.length batch);
+    Obs.Span.time sp_handle (fun () -> consume batch);
     (* Background replay pump: one bounded step per wakeup, prioritising
        the partition parked client requests are waiting on.  Interleaving
        with the batch processing above is what makes recovery on-demand —
@@ -482,11 +518,11 @@ let run (type state msg) ~(app : (state, msg) App_model.App_intf.t)
          || Node.output_buffer_size !node > 0
          || Node.send_buffer_size !node > 0)
     then begin
-      incr pn_flushes;
-      timed pt_flush (fun () -> add (fst (Node.flush !node ~now:(now ()))))
+      Obs.Counter.incr c_eager_flushes;
+      Obs.Span.time sp_flush (fun () -> add (fst (Node.flush !node ~now:(now ()))))
     end;
-    timed pt_sync (fun () -> Trace_codec.sync writer trace);
-    timed pt_dispatch (fun () -> List.iter dispatch (List.rev !acc));
+    Obs.Span.time sp_sync (fun () -> Trace_codec.sync writer trace);
+    Obs.Span.time sp_dispatch (fun () -> List.iter dispatch (List.rev !acc));
     match !quit_fd with
     | Some fd ->
       (* Graceful drain: one last flush gives everything volatile its

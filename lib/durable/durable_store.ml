@@ -65,14 +65,14 @@ type ('ckpt, 'log, 'ann) t = {
   mutable ckpt_seq : int;
   mutable anns : 'ann list; (* newest first *)
   mutable inc : int;
-  mutable sync_writes : int;
-  mutable flushes : int;
+  sync_writes : Obs.Counter.t;
+  flushes : Obs.Counter.t;
   mutable sync_fd : Unix.file_descr; (* sync.dat, appended under the lock *)
   mutable disk_full : int; (* flush rounds still refused (ENOSPC brownout) *)
   mutable slow_fsync : (float * int) option; (* extra seconds, rounds left *)
   mutable round_slow : float; (* slow-down of the round in flight *)
-  mutable degraded_flushes : int;
-  mutable slowed_fsyncs : int;
+  degraded_flushes : Obs.Counter.t;
+  slowed_fsyncs : Obs.Counter.t;
   mutable alive : bool;
   gc : Group_commit.t; (* flush coalescing; its lock guards all state *)
   report : open_report;
@@ -115,7 +115,8 @@ let sync_put ?(fsync = true) t ~kind payload =
   loop 0;
   if fsync then Unix.fsync t.sync_fd
 
-let open_ ~dir ?segment_bytes () =
+let open_ ~dir ?segment_bytes ?obs () =
+  let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
   Temp.mkdir_p dir;
   let pre_existing =
     Sys.readdir dir |> Array.to_list
@@ -256,13 +257,13 @@ let open_ ~dir ?segment_bytes () =
       disk_full = 0;
       slow_fsync = None;
       round_slow = 0.;
-      degraded_flushes = 0;
-      slowed_fsyncs = 0;
-      sync_writes = 0;
-      flushes = 0;
+      degraded_flushes = Obs.Registry.counter obs "storage_degraded_flushes_total";
+      slowed_fsyncs = Obs.Registry.counter obs "storage_slowed_fsyncs_total";
+      sync_writes = Obs.Registry.counter obs "storage_sync_writes_total";
+      flushes = Obs.Registry.counter obs "storage_flushes_total";
       sync_fd;
       alive = true;
-      gc = Group_commit.create ();
+      gc = Group_commit.create ~obs ();
       report;
     }
   in
@@ -330,7 +331,7 @@ let flush_run t =
         (match t.slow_fsync with
         | Some (delay, rounds) when rounds > 0 ->
           t.slow_fsync <- (if rounds = 1 then None else Some (delay, rounds - 1));
-          t.slowed_fsyncs <- t.slowed_fsyncs + 1;
+          Obs.Counter.incr t.slowed_fsyncs;
           t.round_slow <- delay
         | Some _ | None -> t.round_slow <- 0.);
         (n, t.stable_len))
@@ -343,8 +344,8 @@ let flush_run t =
         end)
       ~commit:(fun (_, len) ->
         sync_put ~fsync:false t ~kind:k_len (to_bin len);
-        t.flushes <- t.flushes + 1;
-        t.sync_writes <- t.sync_writes + 1)
+        Obs.Counter.incr t.flushes;
+        Obs.Counter.incr t.sync_writes)
       ~default:(0, 0) ()
   |> fst
 
@@ -354,7 +355,7 @@ let flush t =
         guard t;
         if t.disk_full > 0 && not (Queue.is_empty t.volatile) then begin
           t.disk_full <- t.disk_full - 1;
-          t.degraded_flushes <- t.degraded_flushes + 1;
+          Obs.Counter.incr t.degraded_flushes;
           true
         end
         else false)
@@ -450,7 +451,7 @@ let save_checkpoint t c =
           loop 0;
           Unix.fsync fd);
       t.ckpts <- (seq, c) :: t.ckpts;
-      t.sync_writes <- t.sync_writes + 1)
+      Obs.Counter.incr t.sync_writes)
 
 let latest_checkpoint t =
   with_lock t (fun () ->
@@ -512,7 +513,7 @@ let log_announcement t a =
       guard t;
       sync_put t ~kind:k_ann (to_bin a);
       t.anns <- a :: t.anns;
-      t.sync_writes <- t.sync_writes + 1)
+      Obs.Counter.incr t.sync_writes)
 
 let announcements t = with_lock t (fun () -> List.rev t.anns)
 
@@ -554,7 +555,7 @@ let compact_sync t ~keep =
     t.sync_fd <-
       Unix.openfile (sync_path t.root) [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644;
     t.anns <- List.rev kept;
-    t.sync_writes <- t.sync_writes + 1
+    Obs.Counter.incr t.sync_writes
   end;
   dropped
 
@@ -563,7 +564,7 @@ let set_incarnation t i =
       guard t;
       sync_put t ~kind:k_inc (to_bin i);
       t.inc <- i;
-      t.sync_writes <- t.sync_writes + 1)
+      Obs.Counter.incr t.sync_writes)
 
 let incarnation t = with_lock t (fun () -> t.inc)
 
@@ -573,9 +574,9 @@ let crash t =
       Queue.clear t.volatile;
       lost)
 
-let sync_writes t = with_lock t (fun () -> t.sync_writes)
+let sync_writes t = with_lock t (fun () -> Obs.Counter.value t.sync_writes)
 
-let flushes t = with_lock t (fun () -> t.flushes)
+let flushes t = with_lock t (fun () -> Obs.Counter.value t.flushes)
 
 let commit_stats t = Group_commit.stats t.gc
 
@@ -607,6 +608,6 @@ let arm_slow_fsync t ~delay ~rounds =
       guard t;
       t.slow_fsync <- (if rounds = 0 then None else Some (delay, rounds)))
 
-let degraded_flushes t = with_lock t (fun () -> t.degraded_flushes)
+let degraded_flushes t = with_lock t (fun () -> Obs.Counter.value t.degraded_flushes)
 
-let slowed_fsyncs t = with_lock t (fun () -> t.slowed_fsyncs)
+let slowed_fsyncs t = with_lock t (fun () -> Obs.Counter.value t.slowed_fsyncs)

@@ -59,12 +59,26 @@ val damaged : open_report -> bool
 val pp_open_report : Format.formatter -> open_report -> unit
 
 val open_ :
-  dir:string -> ?segment_bytes:int -> unit -> ('ckpt, 'log, 'ann) t * open_report
+  dir:string ->
+  ?segment_bytes:int ->
+  ?obs:Obs.Registry.t ->
+  unit ->
+  ('ckpt, 'log, 'ann) t * open_report
 (** Open the store rooted at [dir], creating it if needed, running
     open-time recovery otherwise.  Serialization uses [Marshal] (with
     closures permitted), so a store must be reopened by the same binary
     that wrote it — true of every use here (restart within a run, or the
-    respawn of a killed actor). *)
+    respawn of a killed actor).
+
+    [obs] receives the store's metric families —
+    [storage_flushes_total], [storage_sync_writes_total],
+    [storage_degraded_flushes_total], [storage_slowed_fsyncs_total] —
+    plus the embedded group-commit coordinator's ({!Group_commit.create}).
+    Defaults to a private registry.  All cells are bumped under the
+    store's lock; the accessors below read under that same lock, so
+    their values are exact.  Note that get-or-create semantics mean a
+    store reopened into the {e same} registry (a daemon respawning in
+    process) continues the counters of its predecessor. *)
 
 val report : ('ckpt, 'log, 'ann) t -> open_report
 

@@ -17,21 +17,24 @@ type t = {
   mutable started : int; (* rounds that have begun (prepare entered) *)
   mutable completed : int; (* rounds whose sync has returned *)
   mutable flushing : bool; (* a leader is between prepare and completion *)
-  mutable rounds : int; (* completed rounds, i.e. actual fsyncs *)
-  mutable coalesced : int; (* callers released by a round they did not lead *)
+  rounds : Obs.Counter.t; (* completed rounds, i.e. actual fsyncs *)
+  coalesced : Obs.Counter.t; (* callers released by a round they did not lead *)
+  fsync_seconds : Obs.Histogram.t; (* wall time of each sync () *)
 }
 
 type stats = { rounds : int; coalesced : int }
 
-let create () =
+let create ?obs () =
+  let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
   {
     mu = Mutex.create ();
     done_ = Condition.create ();
     started = 0;
     completed = 0;
     flushing = false;
-    rounds = 0;
-    coalesced = 0;
+    rounds = Obs.Registry.counter obs "flush_rounds_total";
+    coalesced = Obs.Registry.counter obs "flush_coalesced_total";
+    fsync_seconds = Obs.Registry.histogram obs "fsync_seconds";
   }
 
 let with_lock t f =
@@ -70,17 +73,26 @@ let force t ~pending ~prepare ~sync ?(commit = fun _ -> ()) ~default () =
             Mutex.lock t.mu;
             t.completed <- round;
             t.flushing <- false;
-            t.rounds <- t.rounds + 1;
+            Obs.Counter.incr t.rounds;
             Condition.broadcast t.done_;
             (* The post-durability hook runs under the lock, so waiters
                (who also need it) observe its effects, and a later round
                cannot overtake what it records. *)
             if ok then commit v
           in
+          (* Only one leader is ever between prepare and completion, so
+             the fsync histogram has a single writer. *)
+          let sync_began = Unix.gettimeofday () in
+          let observe_sync () =
+            Obs.Histogram.observe t.fsync_seconds (Unix.gettimeofday () -. sync_began)
+          in
           (match sync () with
-          | () -> finish_round ~ok:true
+          | () ->
+            observe_sync ();
+            finish_round ~ok:true
           | exception e ->
             (* Never leave the seat taken: waiters would hang forever. *)
+            observe_sync ();
             finish_round ~ok:false;
             raise e);
           attain target v ~led:true
@@ -92,17 +104,18 @@ let force t ~pending ~prepare ~sync ?(commit = fun _ -> ()) ~default () =
       in
       if pending () then begin
         let v, led = attain (t.started + 1) default ~led:false in
-        if not led then t.coalesced <- t.coalesced + 1;
+        if not led then Obs.Counter.incr t.coalesced;
         v
       end
       else if t.flushing then begin
         (* Our work was drained by the in-flight prepare (prepare runs
            under this lock, so if flushing is set it already ran); wait for
            that round's fsync but start none of our own. *)
-        t.coalesced <- t.coalesced + 1;
+        Obs.Counter.incr t.coalesced;
         fst (attain t.started default ~led:false)
       end
       else default)
 
 let stats t =
-  with_lock t (fun () -> { rounds = t.rounds; coalesced = t.coalesced })
+  with_lock t (fun () ->
+      { rounds = Obs.Counter.value t.rounds; coalesced = Obs.Counter.value t.coalesced })

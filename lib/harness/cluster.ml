@@ -235,7 +235,10 @@ let handle_event t = function
       | Some root -> Filename.concat root (Printf.sprintf "p%d" pid)
       | None -> invalid_arg "Cluster: Respawn without a store root"
     in
-    let fresh = Node.create ~config:t.cfg ~pid ~app:t.app ~store_dir:dir ~trace:t.trace_ in
+    let fresh =
+      Node.create ~config:t.cfg ~pid ~app:t.app ~store_dir:dir ?obs:None
+        ~trace:t.trace_
+    in
     t.nodes.(pid) <- fresh;
     (match Node.storage_report fresh with
     | Some report ->
@@ -262,7 +265,7 @@ let handle_event t = function
       let jcfg = Config.validate_exn { t.cfg with Config.n = pid + 1 } in
       let fresh =
         Node.create ~config:jcfg ~pid ~app:t.app ?store_dir:(node_dir_of t pid)
-          ~trace:t.trace_
+          ?obs:None ~trace:t.trace_
       in
       t.nodes <- Array.append t.nodes [| fresh |];
       t.next_free <- Array.append t.next_free [| t.now |];
@@ -423,7 +426,8 @@ let create ~config ~app ?(seed = 42) ?(horizon = 10_000.) ?net_override
   in
   let nodes =
     Array.init n (fun pid ->
-        Node.create ~config ~pid ~app ?store_dir:(node_dir pid) ~trace:trace_)
+        Node.create ~config ~pid ~app ?store_dir:(node_dir pid) ?obs:None
+          ~trace:trace_)
   in
   (* Bind the splits in sequence: the first must be the timing stream (the
      same child the pre-fault-plan model derived, so benign runs reproduce

@@ -109,7 +109,7 @@ let e17_run ~k ~ops ~brownout_rounds ~seed ~label report =
         (Fmt.str "E17 %s: measured risk %d exceeds K=%d" label
            o.Harness.Oracle.max_risk k);
     let counter = Deployment.counter outcome.Deployment.counters in
-    let degraded = counter "storage_degraded_flushes" in
+    let degraded = counter "storage_degraded_flushes_total" in
     if degraded = 0 then
       failwith
         (Fmt.str "E17 %s: brownout window armed but no flush was refused" label);
@@ -119,7 +119,7 @@ let e17_run ~k ~ops ~brownout_rounds ~seed ~label report =
     let m =
       {
         width = Deployment.width t;
-        deliveries = counter "deliveries";
+        deliveries = counter "deliveries_total";
         degraded;
         risk = o.Harness.Oracle.max_risk;
       }
@@ -129,7 +129,7 @@ let e17_run ~k ~ops ~brownout_rounds ~seed ~label report =
         string_of_int k;
         string_of_int m.width;
         string_of_int (List.length (Deployment.retired t));
-        string_of_int (counter "restarts");
+        string_of_int (counter "restarts_total");
         string_of_int m.deliveries;
         string_of_int m.degraded;
         string_of_int m.risk;

@@ -340,6 +340,11 @@ let status t ~dst =
   | Some (Wire_codec.Status s) -> Some s
   | _ -> None
 
+let scrape t ~dst =
+  match ctl_rpc t.nodes.(dst) Wire_codec.Stats_req with
+  | Some (Wire_codec.Stats text) -> Some (Obs.Snapshot.of_text text)
+  | _ -> None
+
 let kill_only t ~dst =
   let node = t.nodes.(dst) in
   ctl_drop node;
@@ -523,35 +528,34 @@ let merge_traces t =
   List.iter (fun (e : Trace.entry) -> Trace.add trace ~time:e.time e.ev) entries;
   (trace, List.rev !damage, synthesized)
 
-let parse_metrics_file path =
-  if not (Sys.file_exists path) then []
+(* A daemon's metrics file is the text exposition its registry wrote at
+   Quit.  A missing file is an empty snapshot — the daemon was reaped
+   (SIGKILLed at teardown) rather than drained, which loses metrics but
+   never certification evidence (the trace file is synced continuously).
+   An unparseable file is damage worth surfacing, like a torn trace. *)
+let load_metrics node =
+  if not (Sys.file_exists node.metrics_file) then Ok Obs.Snapshot.empty
   else begin
-    let ic = open_in path in
-    let rec loop acc =
-      match input_line ic with
-      | line -> (
-        match String.split_on_char ' ' line with
-        | "counter" :: name :: v :: _ -> (
-          match int_of_string_opt v with
-          | Some v -> loop ((name, v) :: acc)
-          | None -> loop acc)
-        | _ -> loop acc)
-      | exception End_of_file -> acc
-    in
-    let acc = loop [] in
+    let ic = open_in_bin node.metrics_file in
+    let text = really_input_string ic (in_channel_length ic) in
     close_in ic;
-    List.rev acc
+    match Obs.Snapshot.of_text text with
+    | Ok snap -> Ok snap
+    | Error e -> Error (Fmt.str "pid %d metrics: %s" node.pid e)
   end
 
-let sum_counters per_node =
+(* The flat counters view over a merged snapshot: every counter family,
+   label sets summed away.  (The per-daemon families are unlabelled today;
+   summing keeps the view stable if labels appear.) *)
+let counters_of_snapshot snap =
   List.fold_left
-    (fun acc kvs ->
-      List.fold_left
-        (fun acc (k, v) ->
-          let cur = try List.assoc k acc with Not_found -> 0 in
-          (k, cur + v) :: List.remove_assoc k acc)
-        acc kvs)
-    [] per_node
+    (fun acc ((name, _labels), v) ->
+      match v with
+      | Obs.Snapshot.Counter v ->
+        let cur = try List.assoc name acc with Not_found -> 0 in
+        (name, cur + v) :: List.remove_assoc name acc
+      | Obs.Snapshot.Gauge _ | Obs.Snapshot.Hist _ -> acc)
+    [] (Obs.Snapshot.bindings snap)
   |> List.sort compare
 
 let contains line sub =
@@ -586,27 +590,35 @@ type outcome = {
   damage : string list;
   synthesized_crashes : int;
   oracle : Harness.Oracle.report;
+  obs : Obs.Snapshot.t;
+      (** all daemons' Quit-time registry snapshots, merged: counters
+          summed, histograms bucket-wise summed *)
   counters : (string * int) list;
   proxy : Proxy.stats option;
   transport_drops : int;
   decode_errors : int;
       (** inbound frames the daemons' transports could not decode (summed
-          [transport_decode_errors] metrics counters) *)
+          [transport_decode_errors_total] counters) *)
   frames_dropped : int;
       (** outbound frames dropped to queue overflow (summed
-          [transport_frames_dropped] counters) *)
+          [transport_frames_dropped_total] counters) *)
 }
 
 let counter counters name = try List.assoc name counters with Not_found -> 0
 
 let check_fault_free outcome =
   (* On a run with no proxy and no kills nothing on the wire may be
-     corrupt: a nonzero decode-failure count means the codec or the
-     framing regressed, and certification must fail rather than lean on
-     the protocol's loss tolerance to paper over it. *)
+     corrupt or shed: a nonzero decode-failure count means the codec or
+     the framing regressed, and dropped outbound frames mean the send
+     queues overflowed — certification must fail rather than lean on the
+     protocol's loss tolerance to paper over either. *)
   if outcome.decode_errors > 0 then
     failwith
-      (Fmt.str "fault-free run decoded %d frame(s) as garbage" outcome.decode_errors)
+      (Fmt.str "fault-free run decoded %d frame(s) as garbage" outcome.decode_errors);
+  if outcome.frames_dropped > 0 then
+    failwith
+      (Fmt.str "fault-free run shed %d outbound frame(s) to queue overflow"
+         outcome.frames_dropped)
 
 let reap node =
   if node.os_pid > 0 then begin
@@ -688,10 +700,19 @@ let finish t =
   Array.iter quit_node t.nodes;
   (match t.proxy with Some p -> Proxy.close p | None -> ());
   let trace, damage, synthesized_crashes = merge_traces t in
-  let counters =
-    sum_counters
-      (Array.to_list t.nodes |> List.map (fun n -> parse_metrics_file n.metrics_file))
+  let metric_damage = ref [] in
+  let obs =
+    Array.to_list t.nodes
+    |> List.map (fun node ->
+           match load_metrics node with
+           | Ok snap -> snap
+           | Error e ->
+             metric_damage := e :: !metric_damage;
+             Obs.Snapshot.empty)
+    |> Obs.Snapshot.merge_all
   in
+  let damage = damage @ List.rev !metric_damage in
+  let counters = counters_of_snapshot obs in
   (* [n] is the final membership width: joins may have widened the cluster
      past the launch size, and every pid that ever existed must be in
      range for the oracle's per-process tables. *)
@@ -701,11 +722,12 @@ let finish t =
     damage;
     synthesized_crashes;
     oracle;
+    obs;
     counters;
     proxy = Option.map Proxy.stats t.proxy;
     transport_drops = count_log_errors t;
-    decode_errors = counter counters "transport_decode_errors";
-    frames_dropped = counter counters "transport_frames_dropped";
+    decode_errors = counter counters "transport_decode_errors_total";
+    frames_dropped = counter counters "transport_frames_dropped_total";
   }
 
 let destroy t =
@@ -752,6 +774,24 @@ let one_run ~n ~k ~ops ~kills ~plan ~seed report =
             kill t ~dst:victim;
             run_workload t ~ops:(ops / (2 * List.length kills)) ~seed:(seed + victim))
           kills;
+        (* Live stats plane, exercised mid-run (daemons still busy, one of
+           them a post-SIGKILL successor): every daemon must answer the
+           Stats arm with a parseable exposition, and the cluster-wide
+           merge must show deliveries — this is the gate the CI net smoke
+           relies on. *)
+        let live =
+          List.map
+            (fun pid ->
+              match scrape t ~dst:pid with
+              | Some (Ok snap) -> snap
+              | Some (Error e) ->
+                failwith (Fmt.str "E14: pid %d Stats scrape unparseable: %s" pid e)
+              | None -> failwith (Fmt.str "E14: pid %d did not answer Stats_req" pid))
+            (live_pids t)
+          |> Obs.Snapshot.merge_all
+        in
+        if Obs.Snapshot.counter live "deliveries_total" = 0 then
+          failwith "E14: live Stats scrape shows zero deliveries_total";
         let settled = settle t in
         let outcome = finish t in
         if not settled then
@@ -779,14 +819,14 @@ let one_run ~n ~k ~ops ~kills ~plan ~seed report =
     [
       string_of_int k;
       string_of_int (List.length kills);
-      string_of_int (counter outcome.counters "deliveries");
-      string_of_int (counter outcome.counters "releases");
-      string_of_int (counter outcome.counters "restarts");
+      string_of_int (counter outcome.counters "deliveries_total");
+      string_of_int (counter outcome.counters "releases_total");
+      string_of_int (counter outcome.counters "restarts_total");
       string_of_int outcome.synthesized_crashes;
-      string_of_int (counter outcome.counters "orphans_discarded");
-      string_of_int (counter outcome.counters "duplicates_dropped");
-      string_of_int (counter outcome.counters "retransmissions");
-      string_of_int (counter outcome.counters "outputs_committed");
+      string_of_int (counter outcome.counters "orphans_discarded_total");
+      string_of_int (counter outcome.counters "duplicates_dropped_total");
+      string_of_int (counter outcome.counters "retransmissions_total");
+      string_of_int (counter outcome.counters "outputs_committed_total");
       string_of_int outcome.decode_errors;
       string_of_int outcome.frames_dropped;
       string_of_int o.Harness.Oracle.lost;

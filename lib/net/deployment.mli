@@ -86,6 +86,15 @@ val tick : t -> dst:int -> [ `Flush | `Checkpoint | `Notice ] -> unit
 val status : t -> dst:int -> Wire_codec.status option
 (** Poll a daemon's control socket; [None] if it cannot be reached. *)
 
+val scrape : t -> dst:int -> (Obs.Snapshot.t, string) result option
+(** Scrape daemon [dst]'s live metric registry over the control socket
+    ([Stats_req]): the parsed exposition, [Error] if the daemon answered
+    with text {!Obs.Snapshot.of_text} rejects (a format regression worth
+    failing on), [None] if it cannot be reached.  The snapshot is a
+    consistent cut of the daemon's registry taken by its main loop, so
+    cross-metric invariants (e.g. [flush_rounds_total] at least the
+    fsync histogram's count) hold within one scrape. *)
+
 val kill : t -> dst:int -> unit
 (** SIGKILL daemon [dst], wait {!Recovery.Config.real_restart_delay}, and
     respawn it over the same store directory — the successor incarnation
@@ -147,18 +156,29 @@ val settle : ?timeout:float -> t -> bool
 
 type outcome = {
   trace : Recovery.Trace.t;  (** merged, globally ordered *)
-  damage : string list;  (** torn-tail reports from trace-file loads *)
+  damage : string list;
+      (** torn-tail reports from trace-file loads and unparseable
+          metrics files *)
   synthesized_crashes : int;  (** [Crashed] events reconstructed at merge *)
   oracle : Harness.Oracle.report;
-  counters : (string * int) list;  (** summed daemon metrics counters *)
+  obs : Obs.Snapshot.t;
+      (** every daemon's Quit-time registry snapshot, merged with
+          {!Obs.Snapshot.merge_all}: counters and histogram buckets sum
+          across the cluster, so e.g. the fsync-latency histogram here is
+          the cluster-wide latency distribution.  A daemon reaped without
+          draining contributes an empty snapshot (its metrics file was
+          never written) — trace evidence is unaffected. *)
+  counters : (string * int) list;
+      (** flat view over [obs]: every counter family, summed ([_total]
+          names, e.g. ["deliveries_total"]) *)
   proxy : Proxy.stats option;
   transport_drops : int;  (** frames daemons reported undecodable (from logs) *)
   decode_errors : int;
-      (** summed [transport_decode_errors] counters: inbound frames whose
-          checksum or payload failed to decode, cluster-wide *)
+      (** summed [transport_decode_errors_total] counters: inbound frames
+          whose checksum or payload failed to decode, cluster-wide *)
   frames_dropped : int;
-      (** summed [transport_frames_dropped] counters: outbound frames shed
-          to per-peer queue overflow *)
+      (** summed [transport_frames_dropped_total] counters: outbound
+          frames shed to per-peer queue overflow *)
 }
 
 val counter : (string * int) list -> string -> int
@@ -166,8 +186,8 @@ val counter : (string * int) list -> string -> int
 
 val check_fault_free : outcome -> unit
 (** Certification tightening for runs with no proxy and no kills: a
-    benign network must decode every frame, so
-    @raise Failure if [decode_errors] is nonzero. *)
+    benign network must decode every frame and shed none, so
+    @raise Failure if [decode_errors] or [frames_dropped] is nonzero. *)
 
 val finish : t -> outcome
 (** Drain every daemon (Quit → metrics + final trace sync), reap the
@@ -181,6 +201,9 @@ val destroy : t -> unit
 
 val experiment : ?smoke:bool -> unit -> Harness.Report.t
 (** E14: oracle-certified multi-process runs across K, with a mid-run
-    SIGKILL and a proxy fault plan.  [smoke] shrinks it to one small
-    oracle-certified run (one kill) for CI.
+    SIGKILL and a proxy fault plan.  Every run also {!scrape}s each live
+    daemon mid-load and fails on an unparseable exposition or a cluster
+    that shows zero [deliveries_total] — the CI net smoke's stats-plane
+    gate.  [smoke] shrinks it to one small oracle-certified run (one
+    kill) for CI.
     @raise Failure on any oracle violation. *)

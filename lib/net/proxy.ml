@@ -18,8 +18,8 @@ type t = {
   listeners : Unix.file_descr list;
   conns : (Unix.file_descr, bool ref) Hashtbl.t; (* fd -> closed? *)
   conns_mutex : Mutex.t;
-  counters : int array; (* forwarded, dropped, duplicated, delayed, severed *)
-  counters_mutex : Mutex.t;
+  counters : Obs.Counter.t array; (* forwarded, dropped, duplicated, delayed, severed *)
+  counters_mutex : Mutex.t; (* serializes relay-thread bumps and [stats] reads *)
   mutable stopping : bool;
 }
 
@@ -35,7 +35,7 @@ let c_severed = 4
 
 let bump t i =
   Mutex.lock t.counters_mutex;
-  t.counters.(i) <- t.counters.(i) + 1;
+  Obs.Counter.incr t.counters.(i);
   Mutex.unlock t.counters_mutex
 
 let draw t f =
@@ -257,7 +257,8 @@ let accept_loop t route listener =
   loop ()
 
 let start ~routes ?(plan = Harness.Netmodel.benign) ?(seed = 0)
-    ?(time_scale = Recovery.Config.default_time_scale) () =
+    ?(time_scale = Recovery.Config.default_time_scale) ?obs () =
+  let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let routes =
     List.map
@@ -286,7 +287,12 @@ let start ~routes ?(plan = Harness.Netmodel.benign) ?(seed = 0)
       listeners;
       conns = Hashtbl.create 64;
       conns_mutex = Mutex.create ();
-      counters = Array.make 5 0;
+      counters =
+        (let c name = Obs.Registry.counter obs ("proxy_" ^ name) in
+         [|
+           c "forwarded_total"; c "dropped_total"; c "duplicated_total";
+           c "delayed_total"; c "severed_total";
+         |]);
       counters_mutex = Mutex.create ();
       stopping = false;
     }
@@ -301,11 +307,11 @@ let stats t =
   Mutex.lock t.counters_mutex;
   let s =
     {
-      forwarded = t.counters.(c_forwarded);
-      dropped = t.counters.(c_dropped);
-      duplicated = t.counters.(c_duplicated);
-      delayed = t.counters.(c_delayed);
-      severed = t.counters.(c_severed);
+      forwarded = Obs.Counter.value t.counters.(c_forwarded);
+      dropped = Obs.Counter.value t.counters.(c_dropped);
+      duplicated = Obs.Counter.value t.counters.(c_duplicated);
+      delayed = Obs.Counter.value t.counters.(c_delayed);
+      severed = Obs.Counter.value t.counters.(c_severed);
     }
   in
   Mutex.unlock t.counters_mutex;

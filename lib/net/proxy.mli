@@ -38,6 +38,7 @@ val start :
   ?plan:Harness.Netmodel.fault_plan ->
   ?seed:int ->
   ?time_scale:float ->
+  ?obs:Obs.Registry.t ->
   unit ->
   t
 (** [routes] lists [(dst_pid, listen_port, target_port)] triples.  Fault
@@ -45,8 +46,13 @@ val start :
     the plan's times (partition windows, [reorder_spread]) are in abstract
     config units and are scaled to wall-clock seconds by [time_scale]
     (default {!Recovery.Config.default_time_scale}).  Fault decisions draw
-    from a seeded {!Sim.Rng}. *)
+    from a seeded {!Sim.Rng}.  [obs] receives the proxy's counters
+    ([proxy_forwarded_total], [proxy_dropped_total], ...); it defaults
+    to a private registry. *)
 
 val stats : t -> stats
+(** Bumps happen on relay threads under the proxy's counters mutex and
+    [stats] reads under that same mutex, so the record is a consistent
+    point-in-time cut across all five counters. *)
 
 val close : t -> unit

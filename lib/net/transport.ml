@@ -26,8 +26,8 @@ type t = {
   backoff_base : float;
   backoff_cap : float;
   mutable stopping : bool;
-  counters : int array; (* sent, dropped, received, decode_errors, reconnects *)
-  counters_mutex : Mutex.t;
+  counters : Obs.Counter.t array; (* sent, dropped, received, decode_errors, reconnects *)
+  counters_mutex : Mutex.t; (* serializes writer-thread bumps and [stats] reads *)
 }
 
 let c_sent = 0
@@ -43,7 +43,7 @@ let c_reconnects = 4
 let bump_n t i n =
   if n > 0 then begin
     Mutex.lock t.counters_mutex;
-    t.counters.(i) <- t.counters.(i) + n;
+    Obs.Counter.add t.counters.(i) n;
     Mutex.unlock t.counters_mutex
   end
 
@@ -252,7 +252,8 @@ let writer_loop t peer =
   loop ()
 
 let create ~self ~listen_port ~peers ~on_frame ?(on_error = fun _ -> ())
-    ?(max_queue = 1024) ?(backoff_base = 0.05) ?(backoff_cap = 2.) () =
+    ?(max_queue = 1024) ?(backoff_base = 0.05) ?(backoff_cap = 2.) ?obs () =
+  let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
   (* A peer SIGKILLed mid-write must surface as EPIPE (handled per write),
      not kill this process. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -283,7 +284,12 @@ let create ~self ~listen_port ~peers ~on_frame ?(on_error = fun _ -> ())
       backoff_base;
       backoff_cap;
       stopping = false;
-      counters = Array.make 5 0;
+      counters =
+        (let c name = Obs.Registry.counter obs ("transport_" ^ name) in
+         [|
+           c "frames_sent_total"; c "frames_dropped_total"; c "frames_received_total";
+           c "decode_errors_total"; c "reconnects_total";
+         |]);
       counters_mutex = Mutex.create ();
     }
   in
@@ -335,11 +341,11 @@ let stats t =
   Mutex.lock t.counters_mutex;
   let s =
     {
-      frames_sent = t.counters.(c_sent);
-      frames_dropped = t.counters.(c_dropped);
-      frames_received = t.counters.(c_received);
-      decode_errors = t.counters.(c_decode_errors);
-      reconnects = t.counters.(c_reconnects);
+      frames_sent = Obs.Counter.value t.counters.(c_sent);
+      frames_dropped = Obs.Counter.value t.counters.(c_dropped);
+      frames_received = Obs.Counter.value t.counters.(c_received);
+      decode_errors = Obs.Counter.value t.counters.(c_decode_errors);
+      reconnects = Obs.Counter.value t.counters.(c_reconnects);
     }
   in
   Mutex.unlock t.counters_mutex;

@@ -48,6 +48,7 @@ val create :
   ?max_queue:int ->
   ?backoff_base:float ->
   ?backoff_cap:float ->
+  ?obs:Obs.Registry.t ->
   unit ->
   t
 (** [peers] maps peer pid to the TCP port to dial (the peer's own listen
@@ -55,7 +56,13 @@ val create :
     from reader threads — the callback must be thread-safe.  [max_queue]
     (default 1024) bounds each peer's outbound queue.  Backoff starts at
     [backoff_base] (default 0.05 s) and doubles to [backoff_cap] (default
-    2 s). *)
+    2 s).
+
+    [obs] is the registry where the transport registers its counters
+    ([transport_frames_sent_total], [transport_frames_dropped_total],
+    [transport_frames_received_total], [transport_decode_errors_total],
+    [transport_reconnects_total]); it defaults to a private registry so
+    unwired transports keep exact per-instance counts. *)
 
 val add_peer : t -> pid:int -> port:int -> unit
 (** Register a peer that joined after {!create} (membership churn): frames
@@ -70,6 +77,13 @@ val broadcast : t -> string -> unit
 (** [send] to every peer. *)
 
 val stats : t -> stats
+(** Consistency contract: the counters are bumped by several writer and
+    reader threads, always under the transport's counters mutex, and
+    [stats] reads all five under that same mutex — so the record is a
+    consistent cut (e.g. [frames_sent + frames_dropped] accounts for
+    every frame {!send} accepted once the transport is closed).  Reading
+    the cells through a raw {!Obs.Registry.snapshot} of [obs] is atomic
+    per counter but may straddle an in-flight batch across counters. *)
 
 val close : t -> unit
 (** Stop accepting, close every socket and wake the writer threads.

@@ -271,13 +271,17 @@ let k_retire_req = 26
 
 let k_arm_brownout = 27
 
+let k_stats_req = 28
+
+let k_stats = 29
+
 let hello_kind = k_hello
 
 let app_notice_kind = k_app_notice
 
 let is_packet_kind k = k >= k_app && k <= k_retire
 
-let is_control_kind k = k = k_hello || (k >= k_inject && k <= k_arm_brownout)
+let is_control_kind k = k = k_hello || (k >= k_inject && k <= k_stats)
 
 let packet_kind_code : type msg. msg Wire.packet -> int = function
   | Wire.App _ -> k_app
@@ -514,6 +518,8 @@ type 'msg control =
   | Add_peer of { pid : int; port : int }
   | Retire_req
   | Arm_brownout of { slow : float option; rounds : int }
+  | Stats_req
+  | Stats of string
 
 let control_kind_code : type msg. msg control -> int = function
   | Hello _ -> k_hello
@@ -529,6 +535,8 @@ let control_kind_code : type msg. msg control -> int = function
   | Add_peer _ -> k_add_peer
   | Retire_req -> k_retire_req
   | Arm_brownout _ -> k_arm_brownout
+  | Stats_req -> k_stats_req
+  | Stats _ -> k_stats
 
 let encode_control (wf : 'msg App_intf.wire_format) (c : 'msg control) =
   let b = Buffer.create 32 in
@@ -537,7 +545,8 @@ let encode_control (wf : 'msg App_intf.wire_format) (c : 'msg control) =
   | Inject { seq; payload } ->
     put_int b seq;
     put_string b (wf.App_intf.write payload)
-  | Tick _ | Crash | Status_req | Quit | Bye | Retire_req -> ()
+  | Tick _ | Crash | Status_req | Quit | Bye | Retire_req | Stats_req -> ()
+  | Stats text -> put_string b text
   | Add_peer { pid; port } ->
     put_int b pid;
     put_int b port
@@ -612,6 +621,8 @@ let decode_control_body (wf : 'msg App_intf.wire_format) ~kind body =
           Add_peer { pid; port }
         end
         else if kind = k_retire_req then Retire_req
+        else if kind = k_stats_req then Stats_req
+        else if kind = k_stats then Stats (get_string c)
         else if kind = k_arm_brownout then begin
           let slow = get_option c get_float in
           let rounds = get_int c in

@@ -141,6 +141,12 @@ type 'msg control =
       (** degrade the daemon's store for the next [rounds] flush rounds:
           with [slow = Some d] each fsync is stretched by [d] seconds,
           with [slow = None] flushes refuse as if the disk were full *)
+  | Stats_req
+      (** scrape the daemon's live metric registry *)
+  | Stats of string
+      (** reply to [Stats_req]: an {!Obs.Snapshot.to_text} exposition —
+          [# koptlog-obs v1] header, then [# TYPE]-declared
+          Prometheus-style samples (PROTOCOL.md §Control socket) *)
 
 val control_kind_code : 'msg control -> int
 

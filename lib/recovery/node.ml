@@ -1902,11 +1902,11 @@ let do_partition_checkpoint t ~now =
 (* ------------------------------------------------------------------ *)
 (* Public driver interface                                             *)
 
-(* [?store_dir] sits before the labelled [~trace], so it can never be
-   erased by a positional application — warning 16 does not apply to how
-   this function is actually used (every caller passes the argument or
-   forwards [?store_dir:None]). *)
-let[@warning "-16"] create ~config ~pid ~app ?store_dir ~trace:tr =
+(* [?store_dir] and [?obs] sit before the labelled [~trace], so they can
+   never be erased by a positional application — warning 16 does not apply
+   to how this function is actually used (every caller passes the
+   arguments or forwards [?store_dir:None] / [?obs:None]). *)
+let[@warning "-16"] create ~config ~pid ~app ?store_dir ?obs ~trace:tr =
   let config = Config.validate_exn config in
   let n = config.Config.n in
   if pid < 0 || pid >= n then invalid_arg "Node.create: pid out of range";
@@ -1915,7 +1915,7 @@ let[@warning "-16"] create ~config ~pid ~app ?store_dir ~trace:tr =
     match store_dir with
     | None -> (Store.create (), true)
     | Some dir ->
-      let store, report = Store.open_durable ~dir () in
+      let store, report = Store.open_durable ~dir ?obs () in
       (store, report.Store.fresh)
   in
   let t =

@@ -168,7 +168,7 @@ let actor_loop t pid =
         locked t pid (fun () ->
             let fresh =
               Node.create ~config:t.config ~pid ~app:t.app
-                ?store_dir:(store_dir t pid) ~trace:t.trace_
+                ?store_dir:(store_dir t pid) ?obs:None ~trace:t.trace_
             in
             t.nodes.(pid) <- fresh;
             Node.restart fresh ~now:(now t))
@@ -224,7 +224,8 @@ let create ~config ~app ?store_root ?scheduler
       start = Unix.gettimeofday ();
       nodes =
         Array.init n (fun pid ->
-            Node.create ~config ~pid ~app ?store_dir:(node_dir pid) ~trace:trace_);
+            Node.create ~config ~pid ~app ?store_dir:(node_dir pid) ?obs:None
+              ~trace:trace_);
       boxes = Array.init n (fun _ -> mailbox ());
       trace_;
       big_lock = Mutex.create ();

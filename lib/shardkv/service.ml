@@ -1,19 +1,116 @@
+type latency_stats = {
+  acked : int;
+  outstanding : int;
+  p50 : float;
+  p99 : float;
+  max : float;
+}
+
+(* The tag is the output text's first token ("get:12", "mp:7"). *)
+let tag_of_output text =
+  match String.index_opt text ' ' with
+  | Some i -> String.sub text 0 i
+  | None -> text
+
+(* Client-side ack latency, histogram-backed: injection times are recorded
+   per tag, commits are matched from a merged trace, and each matched ack
+   is a single [kv_ack_seconds] observation — the former full-trace rescan
+   that re-sorted every sample per query is gone.  Pure over the issued
+   table plus (epoch, time_scale), so the ingest/stats path is testable
+   without a deployment. *)
+module Latency = struct
+  type t = {
+    epoch : float;
+    time_scale : float;
+    issued : (string, float) Hashtbl.t;  (* output tag -> injection wall time *)
+    acked_tags : (string, unit) Hashtbl.t;
+    obs : Obs.Registry.t;
+    hist : Obs.Histogram.t;
+    c_issued : Obs.Counter.t;
+    c_acked : Obs.Counter.t;
+  }
+
+  let create ?obs ~epoch ~time_scale () =
+    let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
+    {
+      epoch;
+      time_scale;
+      issued = Hashtbl.create 256;
+      acked_tags = Hashtbl.create 256;
+      obs;
+      hist = Obs.Registry.histogram obs "kv_ack_seconds";
+      c_issued = Obs.Registry.counter obs "kv_issued_total";
+      c_acked = Obs.Registry.counter obs "kv_acked_total";
+    }
+
+  let issue t ~tag ~at =
+    if not (Hashtbl.mem t.issued tag) then begin
+      Hashtbl.replace t.issued tag at;
+      Obs.Counter.incr t.c_issued
+    end
+
+  (* Absorb every committed output in [trace] that answers a recorded
+     injection and has not been counted yet; idempotent across repeated
+     calls and across traces sharing a prefix (replayed duplicates of an
+     output commit only count once, matching exactly-once ack
+     semantics). *)
+  let ingest t trace =
+    List.iter
+      (fun { Recovery.Trace.time; ev; _ } ->
+        match ev with
+        | Recovery.Trace.Output_committed { text; _ } -> (
+          let tag = tag_of_output text in
+          match Hashtbl.find_opt t.issued tag with
+          | Some issued_at when not (Hashtbl.mem t.acked_tags tag) ->
+            Hashtbl.replace t.acked_tags tag ();
+            Obs.Counter.incr t.c_acked;
+            Obs.Histogram.observe t.hist
+              ((t.epoch +. (time *. t.time_scale)) -. issued_at)
+          | _ -> ())
+        | _ -> ())
+      (Recovery.Trace.events trace)
+
+  (* Percentiles are read from the histogram, so they are upper bucket
+     bounds (within one power-of-two of the exact order statistic);
+     acked/outstanding/max are exact. *)
+  let stats t =
+    let snap = Obs.Registry.snapshot t.obs in
+    let q =
+      match Obs.Snapshot.hist snap "kv_ack_seconds" with
+      | Some h -> fun p -> Option.value ~default:Float.nan (Obs.Snapshot.quantile h p)
+      | None -> fun _ -> Float.nan
+    in
+    let acked = Obs.Counter.value t.c_acked in
+    {
+      acked;
+      outstanding = Obs.Counter.value t.c_issued - acked;
+      p50 = q 50.;
+      p99 = q 99.;
+      max =
+        (if acked = 0 then Float.nan else Obs.Histogram.max_value t.hist);
+    }
+end
+
 type t = {
   dep : Net.Deployment.t;
   mutable ring : Ring.t;
-  issued : (string, float) Hashtbl.t;  (* output tag -> injection wall time *)
+  lat : Latency.t;
   mutable next_get : int;
   mutable next_mp : int;
 }
 
-let connect dep =
+let connect ?obs dep =
   {
     dep;
     ring = Ring.make ~shards:(Net.Deployment.n dep) ();
-    issued = Hashtbl.create 256;
+    lat =
+      Latency.create ?obs ~epoch:(Net.Deployment.epoch dep)
+        ~time_scale:(Net.Deployment.time_scale dep) ();
     next_get = 0;
     next_mp = 0;
   }
+
+let latency t = t.lat
 
 let ring t = t.ring
 
@@ -28,7 +125,7 @@ let put t ~key ~value =
 let get t ~key =
   let g = t.next_get in
   t.next_get <- g + 1;
-  Hashtbl.replace t.issued (Fmt.str "get:%d" g) (Unix.gettimeofday ());
+  Latency.issue t.lat ~tag:(Fmt.str "get:%d" g) ~at:(Unix.gettimeofday ());
   inject t ~dst:(Ring.owner t.ring key) (Shard_app.Get { g; key })
 
 let live_shards t =
@@ -71,7 +168,7 @@ let multi_put t pairs =
   | (key0, _) :: _ ->
     let m = t.next_mp in
     t.next_mp <- m + 1;
-    Hashtbl.replace t.issued (Fmt.str "mp:%d" m) (Unix.gettimeofday ());
+    Latency.issue t.lat ~tag:(Fmt.str "mp:%d" m) ~at:(Unix.gettimeofday ());
     inject t ~dst:(Ring.owner t.ring key0) (Shard_app.Multi_put { m; pairs })
 
 let run_open_loop ?start t ops =
@@ -88,55 +185,9 @@ let run_open_loop ?start t ops =
         multi_put t (List.map (fun (r, v) -> (key_of_rank r, v)) pairs))
     ops
 
-type latency_stats = {
-  acked : int;
-  outstanding : int;
-  p50 : float;
-  p99 : float;
-  max : float;
-}
-
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then Float.nan
-  else begin
-    let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) - 1 in
-    sorted.(Stdlib.min (n - 1) (Stdlib.max 0 rank))
-  end
-
-(* The tag is the output text's first token ("get:12", "mp:7"). *)
-let tag_of_output text =
-  match String.index_opt text ' ' with
-  | Some i -> String.sub text 0 i
-  | None -> text
-
 let latency_stats t trace =
-  let epoch = Net.Deployment.epoch t.dep in
-  let scale = Net.Deployment.time_scale t.dep in
-  let seen = Hashtbl.create 256 in
-  let lats = ref [] in
-  List.iter
-    (fun { Recovery.Trace.time; ev; _ } ->
-      match ev with
-      | Recovery.Trace.Output_committed { text; _ } -> (
-        let tag = tag_of_output text in
-        match Hashtbl.find_opt t.issued tag with
-        | Some issued_at when not (Hashtbl.mem seen tag) ->
-          Hashtbl.replace seen tag ();
-          lats := (epoch +. (time *. scale)) -. issued_at :: !lats
-        | _ -> ())
-      | _ -> ())
-    (Recovery.Trace.events trace);
-  let sorted = Array.of_list !lats in
-  Array.sort compare sorted;
-  {
-    acked = Array.length sorted;
-    outstanding = Hashtbl.length t.issued - Array.length sorted;
-    p50 = percentile sorted 50.;
-    p99 = percentile sorted 99.;
-    max = (if Array.length sorted = 0 then Float.nan
-           else sorted.(Array.length sorted - 1));
-  }
+  Latency.ingest t.lat trace;
+  Latency.stats t.lat
 
 (* ------------------------------------------------------------------ *)
 (* E15                                                                 *)
@@ -231,7 +282,7 @@ let e15_run ~shards ~k ~ops ~rate ~kills ~plan ~seed ~label report =
     List.iter
       (fun d -> Harness.Report.note report (Fmt.str "%s trace damage: %s" label d))
       outcome.Net.Deployment.damage;
-    let delivs = Net.Deployment.counter outcome.Net.Deployment.counters "deliveries" in
+    let delivs = Net.Deployment.counter outcome.Net.Deployment.counters "deliveries_total" in
     let throughput = float_of_int delivs /. elapsed in
     let ms v = 1000. *. v in
     Harness.Report.add_row report

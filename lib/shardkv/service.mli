@@ -16,9 +16,53 @@
 
 type t
 
-val connect : Net.Deployment.t -> t
+type latency_stats = {
+  acked : int;  (** tagged operations whose output committed *)
+  outstanding : int;  (** tagged operations never acked *)
+  p50 : float;  (** seconds, injection -> output commit *)
+  p99 : float;
+  max : float;
+}
+
+(** Client-side ack latency, histogram-backed.  Injections are recorded
+    per tag ({!issue}); matching committed outputs in a merged trace are
+    absorbed once each ({!ingest}) as observations of a [kv_ack_seconds]
+    histogram (plus [kv_issued_total] / [kv_acked_total] counters) in the
+    handle's registry.  Standalone — built over an explicit
+    (epoch, time_scale) pair — so it is testable without a deployment,
+    and the registry view means repeated {!stats} queries cost O(buckets)
+    instead of the retired full-trace rescan-and-sort. *)
+module Latency : sig
+  type t
+
+  val create : ?obs:Obs.Registry.t -> epoch:float -> time_scale:float -> unit -> t
+  (** [obs] (default: a private registry) receives the three metric
+      families; pass the deployment driver's registry to fold client
+      latency into a wider report. *)
+
+  val issue : t -> tag:string -> at:float -> unit
+  (** Record an injection at wall-clock time [at].  Re-issuing a known
+      tag is a no-op (tags are unique by construction). *)
+
+  val ingest : t -> Recovery.Trace.t -> unit
+  (** Match committed outputs against recorded injections — an output's
+      tag is its text's first token — converting trace time back to wall
+      clock via [epoch +. time *. time_scale].  Idempotent: a tag acks at
+      most once, across calls and across duplicate commit events. *)
+
+  val stats : t -> latency_stats
+  (** [acked], [outstanding] and [max] are exact; [p50]/[p99] are
+      histogram quantiles — upper bucket bounds, within one power of two
+      above the exact order statistic ([nan] when nothing acked). *)
+end
+
+val connect : ?obs:Obs.Registry.t -> Net.Deployment.t -> t
 (** The deployment must have been launched with [~app:"shardkv"]; the
-    client's ring is derived from [Deployment.n]. *)
+    client's ring is derived from [Deployment.n].  [obs] is forwarded to
+    the handle's {!Latency} tracker. *)
+
+val latency : t -> Latency.t
+(** The handle's ack-latency tracker ({!get} and {!multi_put} feed it). *)
 
 val ring : t -> Ring.t
 
@@ -65,19 +109,11 @@ val run_open_loop : ?start:float -> t -> Harness.Workload.timed_kv_op list -> un
     silently throttling the load.  Pass the same [start] across calls to
     keep one schedule honest around mid-run kills. *)
 
-type latency_stats = {
-  acked : int;  (** tagged operations whose output committed *)
-  outstanding : int;  (** tagged operations never acked *)
-  p50 : float;  (** seconds, injection -> output commit *)
-  p99 : float;
-  max : float;
-}
-
 val latency_stats : t -> Recovery.Trace.t -> latency_stats
-(** Match committed outputs in a merged trace against this handle's
-    recorded injections (commit wall time is reconstructed from the
-    deployment's epoch and time scale).  Percentiles are [nan] when
-    nothing acked. *)
+[@@ocaml.deprecated "use Service.latency + Latency.ingest/Latency.stats"]
+(** [Latency.ingest (latency t) trace; Latency.stats (latency t)].  Kept
+    for callers of the pre-registry API; note the percentile semantics
+    changed from exact order statistics to histogram bucket bounds. *)
 
 val experiment : ?smoke:bool -> unit -> Harness.Report.t * (string * float) list
 (** E15: the sharded KV service on live clusters.  Per cluster size

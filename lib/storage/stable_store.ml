@@ -187,8 +187,8 @@ type ('ckpt, 'log, 'ann) t =
 
 let create () = Mem (Mem.create ())
 
-let open_durable ~dir ?segment_bytes () =
-  let store, report = Disk.open_ ~dir ?segment_bytes () in
+let open_durable ~dir ?segment_bytes ?obs () =
+  let store, report = Disk.open_ ~dir ?segment_bytes ?obs () in
   (Disk store, report)
 
 let is_durable = function Mem _ -> false | Disk _ -> true

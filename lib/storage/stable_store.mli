@@ -61,8 +61,14 @@ val report_damaged : open_report -> bool
 val pp_open_report : Format.formatter -> open_report -> unit
 
 val open_durable :
-  dir:string -> ?segment_bytes:int -> unit -> ('ckpt, 'log, 'ann) t * open_report
-(** Open (or create) a file-backed store rooted at [dir]. *)
+  dir:string ->
+  ?segment_bytes:int ->
+  ?obs:Obs.Registry.t ->
+  unit ->
+  ('ckpt, 'log, 'ann) t * open_report
+(** Open (or create) a file-backed store rooted at [dir].  [obs] is
+    forwarded to {!Durable.Durable_store.open_}: the registry where the
+    backend registers its flush/fsync metric families. *)
 
 val is_durable : ('ckpt, 'log, 'ann) t -> bool
 

@@ -391,7 +391,9 @@ let test_node_restart_from_disk () =
   with_dir (fun dir ->
       let config = quiet_counter_config () in
       let trace = Recovery.Trace.create () in
-      let node = Node.create ~config ~pid:0 ~app:Counter.app ~store_dir:dir ~trace in
+      let node =
+        Node.create ~config ~pid:0 ~app:Counter.app ~store_dir:dir ?obs:None ~trace
+      in
       for seq = 1 to 5 do
         ignore (Node.inject node ~now:(float_of_int seq) ~seq (Counter.Add seq))
       done;
@@ -399,7 +401,9 @@ let test_node_restart_from_disk () =
       ignore (Node.inject node ~now:7. ~seq:6 (Counter.Add 100));
       (* process death: the handle is gone; "Add 100" was volatile *)
       Node.halt node ~now:8.;
-      let fresh = Node.create ~config ~pid:0 ~app:Counter.app ~store_dir:dir ~trace in
+      let fresh =
+        Node.create ~config ~pid:0 ~app:Counter.app ~store_dir:dir ?obs:None ~trace
+      in
       Alcotest.(check bool) "fresh handle starts down" false (Node.is_up fresh);
       (match Node.storage_report fresh with
       | Some r ->
@@ -417,7 +421,9 @@ let test_node_restart_from_disk () =
 let test_node_halt_requires_durable_store () =
   let config = quiet_counter_config () in
   let trace = Recovery.Trace.create () in
-  let node = Node.create ~config ~pid:0 ~app:Counter.app ?store_dir:None ~trace in
+  let node =
+    Node.create ~config ~pid:0 ~app:Counter.app ?store_dir:None ?obs:None ~trace
+  in
   Alcotest.check_raises "halt on in-memory node"
     (Invalid_argument "Node.halt: only a node with a durable store can be killed")
     (fun () -> Node.halt node ~now:1.)

@@ -27,6 +27,7 @@ let () =
       ("integration", Test_integration.suite);
       ("recovery-fast", Test_recovery_fast.suite);
       ("churn", Test_churn.suite);
+      ("obs", Test_obs.suite);
       ("net-codec", Test_net_codec.suite);
       ("net-deployment", Test_net.suite);
       ("shardkv", Test_shardkv.suite);

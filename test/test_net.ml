@@ -31,7 +31,7 @@ let test_cluster_benign () =
       Alcotest.(check (list string))
         "oracle certifies" []
         outcome.Deployment.oracle.Harness.Oracle.violations;
-      Alcotest.(check bool) "work happened" true (counter outcome "deliveries" > 0);
+      Alcotest.(check bool) "work happened" true (counter outcome "deliveries_total" > 0);
       Alcotest.(check int)
         "no crash synthesized" 0 outcome.Deployment.synthesized_crashes;
       (* Fault-free certification tightening: a benign network decodes every
@@ -66,7 +66,7 @@ let test_cluster_kill () =
         outcome.Deployment.oracle.Harness.Oracle.violations;
       Alcotest.(check int)
         "one synthesized crash" 1 outcome.Deployment.synthesized_crashes;
-      Alcotest.(check bool) "restart recorded" true (counter outcome "restarts" >= 1))
+      Alcotest.(check bool) "restart recorded" true (counter outcome "restarts_total" >= 1))
 
 (* The E14 smoke path (kill + proxy faults) is what CI runs; keep a tiny
    proxied run here so `dune runtest` covers the fault-injection relay. *)
@@ -170,7 +170,7 @@ let test_kill_during_replay () =
         "two synthesized crashes" 2 outcome.Deployment.synthesized_crashes;
       (* Metrics files are written on graceful quit only, so the summed
          restart counter sees just the surviving incarnation. *)
-      Alcotest.(check bool) "restart recorded" true (counter outcome "restarts" >= 1);
+      Alcotest.(check bool) "restart recorded" true (counter outcome "restarts_total" >= 1);
       (* [caught] means the second kill was fired while the status socket
          reported an active replay; either way the final incarnation must
          have certified a completed recovery.  (When the window was hit,
@@ -220,8 +220,62 @@ let test_flood_during_replay () =
       let outcome = Deployment.finish t in
       certify ~k outcome;
       Alcotest.(check bool) "flood was delivered" true
-        (counter outcome "outputs_committed" > 0);
-      Alcotest.(check bool) "replay happened" true (counter outcome "replayed" > 0))
+        (counter outcome "outputs_committed_total" > 0);
+      Alcotest.(check bool) "replay happened" true (counter outcome "replayed_total" > 0))
+
+(* The live stats plane end to end: every daemon must answer the control
+   socket's Stats arm mid-load with a parseable exposition covering the
+   delivery, flush, transport and recovery metric families; a SIGKILLed
+   daemon's successor must answer again; and the Quit-time metrics files
+   must merge into the outcome snapshot with the always-on phase spans
+   aboard. *)
+let test_stats_plane_live () =
+  let k = 2 in
+  with_deployment ~prefix:"test-net-stats"
+    (fun ~root -> Deployment.launch ~n:3 ~k ~seed:14 ~root ())
+    (fun t ->
+      Deployment.run_workload t ~ops:30 ~seed:4;
+      let scrape_ok pid =
+        match Deployment.scrape t ~dst:pid with
+        | Some (Ok snap) -> snap
+        | Some (Error e) ->
+          Alcotest.fail (Fmt.str "pid %d: unparseable exposition: %s" pid e)
+        | None -> Alcotest.fail (Fmt.str "pid %d: no Stats reply" pid)
+      in
+      let live = Obs.Snapshot.merge_all (List.map scrape_ok [ 0; 1; 2 ]) in
+      Alcotest.(check bool) "mid-load deliveries scraped" true
+        (Obs.Snapshot.counter live "deliveries_total" > 0);
+      Alcotest.(check bool) "flush family present" true
+        (Obs.Snapshot.counter live "flush_rounds_total" > 0);
+      Alcotest.(check bool) "transport family present" true
+        (Obs.Snapshot.counter live "transport_frames_sent_total" > 0);
+      Alcotest.(check bool) "recovery gauge present" true
+        (List.exists
+           (fun ((name, _), _) -> name = "recovery_active")
+           (Obs.Snapshot.bindings live));
+      (match Obs.Snapshot.hist live "fsync_seconds" with
+      | Some h ->
+        Alcotest.(check bool) "fsyncs timed" true (Obs.Snapshot.hist_count h > 0)
+      | None -> Alcotest.fail "fsync_seconds histogram missing");
+      Deployment.kill t ~dst:1;
+      Deployment.run_workload t ~ops:12 ~seed:5;
+      let after = scrape_ok 1 in
+      Alcotest.(check bool) "successor answers Stats after SIGKILL" true
+        (Obs.Snapshot.counter after "batches_total" > 0);
+      ignore (Deployment.settle t : bool);
+      let outcome = Deployment.finish t in
+      certify ~k outcome;
+      Alcotest.(check bool) "outcome merges daemon snapshots" true
+        (Obs.Snapshot.counter outcome.Deployment.obs "deliveries_total" > 0);
+      match
+        Obs.Snapshot.hist outcome.Deployment.obs
+          ~labels:[ ("phase", "handle") ]
+          "phase_seconds"
+      with
+      | Some h ->
+        Alcotest.(check bool) "phase spans always on" true
+          (Obs.Snapshot.hist_count h > 0)
+      | None -> Alcotest.fail "phase_seconds{phase=\"handle\"} missing")
 
 (* Satellite of the churn work: a writer parked in a multi-second dial
    backoff must notice [close]'s stop flag within a slice, not sleep out
@@ -282,6 +336,8 @@ let suite =
     Alcotest.test_case "3 daemons on loopback, oracle-certified" `Slow
       test_cluster_benign;
     Alcotest.test_case "SIGKILL + respawn from durable store" `Slow test_cluster_kill;
+    Alcotest.test_case "live stats plane: scrape, kill, merge" `Slow
+      test_stats_plane_live;
     Alcotest.test_case "through the fault proxy" `Slow test_cluster_proxy;
     Alcotest.test_case "SIGKILL again mid-replay, certified" `Slow
       test_kill_during_replay;

@@ -121,6 +121,16 @@ let gen_control =
       (1, map (fun s -> Wire_codec.Status s) gen_status);
       (1, return Wire_codec.Quit);
       (1, return Wire_codec.Bye);
+      (1, map2 (fun pid port -> Wire_codec.Add_peer { pid; port }) gen_pid small_nat);
+      (1, return Wire_codec.Retire_req);
+      ( 1,
+        map2
+          (fun slow rounds -> Wire_codec.Arm_brownout { slow; rounds })
+          (option gen_time) (int_bound 5) );
+      (1, return Wire_codec.Stats_req);
+      (* Stats carries an opaque exposition text; the codec must pass any
+         bytes through, newlines and quotes included. *)
+      (1, map (fun s -> Wire_codec.Stats s) (string_size (int_bound 200)));
     ]
 
 let gen_output_id =

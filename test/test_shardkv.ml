@@ -239,7 +239,9 @@ let test_live_multi_put_under_kill () =
     outcome.Deployment.oracle.Harness.Oracle.violations;
   Alcotest.(check int) "risk 0 at K=0" 0
     outcome.Deployment.oracle.Harness.Oracle.max_risk;
-  let stats = Shardkv.Service.latency_stats svc outcome.Deployment.trace in
+  let lat = Shardkv.Service.latency svc in
+  Shardkv.Service.Latency.ingest lat outcome.Deployment.trace;
+  let stats = Shardkv.Service.Latency.stats lat in
   Alcotest.(check int) "ack committed" 1 stats.Shardkv.Service.acked;
   Alcotest.(check int) "nothing outstanding" 0
     stats.Shardkv.Service.outstanding;
@@ -310,7 +312,9 @@ let test_live_grow_retire () =
     outcome.Deployment.oracle.Harness.Oracle.violations;
   Alcotest.(check bool) "risk within K=1" true
     (outcome.Deployment.oracle.Harness.Oracle.max_risk <= 1);
-  let stats = Shardkv.Service.latency_stats svc outcome.Deployment.trace in
+  let lat = Shardkv.Service.latency svc in
+  Shardkv.Service.Latency.ingest lat outcome.Deployment.trace;
+  let stats = Shardkv.Service.Latency.stats lat in
   Alcotest.(check int) "every get acked" 0 stats.Shardkv.Service.outstanding;
   let joiner_served =
     List.exists
@@ -323,6 +327,70 @@ let test_live_grow_retire () =
   Alcotest.(check bool) "the joiner committed client outputs" true
     joiner_served
 
+(* The histogram-backed Latency tracker against an exact reference
+   computation over the same synthetic trace: counts and max must match
+   exactly; the histogram percentiles must bracket the exact order
+   statistics within one power-of-two bucket.  Also pins idempotence —
+   re-ingesting the same trace (a replayed duplicate commit) changes
+   nothing. *)
+let test_latency_tracker_equivalence () =
+  let epoch = 1000. and time_scale = 0.001 in
+  let lat = Shardkv.Service.Latency.create ~epoch ~time_scale () in
+  let n = 40 in
+  let issue_at i = epoch +. (0.003 *. float_of_int i) in
+  for i = 0 to n - 1 do
+    Shardkv.Service.Latency.issue lat ~tag:(Fmt.str "get:%d" i)
+      ~at:(issue_at i)
+  done;
+  (* Commit all but the last three, with latencies spreading over several
+     histogram buckets; trace time is abstract units. *)
+  let acked = n - 3 in
+  let exact_lat i = 0.004 +. (0.0011 *. float_of_int (i * i mod 17)) in
+  let trace = Recovery.Trace.create () in
+  let id = { Recovery.Wire.out_interval = Depend.Entry.make ~inc:0 ~sii:1; out_idx = 0 } in
+  for i = 0 to acked - 1 do
+    let commit_wall = issue_at i +. exact_lat i in
+    Recovery.Trace.add trace
+      ~time:((commit_wall -. epoch) /. time_scale)
+      (Recovery.Trace.Output_committed
+         { pid = 0; id; text = Fmt.str "get:%d -> hit" i; latency = 0. })
+  done;
+  (* An output answering nothing we issued must not count. *)
+  Recovery.Trace.add trace ~time:1.
+    (Recovery.Trace.Output_committed
+       { pid = 0; id; text = "mp:999 ok"; latency = 0. });
+  Shardkv.Service.Latency.ingest lat trace;
+  Shardkv.Service.Latency.ingest lat trace;
+  let stats = Shardkv.Service.Latency.stats lat in
+  let exact = Array.init acked exact_lat in
+  Array.sort compare exact;
+  let exact_pct p =
+    exact.(Stdlib.min (acked - 1)
+             (Stdlib.max 0 (int_of_float (Float.ceil (p *. float_of_int acked)) - 1)))
+  in
+  Alcotest.(check int) "acked exact" acked stats.Shardkv.Service.acked;
+  Alcotest.(check int) "outstanding exact" 3 stats.Shardkv.Service.outstanding;
+  Alcotest.(check (float 1e-9)) "max exact" exact.(acked - 1)
+    stats.Shardkv.Service.max;
+  let bracket name hist_q exact_q =
+    Alcotest.(check bool)
+      (name ^ " within one bucket above the order statistic")
+      true
+      (hist_q >= exact_q && hist_q <= 2. *. exact_q)
+  in
+  bracket "p50" stats.Shardkv.Service.p50 (exact_pct 0.5);
+  bracket "p99" stats.Shardkv.Service.p99 (exact_pct 0.99);
+  (* The deprecated wrapper is the same computation over the service's
+     tracker; on a fresh tracker fed the same trace it must agree. *)
+  let lat2 = Shardkv.Service.Latency.create ~epoch ~time_scale () in
+  for i = 0 to n - 1 do
+    Shardkv.Service.Latency.issue lat2 ~tag:(Fmt.str "get:%d" i)
+      ~at:(issue_at i)
+  done;
+  Shardkv.Service.Latency.ingest lat2 trace;
+  let stats2 = Shardkv.Service.Latency.stats lat2 in
+  Alcotest.(check bool) "independent trackers agree" true (stats = stats2)
+
 let suite =
   [
     Alcotest.test_case "ring: golden values and determinism" `Quick
@@ -333,6 +401,8 @@ let suite =
     test_ring_grow_law;
     test_ring_remove_law;
     test_wire_roundtrip;
+    Alcotest.test_case "latency tracker: histogram vs exact reference"
+      `Quick test_latency_tracker_equivalence;
     Alcotest.test_case "multi-put ack gated by the K rule (K=0, scripted)"
       `Quick test_multi_put_gating_k0;
     Alcotest.test_case "live: multi-put survives participant SIGKILL" `Slow

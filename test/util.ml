@@ -39,7 +39,7 @@ module Driver = struct
 
   let make ?(pid = 0) ?store_dir config app =
     let trace = Recovery.Trace.create () in
-    let node = Node.create ~config ~pid ~app ?store_dir ~trace in
+    let node = Node.create ~config ~pid ~app ?store_dir ?obs:None ~trace in
     { node; trace; outbox = []; clock = 0. }
 
   let absorb t (actions, _cost) = t.outbox <- List.rev_append actions t.outbox
